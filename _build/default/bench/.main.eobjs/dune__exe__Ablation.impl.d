@@ -1,0 +1,1 @@
+bench/ablation.ml: Fixtures List Printf Queries Retro Rql Sqldb Storage Tpch Util

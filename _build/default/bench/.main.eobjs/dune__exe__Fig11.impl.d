@@ -1,0 +1,1 @@
+bench/fig11.ml: Fixtures Params Printf Queries Rql Sqldb Tpch Unix Util

@@ -1,0 +1,1 @@
+bench/fig13.ml: Fixtures List Params Printf Queries Rql Tpch Util

@@ -1,0 +1,1 @@
+bench/fig6.ml: Fixtures List Params Printf Queries Rql Tpch Util

@@ -1,0 +1,1 @@
+bench/fig8.ml: Fixtures List Queries Rql Sqldb Tpch Unix Util

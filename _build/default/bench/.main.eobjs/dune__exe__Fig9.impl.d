@@ -1,0 +1,1 @@
+bench/fig9.ml: Fixtures Params Printf Queries Retro Rql Sqldb Tpch Util

@@ -1,0 +1,1 @@
+bench/fixtures.ml: Hashtbl List Params Printf Retro Rql Sqldb Storage Tpch Unix

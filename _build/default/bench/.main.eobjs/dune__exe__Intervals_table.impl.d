@@ -1,0 +1,1 @@
+bench/intervals_table.ml: Fixtures List Params Printf Queries Rql Sqldb Storage Tpch Util

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Arg Cmd Cmdliner Fig10 Fig11 Fig12 Fig13 Fig6 Fig7 Fig8 Fig9 Intervals_table List Micro Params Printf Queries String Term Unix Util

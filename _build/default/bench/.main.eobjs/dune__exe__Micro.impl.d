@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance Lazy List Measure Printf Queries Retro Rql Sqldb Staged Storage String Test Time Toolkit Util

@@ -1,0 +1,1 @@
+bench/params.ml: Tpch

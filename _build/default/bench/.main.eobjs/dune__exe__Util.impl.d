@@ -1,0 +1,1 @@
+bench/util.ml: List Printf Rql

@@ -1,0 +1,32 @@
+(* Figure 10: CollateData(Qs, Qq_collate, T) with varying Qq output size
+   under UW30.
+
+   Qq_collate's date predicate controls how many rows each iteration
+   returns; the RQL UDF component (one callback and result-table insert
+   per row) grows linearly with the output while sharing (cold vs hot)
+   barely matters. *)
+
+let run () =
+  Util.section "Figure 10 — CollateData cost vs Qq output size (Qq_collate, UW30)";
+  Util.expectation
+    "the UDF component scales linearly with rows returned per snapshot and dominates for \
+     large outputs; cold and hot iterations differ only in the (small) I/O component";
+  let p = Params.p () in
+  let n = p.Params.fig10_snapshots in
+  let uw = Tpch.Workload.uw30 in
+  let fx = Fixtures.main uw in
+  Util.print_breakdown_header ();
+  List.iter
+    (fun fraction ->
+      let date = Fixtures.date_percentile fx ~sid:1 fraction in
+      let run =
+        Rql.collate_data fx.Fixtures.ctx ~qs:(Queries.qs_n n)
+          ~qq:(Queries.qq_collate date) ~table:"bench_f10"
+      in
+      let rows_per_snap = run.Rql.Iter_stats.result_rows / n in
+      let cold, hot = Util.cold_hot run in
+      Util.print_breakdown
+        (Printf.sprintf "cold iteration, ~%d rows" rows_per_snap)
+        cold;
+      Util.print_breakdown (Printf.sprintf "hot iteration, ~%d rows" rows_per_snap) hot)
+    [ 0.0005; 0.07; 0.5 ]

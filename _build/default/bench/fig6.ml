@@ -1,0 +1,53 @@
+(* Figure 6: ratio C with old snapshots — the impact of page sharing
+   between consecutive snapshots.
+
+   AggregateDataInVariable(Qs_N, Qq_io, AVG) over intervals of old
+   snapshots of increasing length, for UW15/UW30 and snapshot steps 1
+   and 10.  C = latency relative to an all-cold run of the same set. *)
+
+let run () =
+  Util.section
+    "Figure 6 — Ratio C vs snapshot interval length (old snapshots, sharing between \
+     snapshots)";
+  Util.expectation
+    "C near 1 for short intervals, dropping to a constant past ~20 snapshots; UW15 below \
+     UW30; step 10 above step 1";
+  let p = Params.p () in
+  let lengths = p.Params.fig6_lengths in
+  let lengths10 = p.Params.fig6_step10_lengths in
+  List.iter
+    (fun uw ->
+      let fx = Fixtures.main uw in
+      Util.subsection
+        (Printf.sprintf "%s, AggVar(Qs_N, Qq_io, AVG), step 1" uw.Tpch.Workload.uname);
+      Printf.printf "%-6s %10s %12s %12s %14s\n" "N" "C" "rql(s)" "all-cold(s)" "hot pagelog/it";
+      List.iter
+        (fun n ->
+          let run, cold, c =
+            Util.ratio_c_agg_var fx.Fixtures.ctx ~qs:(Queries.qs_n n) ~qq:Queries.qq_io
+              ~fn:"avg"
+          in
+          let hots = Util.hot_iterations run in
+          let hot_reads =
+            if hots = [] then 0
+            else
+              List.fold_left (fun a it -> a + it.Rql.Iter_stats.pagelog_reads) 0 hots
+              / List.length hots
+          in
+          Printf.printf "%-6d %10.3f %12.4f %12.4f %14d\n%!" n c
+            (Rql.Iter_stats.total_s run) (Rql.Iter_stats.total_s cold) hot_reads)
+        lengths;
+      Util.subsection
+        (Printf.sprintf "%s, AggVar(Qs_N with step 10, Qq_io, AVG)" uw.Tpch.Workload.uname);
+      Printf.printf "%-6s %10s %12s %12s\n" "N" "C" "rql(s)" "all-cold(s)";
+      List.iter
+        (fun n ->
+          let run, cold, c =
+            Util.ratio_c_agg_var fx.Fixtures.ctx
+              ~qs:(Queries.qs_step ~len:n ~step:10)
+              ~qq:Queries.qq_io ~fn:"avg"
+          in
+          Printf.printf "%-6d %10.3f %12.4f %12.4f\n%!" n c (Rql.Iter_stats.total_s run)
+            (Rql.Iter_stats.total_s cold))
+        lengths10)
+    [ Tpch.Workload.uw30; Tpch.Workload.uw15 ]

@@ -1,0 +1,44 @@
+(* Figure 7: ratio C with recent snapshots — the impact of sharing with
+   the current database state.
+
+   Fixed-length intervals of consecutive snapshots (skip 1) whose start
+   slides from Slast-OverwriteCycle-20 toward Slast-20.  Pages a recent
+   snapshot shares with the current state are served from memory, so
+   both the RQL cost and the all-cold cost fall; C(x) first drops (RQL
+   cost falls while all-cold stays constant) and then rises back (the
+   all-cold baseline catches up). *)
+
+let run () =
+  Util.section "Figure 7 — Ratio C with recent snapshots (sharing with current state)";
+  Util.expectation
+    "C falls while the interval start is old, then rises as the start becomes recent and \
+     the all-cold cost converges to the RQL cost";
+  let p = Params.p () in
+  let len = p.Params.fig7_interval in
+  List.iter
+    (fun uw ->
+      let oc = Tpch.Workload.overwrite_cycle uw in
+      (* reuse the Figure 6 fixture for this workload *)
+      let history = (Fixtures.main uw).Fixtures.config.Fixtures.snapshots in
+      let fx = Fixtures.main uw in
+      Util.subsection
+        (Printf.sprintf "%s, AggVar(Qs, Qq_io, AVG), interval length %d, skip 1"
+           uw.Tpch.Workload.uname len);
+      Printf.printf "%-14s %10s %12s %12s\n" "start" "C" "rql(s)" "all-cold(s)";
+      (* offsets from Slast: OC+20 down to 20 *)
+      let rec offsets o acc = if o < 20 then List.rev acc else offsets (o - 25) (o :: acc) in
+      let offs = offsets (oc + 20) [] in
+      let offs = if List.mem 20 offs then offs else offs @ [ 20 ] in
+      List.iter
+        (fun off ->
+          let start = max 1 (history - off) in
+          let run, cold, c =
+            Util.ratio_c_agg_var fx.Fixtures.ctx
+              ~qs:(Queries.qs_range ~start ~len)
+              ~qq:Queries.qq_io ~fn:"avg"
+          in
+          Printf.printf "%-14s %10.3f %12.4f %12.4f\n%!"
+            (Printf.sprintf "Slast-%d" off)
+            c (Rql.Iter_stats.total_s run) (Rql.Iter_stats.total_s cold))
+        offs)
+    [ Tpch.Workload.uw30; Tpch.Workload.uw15 ]

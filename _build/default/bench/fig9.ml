@@ -1,0 +1,49 @@
+(* Figure 9: CPU-intensive Qq_cpu (Lineitem x Part join) with
+   AggregateDataInVariable(Qs, Qq_cpu, AVG) under UW30, with and without
+   a native index on lineitem(l_partkey).
+
+   Without the native index the engine builds its automatic covering
+   index over Lineitem on every iteration — the dominant cost.  With the
+   native index that cost disappears, but the index pages enlarge the
+   database and the Pagelog, so I/O and SPT-build costs grow. *)
+
+let breakdown_with_rows label (b : Rql.Iter_stats.breakdown) =
+  Util.print_breakdown label b
+
+let run () =
+  Util.section "Figure 9 — CPU-intensive query: AggVar(Qq_cpu, AVG), UW30, index effects";
+  Util.expectation
+    "without a native index, per-iteration (covering) index creation dominates and \
+     cold/hot differ little; with a native index the index-creation bar disappears while \
+     I/O and SPT build grow";
+  let p = Params.p () in
+  let n = p.Params.fig9_snapshots in
+  let history = n + 10 in
+  let run_variant ~native label =
+    let fx =
+      Fixtures.get
+        { Fixtures.uw = Tpch.Workload.uw30; snapshots = history;
+          native_lineitem_index = native }
+    in
+    let run =
+      Rql.aggregate_data_in_variable fx.Fixtures.ctx ~qs:(Queries.qs_n n) ~qq:Queries.qq_cpu
+        ~table:"bench_f9" ~fn:"avg"
+    in
+    let cold, hot = Util.cold_hot run in
+    breakdown_with_rows (Printf.sprintf "cold iteration %s" label) cold;
+    breakdown_with_rows (Printf.sprintf "hot iteration %s" label) hot
+  in
+  Util.print_breakdown_header ();
+  run_variant ~native:false "w/o index";
+  run_variant ~native:true "w/ index";
+  (* quantify the database/pagelog growth caused by the native index *)
+  let pagelog native =
+    let fx =
+      Fixtures.get
+        { Fixtures.uw = Tpch.Workload.uw30; snapshots = history;
+          native_lineitem_index = native }
+    in
+    Retro.pagelog_size_bytes (Sqldb.Db.retro_exn fx.Fixtures.ctx.Rql.data)
+  in
+  Printf.printf "pagelog: %.1f MB without index, %.1f MB with native index\n"
+    (Util.mb (pagelog false)) (Util.mb (pagelog true))

@@ -1,0 +1,56 @@
+(* Section 5.3's closing experiment: result-table sizes of
+   CollateDataIntoIntervals vs CollateData for Qq_int over 50 snapshots
+   under UW7.5 / UW15 / UW30 / UW60.
+
+   Paper (SF 1): CollateData materializes 75M rows (>3 GB); the interval
+   representation holds 1.86M / 2.3M / 2.97M / 4.4M rows (89-204 MB)
+   plus ~50% for its index — more churn per snapshot means more
+   intervals, but far less than proportionally. *)
+
+module IS = Rql.Iter_stats
+
+let run () =
+  Util.section
+    "Section 5.3 — CollateDataIntoIntervals vs CollateData result sizes (Qq_int, 50 \
+     snapshots)";
+  Util.expectation
+    "interval table is a small fraction of the collate table; its size grows with the \
+     update workload but sub-proportionally; the index adds roughly half again";
+  let p = Params.p () in
+  let n = p.Params.intervals_snapshots in
+  (* one CollateData reference (the size depends only on |Qs| x |Qq|) *)
+  let fx30 = Fixtures.main Tpch.Workload.uw30 in
+  let collate =
+    Rql.collate_data fx30.Fixtures.ctx ~qs:(Queries.qs_n n) ~qq:Queries.qq_int
+      ~table:"sec53_collate"
+  in
+  Printf.printf "%-26s %10d rows %10.2f MB\n" "CollateData (any UW)" collate.IS.result_rows
+    (Util.mb collate.IS.result_bytes);
+  Printf.printf "%-26s %10s %14s %12s %12s\n" "workload" "rows" "MB" "index MB" "vs collate";
+  List.iter
+    (fun uw ->
+      (* reuse the long histories for UW15/UW30; build 50-snapshot
+         histories for the other workloads *)
+      let fx =
+        if uw == Tpch.Workload.uw15 || uw == Tpch.Workload.uw30 then Fixtures.main uw
+        else Fixtures.get { Fixtures.uw = uw; snapshots = n; native_lineitem_index = false }
+      in
+      let ctx = fx.Fixtures.ctx in
+      let run =
+        Rql.collate_data_into_intervals ctx ~qs:(Queries.qs_n n) ~qq:Queries.qq_int
+          ~table:"sec53_intervals"
+      in
+      (* index footprint: pages reachable from the result index root *)
+      let index_bytes =
+        let cat = Sqldb.Db.catalog ctx.Rql.meta in
+        match Sqldb.Catalog.find_index cat "sec53_intervals__rql_key" with
+        | Some idx ->
+          let bt = Storage.Btree.open_existing idx.Sqldb.Catalog.iroot in
+          Storage.Btree.page_count (Sqldb.Db.read_current ctx.Rql.meta) bt * Storage.Page.size
+        | None -> 0
+      in
+      Printf.printf "%-26s %10d %14.2f %12.2f %11.1f%%\n%!"
+        ("Intervals, " ^ uw.Tpch.Workload.uname)
+        run.IS.result_rows (Util.mb run.IS.result_bytes) (Util.mb index_bytes)
+        (100. *. float_of_int run.IS.result_bytes /. float_of_int (max 1 collate.IS.result_bytes)))
+    [ Tpch.Workload.uw7_5; Tpch.Workload.uw15; Tpch.Workload.uw30; Tpch.Workload.uw60 ]

@@ -1,0 +1,68 @@
+(* Benchmark harness entry point: regenerates every table and figure of
+   the paper's evaluation (§5).
+
+     dune exec bench/main.exe                 all experiments, quick scale
+     dune exec bench/main.exe -- --full       larger scale
+     dune exec bench/main.exe -- --only fig6,fig8
+     dune exec bench/main.exe -- --skip-micro
+
+   Absolute numbers differ from the paper (different hardware, a
+   simulated SSD, a scaled-down TPC-H); the shapes the paper reports are
+   the reproduction target.  EXPERIMENTS.md records paper-vs-measured
+   for every experiment. *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [ ("fig6", "ratio C vs interval length (old snapshots)", Fig6.run);
+    ("fig7", "ratio C vs interval start (recent snapshots)", Fig7.run);
+    ("fig8", "single-iteration breakdown, Qq_io", Fig8.run);
+    ("fig9", "CPU-intensive Qq_cpu, index effects", Fig9.run);
+    ("fig10", "CollateData vs Qq output size", Fig10.run);
+    ("fig11", "AggTable vs Collate+SQL, memory", Fig11.run);
+    ("fig12", "per-iteration Collate vs AggTable", Fig12.run);
+    ("fig13", "AggTable MAX vs SUM", Fig13.run);
+    ("sec5.3", "interval result sizes across workloads", Intervals_table.run);
+    ("ablation", "Skippy skip index; snapshot cache size (extensions)", Ablation.run) ]
+
+let print_table1 () =
+  Util.section "Table 1 — Parameters and notations";
+  List.iter (fun (name, text) -> Printf.printf "%-22s %s\n" name text) Queries.table_1
+
+open Cmdliner
+
+let full =
+  let doc = "Run at a larger scale (slower, closer to the paper's setup)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let only =
+  let doc =
+    "Comma-separated experiment ids to run (fig6..fig13, sec5.3, ablation, micro). Default: all."
+  in
+  Arg.(value & opt (some string) None & info [ "only" ] ~docv:"IDS" ~doc)
+
+let skip_micro =
+  let doc = "Skip the bechamel micro-benchmark suite." in
+  Arg.(value & flag & info [ "skip-micro" ] ~doc)
+
+let main full only skip_micro =
+  if full then Params.current := Params.full;
+  let selected =
+    match only with
+    | None -> None
+    | Some s -> Some (String.split_on_char ',' (String.lowercase_ascii s))
+  in
+  let wanted id = match selected with None -> true | Some ids -> List.mem id ids in
+  let t0 = Unix.gettimeofday () in
+  Printf.printf
+    "RQL benchmark harness — reproducing the EDBT'18 evaluation (TPC-H SF %g, %s scale)\n"
+    (Params.p ()).Params.sf
+    (if full then "full" else "quick");
+  if selected = None then print_table1 ();
+  List.iter (fun (id, _, run) -> if wanted id then run ()) experiments;
+  if (not skip_micro) && wanted "micro" then Micro.run ();
+  Printf.printf "\nall experiments done in %.1fs\n" (Unix.gettimeofday () -. t0)
+
+let cmd =
+  let doc = "reproduce the RQL paper's performance evaluation" in
+  Cmd.v (Cmd.info "rql-bench" ~doc) Term.(const main $ full $ only $ skip_micro)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,46 @@
+(* Benchmark scale parameters.
+
+   The paper runs at TPC-H SF 1 (1.4 GB) on a Xeon testbed; we default to
+   SF 0.01 so the whole suite finishes in minutes while preserving every
+   ratio the experiments measure (diff(S1,S2) relative to database size,
+   result-set cardinalities relative to table sizes — see DESIGN.md).
+   [--full] raises the scale. *)
+
+type t = {
+  mutable sf : float;
+  mutable fig6_lengths : int list;       (* snapshot-interval lengths, step 1 *)
+  mutable fig6_step10_lengths : int list; (* interval lengths at step 10 *)
+  mutable fig7_interval : int;           (* fixed interval length *)
+  mutable fig9_snapshots : int;          (* iterations for the CPU-heavy Qq *)
+  mutable fig10_snapshots : int;
+  mutable agg_snapshots : int;           (* Qs_50 equivalents for Figs 11-13 *)
+  mutable intervals_snapshots : int;     (* §5.3 interval experiment *)
+}
+
+let quick =
+  { sf = 0.01;
+    fig6_lengths = [ 1; 2; 5; 10; 20; 35; 50 ];
+    fig6_step10_lengths = [ 1; 2; 3; 5 ];
+    fig7_interval = 20;
+    fig9_snapshots = 8;
+    fig10_snapshots = 10;
+    agg_snapshots = 50;
+    intervals_snapshots = 50 }
+
+let full =
+  { sf = 0.02;
+    fig6_lengths = [ 1; 2; 5; 10; 20; 40; 60; 80; 100 ];
+    fig6_step10_lengths = [ 1; 2; 5; 8; 10 ];
+    fig7_interval = 20;
+    fig9_snapshots = 20;
+    fig10_snapshots = 20;
+    agg_snapshots = 50;
+    intervals_snapshots = 50 }
+
+let current = ref quick
+
+let p () = !current
+
+(* History length needed so every snapshot in [1, n_old] has a complete
+   overwrite cycle behind it ("old" snapshots, §5.1). *)
+let history_for uw ~n_old = n_old + Tpch.Workload.overwrite_cycle uw + 10

@@ -1,0 +1,54 @@
+(* Table 1 of the paper: the parameters and queries used throughout the
+   performance evaluation. *)
+
+(* I/O intensive, computationally light: scans Orders. *)
+let qq_io = "SELECT COUNT(*) AS c FROM orders WHERE o_orderstatus = 'O'"
+
+(* CPU intensive: joins Lineitem and Part; without a native index the
+   engine builds a covering index per execution (Fig 9).  The paper's
+   SQLite picks Part as the outer table and builds its automatic
+   covering index over Lineitem; our planner joins in FROM order, so
+   Part is listed first to produce the same plan (inner = lineitem). *)
+let qq_cpu =
+  "SELECT SUM(l_extendedprice) AS revenue FROM part, lineitem WHERE p_partkey = l_partkey \
+   AND p_type = 'STANDARD POLISHED TIN'"
+
+(* Output-size-controlled scan: the [DATE] predicate tunes how many rows
+   the Qq returns (Fig 10). *)
+let qq_collate date =
+  Printf.sprintf "SELECT o_orderkey FROM orders WHERE o_orderdate < '%s'" date
+
+(* Aggregation query: per-customer order count and average price
+   (Figs 11-13). *)
+let qq_agg =
+  "SELECT o_custkey, COUNT(*) AS cn, AVG(o_totalprice) AS av FROM orders GROUP BY o_custkey"
+
+(* Full projection used by the §5.3 interval experiment. *)
+let qq_int = "SELECT o_orderkey, o_custkey FROM orders"
+
+(* Qs builders.  Qs_N: the first N snapshots (an old interval when the
+   history extends at least an overwrite cycle past them). *)
+let qs_n n = Printf.sprintf "SELECT snap_id FROM SnapIds WHERE snap_id <= %d" n
+
+(* N snapshots starting at [start] (inclusive), consecutive. *)
+let qs_range ~start ~len =
+  Printf.sprintf "SELECT snap_id FROM SnapIds WHERE snap_id >= %d AND snap_id < %d" start
+    (start + len)
+
+(* N snapshots starting at 1, every [step]-th. *)
+let qs_step ~len ~step =
+  Printf.sprintf
+    "SELECT snap_id FROM SnapIds WHERE snap_id %% %d = 1 AND snap_id <= %d" step
+    (((len - 1) * step) + 1)
+
+let table_1 =
+  [ ("UW7.5/UW15/UW30/UW60",
+     "delete+insert 0.5%/1%/2%/4% of the order population per snapshot (paper: 7.5K/15K/30K/60K at SF1)");
+    ("Qs_N", "snapshot interval of length N (see per-figure Qs)");
+    ("Qq_io", qq_io);
+    ("Qq_cpu", qq_cpu);
+    ("Qq_collate", qq_collate "[DATE]");
+    ("Qq_agg", qq_agg);
+    ("Qq_int", qq_int);
+    ("RQL UDFs", "CollateData / AggregateDataInVariable / AggregateDataInTable / CollateDataIntoIntervals");
+    ("Aggregate functions", "MIN, MAX, SUM, COUNT, AVG") ]

@@ -1,0 +1,1 @@
+bin/rql_shell.ml: Arg Array Cmd Cmdliner Fmt In_channel List Printf Retro Rql Sqldb Storage String Term Tpch

@@ -1,0 +1,1 @@
+bin/rql_shell.mli:

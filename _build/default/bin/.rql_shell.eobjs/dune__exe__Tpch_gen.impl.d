@@ -1,0 +1,1 @@
+bin/tpch_gen.ml: Arg Cmd Cmdliner Printf Retro Rql Sqldb Storage Term Tpch Unix

@@ -1,0 +1,1 @@
+bin/tpch_gen.mli:

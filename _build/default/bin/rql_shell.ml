@@ -1,0 +1,138 @@
+(* Interactive RQL shell.
+
+   A REPL over an RQL context: SQL statements run against the
+   snapshottable data database; lines prefixed with "@meta" run against
+   the non-snapshottable database that holds SnapIds and result tables
+   (where the RQL UDFs are registered).  Dot-commands manage snapshots
+   and inspection.
+
+     dune exec bin/rql_shell.exe            empty database
+     dune exec bin/rql_shell.exe -- --tpch 0.002 --snapshots 5
+
+   Commands:
+     .snapshot [name]    COMMIT WITH SNAPSHOT + record in SnapIds
+     .snapshots          list SnapIds
+     .tables [@meta]     list tables
+     .stats              storage/Retro counters
+     .help               this text
+     .quit               exit *)
+
+module R = Storage.Record
+module E = Sqldb.Engine
+
+let print_result (res : E.result) =
+  if Array.length res.E.columns > 0 then begin
+    print_endline (String.concat " | " (Array.to_list res.E.columns));
+    List.iter
+      (fun row ->
+        print_endline
+          (String.concat " | " (Array.to_list (Array.map R.value_to_string row))))
+      res.E.rows;
+    Printf.printf "(%d rows)\n" (List.length res.E.rows)
+  end
+  else begin
+    (match res.E.snapshot with
+    | Some sid -> Printf.printf "declared snapshot %d\n" sid
+    | None -> ());
+    if res.E.rows_affected > 0 then Printf.printf "(%d rows affected)\n" res.E.rows_affected
+  end
+
+let list_tables db =
+  let cat = Sqldb.Db.catalog db in
+  List.iter print_endline (List.sort compare (Sqldb.Catalog.table_names cat))
+
+let run_line ctx_ref line =
+  let ctx : Rql.ctx = !ctx_ref in
+  let line = String.trim line in
+  if line = "" then ()
+  else if line = ".quit" || line = ".exit" then raise Exit
+  else if line = ".help" then
+    print_endline
+      ".snapshot [name] | .snapshots | .tables [@meta] | .stats | .integrity | .save PATH | .open PATH | .quit\n\
+       SQL goes to the data database; prefix with @meta for the SnapIds/result database.\n\
+       RQL mechanisms are UDFs on @meta, e.g.:\n\
+       @meta SELECT CollateData(snap_id, 'SELECT ... current_snapshot() ...', 'T') FROM SnapIds;"
+  else if line = ".snapshots" then print_result (E.exec ctx.Rql.meta "SELECT * FROM SnapIds")
+  else if line = ".tables" then list_tables ctx.Rql.data
+  else if line = ".tables @meta" then list_tables ctx.Rql.meta
+  else if line = ".integrity" then begin
+    match Sqldb.Integrity.check ctx.Rql.data @ Sqldb.Integrity.check ctx.Rql.meta with
+    | [] -> print_endline "ok"
+    | problems -> List.iter (fun p -> print_endline ("PROBLEM: " ^ p)) problems
+  end
+  else if line = ".stats" then begin
+    Fmt.pr "%a@." Storage.Stats.pp Storage.Stats.global;
+    match Sqldb.Db.(ctx.Rql.data.retro) with
+    | Some retro ->
+      Printf.printf "snapshots=%d pagelog=%d pages (%.1f MB) maplog=%d entries\n"
+        (Retro.snapshot_count retro)
+        (Retro.Pagelog.length retro.Retro.pagelog)
+        (float_of_int (Retro.pagelog_size_bytes retro) /. 1e6)
+        (Retro.maplog_length retro)
+    | None -> ()
+  end
+  else if String.length line >= 9 && String.sub line 0 9 = ".snapshot" then begin
+    let name = String.trim (String.sub line 9 (String.length line - 9)) in
+    let sid = Rql.declare_snapshot ~name ctx in
+    Printf.printf "declared snapshot %d%s\n" sid (if name = "" then "" else " (" ^ name ^ ")")
+  end
+  else if String.length line >= 6 && String.sub line 0 5 = ".save" then begin
+    let path = String.trim (String.sub line 5 (String.length line - 5)) in
+    Rql.save ctx ~path;
+    Printf.printf "saved to %s\n" path
+  end
+  else if String.length line >= 6 && String.sub line 0 5 = ".open" then begin
+    let path = String.trim (String.sub line 5 (String.length line - 5)) in
+    ctx_ref := Rql.load ~path;
+    Printf.printf "opened %s\n" path
+  end
+  else if String.length line >= 5 && String.sub line 0 5 = "@meta" then
+    print_result (E.exec_script ctx.Rql.meta (String.sub line 5 (String.length line - 5)))
+  else print_result (E.exec_script ctx.Rql.data line)
+
+let repl ctx =
+  let ctx_ref = ref ctx in
+  print_endline "RQL shell — .help for commands, .quit to exit";
+  (try
+     while true do
+       print_string "rql> ";
+       flush stdout;
+       match In_channel.input_line stdin with
+       | None -> raise Exit
+       | Some line -> (
+         try run_line ctx_ref line with
+         | E.Error msg | Rql.Error msg -> Printf.printf "error: %s\n" msg
+         | Rql.Monoid.Not_supported msg -> Printf.printf "error: %s\n" msg
+         | Rql.Rewrite.Error msg -> Printf.printf "error: %s\n" msg)
+     done
+   with Exit -> ());
+  print_endline "bye"
+
+open Cmdliner
+
+let tpch_sf =
+  let doc = "Pre-load a TPC-H database at the given scale factor." in
+  Arg.(value & opt (some float) None & info [ "tpch" ] ~docv:"SF" ~doc)
+
+let snapshots =
+  let doc = "With --tpch, run this many UW30 refresh+snapshot rounds." in
+  Arg.(value & opt int 0 & info [ "snapshots" ] ~docv:"N" ~doc)
+
+let main tpch snapshots =
+  let ctx = Rql.create () in
+  (match tpch with
+  | Some sf ->
+    Printf.printf "generating TPC-H at SF %g...\n%!" sf;
+    let st = Tpch.Dbgen.generate ctx.Rql.data ~sf in
+    if snapshots > 0 then begin
+      Printf.printf "running %d UW30 refresh rounds...\n%!" snapshots;
+      ignore (Tpch.Workload.run ctx st ~uw:Tpch.Workload.uw30 ~snapshots)
+    end
+  | None -> ());
+  repl ctx
+
+let cmd =
+  let doc = "interactive shell for the RQL retrospective query system" in
+  Cmd.v (Cmd.info "rql_shell" ~doc) Term.(const main $ tpch_sf $ snapshots)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/audit_orders.ml: Array List Printf Rql Sqldb Storage String Tpch

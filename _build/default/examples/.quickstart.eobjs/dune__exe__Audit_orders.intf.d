@@ -1,0 +1,1 @@
+examples/audit_orders.mli:

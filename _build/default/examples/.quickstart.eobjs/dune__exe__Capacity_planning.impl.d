@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Array List Printf Rql Sqldb Storage String Tpch

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Rql Sqldb Storage String

@@ -1,0 +1,1 @@
+examples/session_intervals.ml: Array Hashtbl List Printf Random Rql Sqldb Storage String

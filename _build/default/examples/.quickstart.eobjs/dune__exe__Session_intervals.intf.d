@@ -1,0 +1,1 @@
+examples/session_intervals.mli:

@@ -1,0 +1,1 @@
+examples/temporal_join.ml: Array List Printf Rql Sqldb Storage String

@@ -1,0 +1,84 @@
+(* Session analysis with CollateDataIntoIntervals.
+
+   A web application records logged-in users; snapshots are declared
+   periodically.  The interval mechanism converts the per-snapshot
+   membership into the record-lifetime representation used by temporal
+   databases (§2.4), from which plain SQL computes session lengths,
+   concurrency peaks, and churn.
+
+   Run with:  dune exec examples/session_intervals.exe *)
+
+module R = Storage.Record
+module E = Sqldb.Engine
+
+let show db title sql =
+  Printf.printf "\n-- %s\n" title;
+  let res = E.exec db sql in
+  Printf.printf "   %s\n" (String.concat " | " (Array.to_list res.E.columns));
+  List.iter
+    (fun row ->
+      Printf.printf "   %s\n"
+        (String.concat " | " (Array.to_list (Array.map R.value_to_string row))))
+    res.E.rows
+
+let () =
+  let ctx = Rql.create () in
+  let sql s = ignore (E.exec ctx.Rql.data s) in
+  sql "CREATE TABLE sessions (user_id TEXT, device TEXT)";
+
+  (* A deterministic churn pattern: users log in and out over 12
+     snapshot periods. *)
+  let rng = Random.State.make [| 2018 |] in
+  let users = Array.init 8 (fun i -> Printf.sprintf "user%02d" i) in
+  let devices = [| "web"; "mobile"; "tablet" |] in
+  let logged = Hashtbl.create 8 in
+  for _period = 1 to 12 do
+    (* log some users out *)
+    Hashtbl.iter
+      (fun u () -> if Random.State.int rng 100 < 25 then Hashtbl.remove logged u)
+      (Hashtbl.copy logged);
+    Hashtbl.iter (fun u () -> ignore u) logged;
+    Array.iter
+      (fun u ->
+        if (not (Hashtbl.mem logged u)) && Random.State.int rng 100 < 40 then begin
+          Hashtbl.replace logged u ();
+          sql
+            (Printf.sprintf "INSERT INTO sessions VALUES ('%s', '%s')" u
+               devices.(Random.State.int rng 3))
+        end)
+      users;
+    (* remove logged-out users from the table *)
+    let live =
+      Hashtbl.fold (fun u () acc -> Printf.sprintf "'%s'" u :: acc) logged []
+    in
+    (if live <> [] then
+       sql (Printf.sprintf "DELETE FROM sessions WHERE user_id NOT IN (%s)" (String.concat "," live)));
+    ignore (Rql.declare_snapshot ctx)
+  done;
+
+  (* Lifetimes of (user, device) records across the snapshot history. *)
+  ignore
+    (Rql.collate_data_into_intervals ctx ~qs:"SELECT snap_id FROM SnapIds"
+       ~qq:"SELECT DISTINCT user_id, device FROM sessions" ~table:"lifetimes");
+
+  show ctx.Rql.meta "session intervals"
+    "SELECT user_id, device, start_snapshot, end_snapshot FROM lifetimes ORDER BY user_id, \
+     start_snapshot";
+  show ctx.Rql.meta "session lengths (snapshots)"
+    "SELECT user_id, SUM(end_snapshot - start_snapshot + 1) AS present_in FROM lifetimes \
+     GROUP BY user_id ORDER BY present_in DESC, user_id";
+  show ctx.Rql.meta "longest single sessions"
+    "SELECT user_id, device, end_snapshot - start_snapshot + 1 AS len FROM lifetimes ORDER \
+     BY len DESC, user_id LIMIT 5";
+  show ctx.Rql.meta "re-login count per user (separate intervals - 1)"
+    "SELECT user_id, COUNT(*) - 1 AS relogins FROM lifetimes GROUP BY user_id HAVING \
+     COUNT(*) > 1 ORDER BY relogins DESC, user_id";
+
+  (* Cross-check concurrency with AggregateDataInTable. *)
+  ignore
+    (Rql.aggregate_data_in_table ctx ~qs:"SELECT snap_id FROM SnapIds"
+       ~qq:"SELECT device, COUNT(*) AS c FROM sessions GROUP BY device" ~table:"peak"
+       ~aggs:[ ("c", "max") ]);
+  show ctx.Rql.meta "peak concurrent sessions per device"
+    "SELECT device, c FROM peak ORDER BY device";
+  print_endline "\nsession analysis done."

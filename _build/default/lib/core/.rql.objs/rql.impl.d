@@ -1,0 +1,1 @@
+lib/core/rql.ml: Array Float Hashtbl Iter_stats List Marshal Monoid Option Printf Retro Rewrite Sqldb Storage String Unix

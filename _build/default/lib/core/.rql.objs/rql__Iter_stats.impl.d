@@ -1,0 +1,1 @@
+lib/core/iter_stats.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/core/monoid.ml: Sqldb Storage String

@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Buffer List Printf String

@@ -1,0 +1,80 @@
+(* Per-iteration cost breakdown for RQL runs.
+
+   The benchmarks reproduce the paper's stacked bars (Figs 8-13), which
+   attribute each iteration's latency to I/O, SPT build, (covering)
+   index creation, query evaluation and RQL UDF processing.  I/O is
+   modeled from the simulated device counters (see DESIGN.md); the other
+   components are measured wall-clock. *)
+
+type iteration = {
+  snap_id : int;
+  cold : bool;                 (* first iteration of the run *)
+  pagelog_reads : int;
+  db_reads : int;
+  cache_hits : int;
+  cache_misses : int;
+  io_s : float;                (* modeled: pagelog reads x device latency *)
+  spt_build_s : float;
+  spt_entries : int;           (* maplog entries scanned *)
+  index_build_s : float;       (* automatic covering-index creation *)
+  query_eval_s : float;        (* Qq evaluation minus the other parts *)
+  udf_s : float;               (* mechanism row processing (loop body) *)
+  udf_rows : int;              (* Qq rows processed by the loop body *)
+  udf_inserts : int;           (* result-table inserts *)
+  udf_updates : int;           (* result-table updates *)
+}
+
+let iteration_total it =
+  it.io_s +. it.spt_build_s +. it.index_build_s +. it.query_eval_s +. it.udf_s
+
+type run = {
+  mechanism : string;
+  qq : string;
+  iterations : iteration list; (* in execution order *)
+  result_rows : int;
+  result_bytes : int;          (* approximate result-table footprint *)
+  finalize_s : float;          (* post-loop work (e.g. AVG finalization) *)
+}
+
+let total_s run =
+  List.fold_left (fun acc it -> acc +. iteration_total it) run.finalize_s run.iterations
+
+let total_io_reads run = List.fold_left (fun acc it -> acc + it.pagelog_reads) 0 run.iterations
+
+let pp_iteration ppf it =
+  Fmt.pf ppf
+    "snap=%d %s io=%.4fs (%d pagelog reads) spt=%.4fs (%d entries) idx=%.4fs \
+     query=%.4fs udf=%.4fs total=%.4fs"
+    it.snap_id
+    (if it.cold then "cold" else "hot ")
+    it.io_s it.pagelog_reads it.spt_build_s it.spt_entries it.index_build_s it.query_eval_s
+    it.udf_s (iteration_total it);
+  if it.udf_rows > 0 then
+    Fmt.pf ppf " rows=%d ins=%d upd=%d" it.udf_rows it.udf_inserts it.udf_updates
+
+let pp_run ppf run =
+  Fmt.pf ppf "@[<v>%s over %d snapshots: total=%.4fs result_rows=%d result_bytes=%d@,%a@]"
+    run.mechanism (List.length run.iterations) (total_s run) run.result_rows run.result_bytes
+    (Fmt.list pp_iteration) run.iterations
+
+(* Aggregate breakdown over a run's iterations (for bar charts). *)
+type breakdown = {
+  b_io : float;
+  b_spt : float;
+  b_index : float;
+  b_query : float;
+  b_udf : float;
+}
+
+let breakdown_of iterations =
+  List.fold_left
+    (fun b it ->
+      { b_io = b.b_io +. it.io_s;
+        b_spt = b.b_spt +. it.spt_build_s;
+        b_index = b.b_index +. it.index_build_s;
+        b_query = b.b_query +. it.query_eval_s;
+        b_udf = b.b_udf +. it.udf_s })
+    { b_io = 0.; b_spt = 0.; b_index = 0.; b_query = 0.; b_udf = 0. }
+    iterations
+
+let breakdown_total b = b.b_io +. b.b_spt +. b.b_index +. b.b_query +. b.b_udf

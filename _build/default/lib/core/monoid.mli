@@ -1,0 +1,49 @@
+(** The aggregate-function algebra for RQL's aggregation mechanisms.
+
+    The paper requires AggFunc to be definable by an abelian monoid
+    (X, op, e) — op associative and commutative with identity e.  MIN,
+    MAX, SUM and COUNT qualify; AVG is supported as the paper's special
+    case via a (sum, count) product; COUNT/SUM DISTINCT are rejected
+    with the paper's suggested workaround (CollateData + SQL). *)
+
+type t = Min | Max | Sum | Count | Avg
+
+exception Not_supported of string
+
+(** Parse a function name (case-insensitive).
+    @raise Not_supported for non-monoid aggregations, with guidance. *)
+val of_string : string -> t
+
+val to_string : t -> string
+
+(** Does the function satisfy the monoid requirement directly (AVG does
+    not)? *)
+val is_monoid : t -> bool
+
+(** Identity element: neutral under {!combine} for non-null values. *)
+val identity : t -> Storage.Record.value
+
+(** NULL-tolerant numeric addition (used by the AVG hidden columns). *)
+val add : Storage.Record.value -> Storage.Record.value -> Storage.Record.value
+
+(** First-occurrence transform: the value stored when a group is first
+    seen (COUNT counts values, so its first occurrence is 1). *)
+val init : t -> Storage.Record.value -> Storage.Record.value
+
+(** Fold a new per-snapshot value into the running value; NULL inputs
+    are ignored, as SQL aggregates do.
+    @raise Invalid_argument on [Avg] (use the special case below). *)
+val combine : t -> Storage.Record.value -> Storage.Record.value -> Storage.Record.value
+
+(** {1 The AVG special case} *)
+
+(** Running (sum, count) state — itself an abelian monoid product. *)
+type avg_state = { mutable sum : float; mutable count : int }
+
+val avg_create : unit -> avg_state
+val avg_step : avg_state -> Storage.Record.value -> unit
+
+(** Current average; [Null] when no numeric value has been folded. *)
+val avg_current : avg_state -> Storage.Record.value
+
+val avg_merge : avg_state -> avg_state -> avg_state

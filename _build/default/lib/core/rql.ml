@@ -1,0 +1,710 @@
+(* RQL: retrospective computations over snapshot sets (paper §2-3).
+
+   An RQL computation iterates over the snapshot set returned by a
+   snapshot query Qs, and for each snapshot executes a "loop body" that
+   rewrites Qq (injecting AS OF and binding current_snapshot()), runs it
+   on that snapshot, and processes the result rows in a
+   mechanism-specific way:
+
+   - CollateData(Qs, Qq, T)                    collect rows into T
+   - AggregateDataInVariable(Qs, Qq, T, fn)    fold a single value
+   - AggregateDataInTable(Qs, Qq, T, pairs)    cross-snapshot GROUP BY
+   - CollateDataIntoIntervals(Qs, Qq, T)       record-lifetime intervals
+
+   As in the paper, SnapIds and the result tables live in a separate
+   non-snapshottable database, and the mechanisms are also registered as
+   UDFs on that database so they can be invoked in the paper's SQL form:
+
+     SELECT CollateData(snap_id, '<Qq>', 'Result') FROM SnapIds WHERE ...;
+
+   Aggregation functions must form an abelian monoid (Monoid.t); AVG is
+   supported as the paper's special case via hidden (sum, count)
+   columns maintained in the result table. *)
+
+module R = Storage.Record
+module Sq = Sqldb
+
+(* Re-export the companion modules: [rql.ml] is the library root, so
+   these are only reachable through it. *)
+module Monoid = Monoid
+module Rewrite = Rewrite
+module Iter_stats = Iter_stats
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type mech_kind =
+  | Collate
+  | Agg_var of Monoid.t
+  | Agg_table of (string * Monoid.t) list
+  | Intervals
+
+let mech_name = function
+  | Collate -> "CollateData"
+  | Agg_var _ -> "AggregateDataInVariable"
+  | Agg_table _ -> "AggregateDataInTable"
+  | Intervals -> "CollateDataIntoIntervals"
+
+type run_state = {
+  kind : mech_kind;
+  qq : string;
+  table : string;
+  data : Sq.Db.t;
+  meta : Sq.Db.t;
+  mutable iterations : Iter_stats.iteration list; (* reversed *)
+  mutable first_done : bool;
+  mutable prev_sid : int;
+  mutable last_sid : int option;
+  mutable header : string array;
+  mutable tbl : Sq.Catalog.table option;
+  mutable env_meta : Sq.Exec.env option;
+  mutable group_pos : int list;              (* grouping column positions (Qq output) *)
+  mutable agg_specs : (int * Monoid.t) list; (* aggregated column positions *)
+  mutable avg_hidden : (int * int * int) list; (* visible, sum, cnt positions in T *)
+  mutable index : Sq.Catalog.index option;
+  mutable single_rid : int option;           (* Agg_table with no grouping columns *)
+  (* AggregateDataInVariable running state *)
+  mutable var_value : R.value;
+  mutable var_seen : bool;
+  var_avg : Monoid.avg_state;
+  mutable var_rid : int option;
+  mutable finalize_s : float;
+  (* per-iteration loop-body operation counters *)
+  mutable cur_rows : int;
+  mutable cur_inserts : int;
+  mutable cur_updates : int;
+}
+
+type ctx = {
+  data : Sq.Db.t;
+  meta : Sq.Db.t;
+  runs : (string, run_state) Hashtbl.t; (* active SQL-form UDF runs *)
+}
+
+(* --- helpers --------------------------------------------------------- *)
+
+let now = Unix.gettimeofday
+
+let stream_select db sql =
+  match Sq.Parser.parse_one sql with
+  | Sq.Ast.Select sel ->
+    let env = Sq.Exec.env_of_select db sel in
+    Sq.Exec.select_stream env sel
+  | _ -> error "Qq must be a SELECT statement"
+
+let meta_env (rs : run_state) =
+  match rs.env_meta with
+  | Some env -> env
+  | None ->
+    let env = Sq.Exec.current_env rs.meta in
+    rs.env_meta <- Some env;
+    env
+
+let refresh_meta_env (rs : run_state) =
+  rs.env_meta <- None;
+  ignore (meta_env rs)
+
+let table_exn (rs : run_state) =
+  match rs.tbl with
+  | Some t -> t
+  | None -> error "%s: result table %s not initialized" (mech_name rs.kind) rs.table
+
+let meta_heap (rs : run_state) = Sq.Db.heap_handle rs.meta (table_exn rs).Sq.Catalog.theap
+
+let create_result_table (rs : run_state) cols =
+  ignore (Sq.Engine.drop_table rs.meta ~name:rs.table ~if_exists:true);
+  ignore (Sq.Engine.drop_index rs.meta ~name:(rs.table ^ "__rql_key") ~if_exists:true);
+  (match Sq.Engine.create_table rs.meta ~name:rs.table ~cols ~if_not_exists:false with
+  | Some tbl -> rs.tbl <- Some tbl
+  | None -> error "could not create result table %s" rs.table);
+  refresh_meta_env rs
+
+let norm = String.lowercase_ascii
+
+(* --- first-iteration initialization --------------------------------- *)
+
+let init_run (rs : run_state) (header : string array) =
+  rs.header <- header;
+  match rs.kind with
+  | Collate ->
+    create_result_table rs (Array.to_list (Array.map (fun h -> (h, "")) header))
+  | Agg_var _ ->
+    if Array.length header <> 1 then
+      error "AggregateDataInVariable: Qq must return a single column (got %d)"
+        (Array.length header);
+    let col = if header.(0) = "" then "value" else header.(0) in
+    create_result_table rs [ (col, "") ];
+    let env = meta_env rs in
+    let rid =
+      Sq.Db.with_write_txn rs.meta (fun txn ->
+          Sq.Exec.insert_row_raw env txn (table_exn rs) [| R.Null |])
+    in
+    rs.var_rid <- Some rid
+  | Agg_table pairs ->
+    let find_pos c =
+      let rec go i =
+        if i >= Array.length header then
+          error "AggregateDataInTable: Qq output has no column %s" c
+        else if norm header.(i) = norm c then i
+        else go (i + 1)
+      in
+      go 0
+    in
+    rs.agg_specs <- List.map (fun (c, fn) -> (find_pos c, fn)) pairs;
+    let agg_pos = List.map fst rs.agg_specs in
+    rs.group_pos <-
+      List.filter
+        (fun i -> not (List.mem i agg_pos))
+        (List.init (Array.length header) (fun i -> i));
+    (* visible columns, then hidden (sum, count) pairs for AVG *)
+    let visible = Array.to_list (Array.map (fun h -> (h, "")) header) in
+    let hidden =
+      List.concat_map
+        (fun (pos, fn) ->
+          if fn = Monoid.Avg then
+            [ (Printf.sprintf "__avg_sum_%s" header.(pos), "");
+              (Printf.sprintf "__avg_cnt_%s" header.(pos), "") ]
+          else [])
+        rs.agg_specs
+    in
+    create_result_table rs (visible @ hidden);
+    let next = ref (Array.length header) in
+    rs.avg_hidden <-
+      List.filter_map
+        (fun (pos, fn) ->
+          if fn = Monoid.Avg then begin
+            let s = !next and c = !next + 1 in
+            next := !next + 2;
+            Some (pos, s, c)
+          end
+          else None)
+        rs.agg_specs
+  | Intervals ->
+    rs.group_pos <- List.init (Array.length header) (fun i -> i);
+    let cols =
+      Array.to_list (Array.map (fun h -> (h, "")) header)
+      @ [ ("start_snapshot", ""); ("end_snapshot", "") ]
+    in
+    create_result_table rs cols
+
+(* Index creation at the end of the first iteration (paper §3): the key
+   is the grouping columns of the result table. *)
+let post_first (rs : run_state) =
+  match rs.kind with
+  | Collate | Agg_var _ -> ()
+  | Agg_table _ | Intervals ->
+    if rs.group_pos <> [] then begin
+      let name = rs.table ^ "__rql_key" in
+      Sq.Engine.create_index rs.meta ~name ~table:rs.table
+        ~columns:(List.map (fun i -> rs.header.(i)) rs.group_pos)
+        ~if_not_exists:false;
+      refresh_meta_env rs;
+      rs.tbl <- Sq.Catalog.find_table (meta_env rs).Sq.Exec.cat rs.table;
+      rs.index <- Sq.Catalog.find_index (meta_env rs).Sq.Exec.cat name
+    end
+
+(* --- row processing --------------------------------------------------- *)
+
+let to_num v = match Sq.Expr.to_number v with Some f -> R.Real f | None -> R.Null
+
+(* The T row stored when a group is seen for the first time. *)
+let first_row (rs : run_state) ~sid (row : R.row) : R.row =
+  match rs.kind with
+  | Agg_table _ ->
+    let n_hidden = 2 * List.length rs.avg_hidden in
+    let out = Array.make (Array.length row + n_hidden) R.Null in
+    Array.blit row 0 out 0 (Array.length row);
+    List.iter
+      (fun (pos, fn) -> if fn <> Monoid.Avg then out.(pos) <- Monoid.init fn row.(pos))
+      rs.agg_specs;
+    List.iter
+      (fun (vis, sum, cnt) ->
+        let v = row.(vis) in
+        out.(sum) <- to_num v;
+        out.(cnt) <- R.Int (if v = R.Null then 0 else 1);
+        out.(vis) <- to_num v)
+      rs.avg_hidden;
+    out
+  | Intervals -> Array.append row [| R.Int sid; R.Int sid |]
+  | Collate | Agg_var _ -> row
+
+let group_key (rs : run_state) (row : R.row) = Array.of_list (List.map (fun i -> row.(i)) rs.group_pos)
+
+(* All result-table rids whose grouping columns equal [key]. *)
+let probe (rs : run_state) read key =
+  match rs.index with
+  | Some idx ->
+    let bt = Storage.Btree.open_existing idx.Sq.Catalog.iroot in
+    let hits = ref [] in
+    Storage.Btree.lookup read bt key ~f:(fun rid -> hits := rid :: !hits);
+    List.rev !hits
+  | None -> ( match rs.single_rid with Some rid -> [ rid ] | None -> [])
+
+let fetch (rs : run_state) read rid =
+  match Storage.Heap.get read (meta_heap rs) rid with
+  | Some data -> R.decode_row data
+  | None -> error "%s: dangling result rid %d" (mech_name rs.kind) rid
+
+(* Update a result row in place, repairing the index entry if the row
+   had to move. *)
+let update_row (rs : run_state) txn ~rid ~key (row' : R.row) =
+  match Storage.Heap.update txn (meta_heap rs) rid (R.encode_row row') with
+  | `Same -> rid
+  | `Moved rid' ->
+    (match rs.index with
+    | Some idx ->
+      let bt = Storage.Btree.open_existing idx.Sq.Catalog.iroot in
+      ignore (Storage.Btree.delete txn bt key rid);
+      Storage.Btree.insert txn bt key rid'
+    | None -> ());
+    rid'
+
+let insert_new (rs : run_state) txn (t_row : R.row) =
+  let rid = Sq.Exec.insert_row_raw (meta_env rs) txn (table_exn rs) t_row in
+  rs.cur_inserts <- rs.cur_inserts + 1;
+  if rs.group_pos = [] then rs.single_rid <- Some rid;
+  rid
+
+(* Combine a fresh Qq row into the stored accumulator row. *)
+let combined_row (rs : run_state) (stored : R.row) (row : R.row) : R.row =
+  let out = Array.copy stored in
+  List.iter
+    (fun (pos, fn) ->
+      if fn <> Monoid.Avg then out.(pos) <- Monoid.combine fn stored.(pos) row.(pos))
+    rs.agg_specs;
+  List.iter
+    (fun (vis, sum, cnt) ->
+      let v = row.(vis) in
+      if v <> R.Null then begin
+        out.(sum) <- Monoid.add stored.(sum) (to_num v);
+        out.(cnt) <- Monoid.add stored.(cnt) (R.Int 1);
+        match out.(sum), out.(cnt) with
+        | R.Real s, R.Int c when c > 0 -> out.(vis) <- R.Real (s /. float_of_int c)
+        | R.Int s, R.Int c when c > 0 ->
+          out.(vis) <- R.Real (float_of_int s /. float_of_int c)
+        | _ -> ()
+      end)
+    rs.avg_hidden;
+  out
+
+let step_agg_table (rs : run_state) txn ~sid ~first (row : R.row) =
+  rs.cur_rows <- rs.cur_rows + 1;
+  if first then ignore (insert_new rs txn (first_row rs ~sid row))
+  else begin
+    let key = group_key rs row in
+    let read = Storage.Txn.read_ctx txn in
+    match probe rs read key with
+    | rid :: _ ->
+      let stored = fetch rs read rid in
+      let row' = combined_row rs stored row in
+      (* write back only when the accumulator changed: this is why hot
+         iterations with MAX are much cheaper than with SUM (Fig 13) *)
+      if R.compare_row row' stored <> 0 then begin
+        ignore (update_row rs txn ~rid ~key row');
+        rs.cur_updates <- rs.cur_updates + 1
+      end
+    | [] -> ignore (insert_new rs txn (first_row rs ~sid row))
+  end
+
+let step_intervals (rs : run_state) txn ~sid ~first (row : R.row) =
+  rs.cur_rows <- rs.cur_rows + 1;
+  if first then ignore (insert_new rs txn (first_row rs ~sid row))
+  else begin
+    let key = group_key rs row in
+    let read = Storage.Txn.read_ctx txn in
+    let end_pos = Array.length rs.header + 1 in
+    let candidates = probe rs read key in
+    let matching =
+      List.filter_map
+        (fun rid ->
+          let stored = fetch rs read rid in
+          if stored.(end_pos) = R.Int rs.prev_sid then Some (rid, stored) else None)
+        candidates
+    in
+    match matching with
+    | (rid, stored) :: _ ->
+      let row' = Array.copy stored in
+      row'.(end_pos) <- R.Int sid;
+      ignore (update_row rs txn ~rid ~key row');
+      rs.cur_updates <- rs.cur_updates + 1
+    | [] -> ignore (insert_new rs txn (first_row rs ~sid row))
+  end
+
+let step_var (rs : run_state) ~rows_seen (row : R.row) =
+  rs.cur_rows <- rs.cur_rows + 1;
+  incr rows_seen;
+  if !rows_seen > 1 then
+    error "AggregateDataInVariable: Qq returned more than one row for a snapshot";
+  let v = row.(0) in
+  match rs.kind with
+  | Agg_var Monoid.Avg -> Monoid.avg_step rs.var_avg v
+  | Agg_var fn ->
+    if rs.var_seen then rs.var_value <- Monoid.combine fn rs.var_value v
+    else begin
+      rs.var_value <- Monoid.init fn v;
+      rs.var_seen <- true
+    end
+  | Collate | Agg_table _ | Intervals -> assert false
+
+let var_current (rs : run_state) =
+  match rs.kind with
+  | Agg_var Monoid.Avg -> Monoid.avg_current rs.var_avg
+  | Agg_var _ -> if rs.var_seen then rs.var_value else R.Null
+  | Collate | Agg_table _ | Intervals -> assert false
+
+(* Keep the single-row result table current after every iteration so the
+   SQL-form UDF needs no end-of-run signal. *)
+let write_var_result (rs : run_state) txn =
+  match rs.var_rid with
+  | None -> ()
+  | Some rid ->
+    let rid' =
+      match Storage.Heap.update txn (meta_heap rs) rid (R.encode_row [| var_current rs |]) with
+      | `Same -> rid
+      | `Moved r -> r
+    in
+    rs.var_rid <- Some rid'
+
+(* --- the loop body ----------------------------------------------------- *)
+
+let make_run ~kind ~data ~meta ~qq ~table =
+  (match kind with
+  | Agg_table [] -> error "AggregateDataInTable requires at least one (column, function) pair"
+  | _ -> ());
+  { kind;
+    qq;
+    table;
+    data;
+    meta;
+    iterations = [];
+    first_done = false;
+    prev_sid = -1;
+    last_sid = None;
+    header = [||];
+    tbl = None;
+    env_meta = None;
+    group_pos = [];
+    agg_specs = [];
+    avg_hidden = [];
+    index = None;
+    single_rid = None;
+    var_value = R.Null;
+    var_seen = false;
+    var_avg = Monoid.avg_create ();
+    var_rid = None;
+    finalize_s = 0.;
+    cur_rows = 0;
+    cur_inserts = 0;
+    cur_updates = 0 }
+
+(* One RQL iteration over snapshot [sid].  [cold] empties the snapshot
+   page cache first (used by the all-cold baseline runs in §5.1). *)
+let step (rs : run_state) ~sid ~cold =
+  (match Sq.Db.(rs.data.retro) with
+  | Some retro when cold -> Retro.clear_cache retro
+  | _ -> ());
+  let stats0 = Storage.Stats.copy Storage.Stats.global in
+  let exec0 = Sq.Exec_stats.copy Sq.Exec_stats.global in
+  let t0 = now () in
+  let udf_s = ref 0. in
+  let udf_timed f =
+    let t = now () in
+    let r = f () in
+    udf_s := !udf_s +. (now () -. t);
+    r
+  in
+  let first = not rs.first_done in
+  rs.cur_rows <- 0;
+  rs.cur_inserts <- 0;
+  rs.cur_updates <- 0;
+  let rewritten = Rewrite.rewrite rs.qq ~sid in
+  let header, run_rows = stream_select rs.data rewritten in
+  if first then udf_timed (fun () -> init_run rs header);
+  (match rs.kind with
+  | Agg_var _ ->
+    let rows_seen = ref 0 in
+    run_rows (fun row -> udf_timed (fun () -> step_var rs ~rows_seen row));
+    udf_timed (fun () ->
+        Sq.Db.with_write_txn rs.meta (fun txn -> write_var_result rs txn))
+  | Collate ->
+    Sq.Db.with_write_txn rs.meta (fun txn ->
+        run_rows (fun row ->
+            udf_timed (fun () ->
+                rs.cur_rows <- rs.cur_rows + 1;
+                rs.cur_inserts <- rs.cur_inserts + 1;
+                ignore (Sq.Exec.insert_row_raw (meta_env rs) txn (table_exn rs) row))))
+  | Agg_table _ ->
+    Sq.Db.with_write_txn rs.meta (fun txn ->
+        run_rows (fun row -> udf_timed (fun () -> step_agg_table rs txn ~sid ~first row)))
+  | Intervals ->
+    Sq.Db.with_write_txn rs.meta (fun txn ->
+        run_rows (fun row -> udf_timed (fun () -> step_intervals rs txn ~sid ~first row))));
+  if first then udf_timed (fun () -> post_first rs);
+  rs.first_done <- true;
+  rs.prev_sid <- sid;
+  rs.last_sid <- Some sid;
+  let total = now () -. t0 in
+  let sd = Storage.Stats.diff (Storage.Stats.copy Storage.Stats.global) stats0 in
+  let ed = Sq.Exec_stats.diff (Sq.Exec_stats.copy Sq.Exec_stats.global) exec0 in
+  let io_s = Storage.Stats.Cost_model.io_seconds sd in
+  let other = ed.Sq.Exec_stats.spt_build_s +. ed.Sq.Exec_stats.index_build_s +. !udf_s in
+  let it =
+    { Iter_stats.snap_id = sid;
+      cold = first || cold;
+      pagelog_reads = sd.Storage.Stats.pagelog_reads;
+      db_reads = sd.Storage.Stats.db_page_reads;
+      cache_hits = sd.Storage.Stats.snap_cache_hits;
+      cache_misses = sd.Storage.Stats.snap_cache_misses;
+      io_s;
+      spt_build_s = ed.Sq.Exec_stats.spt_build_s;
+      spt_entries = sd.Storage.Stats.maplog_scanned;
+      index_build_s = ed.Sq.Exec_stats.index_build_s;
+      query_eval_s = Float.max 0. (total -. other);
+      udf_s = !udf_s;
+      udf_rows = rs.cur_rows;
+      udf_inserts = rs.cur_inserts;
+      udf_updates = rs.cur_updates }
+  in
+  rs.iterations <- it :: rs.iterations
+
+(* Result-table footprint (rows and approximate bytes). *)
+let result_metrics (rs : run_state) =
+  match rs.tbl with
+  | None -> (0, 0)
+  | Some tbl ->
+    let read = Sq.Db.read_current rs.meta in
+    let rows = ref 0 and bytes = ref 0 in
+    Storage.Heap.iter read (Storage.Heap.open_existing tbl.Sq.Catalog.theap)
+      ~f:(fun _rid data ->
+        incr rows;
+        bytes := !bytes + String.length data);
+    (!rows, !bytes)
+
+let finish (rs : run_state) : Iter_stats.run =
+  let result_rows, result_bytes = result_metrics rs in
+  { Iter_stats.mechanism = mech_name rs.kind;
+    qq = rs.qq;
+    iterations = List.rev rs.iterations;
+    result_rows;
+    result_bytes;
+    finalize_s = rs.finalize_s }
+
+(* --- snapshot management ---------------------------------------------- *)
+
+let snapids_ddl = "CREATE TABLE IF NOT EXISTS SnapIds (snap_id INTEGER, snap_ts TEXT, snap_name TEXT)"
+
+let format_ts ts =
+  let tm = Unix.localtime ts in
+  Printf.sprintf "%04d-%02d-%02d %02d:%02d:%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+(* Declare a snapshot: COMMIT WITH SNAPSHOT on the data database (commits
+   the open transaction if any), then record the id in SnapIds. *)
+let declare_snapshot ?name (ctx : ctx) =
+  let sid =
+    match Sq.Db.commit ctx.data ~snapshot:true with
+    | Some sid -> sid
+    | None -> assert false
+  in
+  let retro = Sq.Db.retro_exn ctx.data in
+  let ts = format_ts (Retro.snapshot_ts retro sid) in
+  let name = Option.value name ~default:"" in
+  ignore
+    (Sq.Engine.exec ctx.meta
+       (Printf.sprintf "INSERT INTO SnapIds VALUES (%d, '%s', '%s')" sid ts
+          (String.concat "''" (String.split_on_char '\'' name))));
+  sid
+
+(* Snapshot ids returned by a snapshot query Qs over SnapIds. *)
+let snapshot_set (ctx : ctx) qs =
+  let res = Sq.Engine.exec ctx.meta qs in
+  List.map
+    (fun row ->
+      if Array.length row < 1 then error "Qs returned an empty row"
+      else
+        match row.(0) with
+        | R.Int sid -> sid
+        | v -> error "Qs must return snapshot ids; got %s" (R.value_to_string v))
+    res.Sq.Engine.rows
+
+(* --- public mechanisms -------------------------------------------------- *)
+
+let run_mechanism ?(all_cold = false) ctx kind ~qs ~qq ~table =
+  let sids = snapshot_set ctx qs in
+  if sids = [] then error "%s: Qs returned no snapshots" (mech_name kind);
+  (match Sq.Db.(ctx.data.retro) with
+  | Some retro -> Retro.clear_cache retro (* paper: cache is cold at RQL query start *)
+  | None -> ());
+  let rs = make_run ~kind ~data:ctx.data ~meta:ctx.meta ~qq ~table in
+  List.iter (fun sid -> step rs ~sid ~cold:all_cold) sids;
+  finish rs
+
+let collate_data ?all_cold ctx ~qs ~qq ~table =
+  run_mechanism ?all_cold ctx Collate ~qs ~qq ~table
+
+let aggregate_data_in_variable ?all_cold ctx ~qs ~qq ~table ~fn =
+  run_mechanism ?all_cold ctx (Agg_var (Monoid.of_string fn)) ~qs ~qq ~table
+
+let aggregate_data_in_table ?all_cold ctx ~qs ~qq ~table ~aggs =
+  let aggs = List.map (fun (c, fn) -> (c, Monoid.of_string fn)) aggs in
+  run_mechanism ?all_cold ctx (Agg_table aggs) ~qs ~qq ~table
+
+let collate_data_into_intervals ?all_cold ctx ~qs ~qq ~table =
+  run_mechanism ?all_cold ctx Intervals ~qs ~qq ~table
+
+(* --- SQL-form UDFs ------------------------------------------------------ *)
+
+(* Parse the paper's ListOfColFuncPairs syntax: "(c,max):(av,min)". *)
+let parse_pairs s =
+  let parts = String.split_on_char ':' (String.trim s) in
+  List.map
+    (fun p ->
+      let p = String.trim p in
+      let p =
+        if String.length p >= 2 && p.[0] = '(' && p.[String.length p - 1] = ')' then
+          String.sub p 1 (String.length p - 2)
+        else p
+      in
+      match String.split_on_char ',' p with
+      | [ col; fn ] -> (String.trim col, Monoid.of_string fn)
+      | _ -> error "bad column/function pair: %s" p)
+    parts
+
+let run_key kind qq table =
+  mech_name kind ^ "\x00" ^ qq ^ "\x00" ^ String.lowercase_ascii table
+
+(* A loop-body invocation arriving from the SQL form.  A fresh run starts
+   when no run exists for (mechanism, Qq, T) or when the snapshot id does
+   not advance (the statement was re-executed). *)
+let udf_step ctx kind ~qq ~table ~sid =
+  let key = run_key kind qq table in
+  let rs =
+    match Hashtbl.find_opt ctx.runs key with
+    | Some rs when (match rs.last_sid with Some last -> sid > last | None -> true) -> rs
+    | _ ->
+      let rs = make_run ~kind ~data:ctx.data ~meta:ctx.meta ~qq ~table in
+      (match Sq.Db.(ctx.data.retro) with
+      | Some retro -> Retro.clear_cache retro
+      | None -> ());
+      Hashtbl.replace ctx.runs key rs;
+      rs
+  in
+  step rs ~sid ~cold:false
+
+(* Retrieve (and retire) the statistics of the most recent SQL-form run
+   that produced result table [table]. *)
+let take_run ctx ~table =
+  let found = ref None in
+  Hashtbl.iter
+    (fun key rs ->
+      if norm rs.table = norm table then found := Some (key, rs))
+    ctx.runs;
+  match !found with
+  | Some (key, rs) ->
+    Hashtbl.remove ctx.runs key;
+    Some (finish rs)
+  | None -> None
+
+let int_arg name = function
+  | R.Int i -> i
+  | v -> error "%s: expected an integer argument, got %s" name (R.value_to_string v)
+
+let text_arg name = function
+  | R.Text s -> s
+  | v -> error "%s: expected a text argument, got %s" name (R.value_to_string v)
+
+let register_udfs ctx =
+  Sq.Engine.register_fn ctx.meta "CollateData" (fun args ->
+      match args with
+      | [| sid; qq; t |] ->
+        udf_step ctx Collate ~qq:(text_arg "CollateData" qq) ~table:(text_arg "CollateData" t)
+          ~sid:(int_arg "CollateData" sid);
+        R.Null
+      | _ -> error "CollateData expects (snap_id, Qq, T)");
+  Sq.Engine.register_fn ctx.meta "AggregateDataInVariable" (fun args ->
+      match args with
+      | [| sid; qq; t; fn |] ->
+        udf_step ctx
+          (Agg_var (Monoid.of_string (text_arg "AggregateDataInVariable" fn)))
+          ~qq:(text_arg "AggregateDataInVariable" qq)
+          ~table:(text_arg "AggregateDataInVariable" t)
+          ~sid:(int_arg "AggregateDataInVariable" sid);
+        R.Null
+      | _ -> error "AggregateDataInVariable expects (snap_id, Qq, T, AggFunc)");
+  Sq.Engine.register_fn ctx.meta "AggregateDataInTable" (fun args ->
+      match args with
+      | [| sid; qq; t; pairs |] ->
+        udf_step ctx
+          (Agg_table (parse_pairs (text_arg "AggregateDataInTable" pairs)))
+          ~qq:(text_arg "AggregateDataInTable" qq)
+          ~table:(text_arg "AggregateDataInTable" t)
+          ~sid:(int_arg "AggregateDataInTable" sid);
+        R.Null
+      | _ -> error "AggregateDataInTable expects (snap_id, Qq, T, ListOfColFuncPairs)");
+  Sq.Engine.register_fn ctx.meta "CollateDataIntoIntervals" (fun args ->
+      match args with
+      | [| sid; qq; t |] ->
+        udf_step ctx Intervals
+          ~qq:(text_arg "CollateDataIntoIntervals" qq)
+          ~table:(text_arg "CollateDataIntoIntervals" t)
+          ~sid:(int_arg "CollateDataIntoIntervals" sid);
+        R.Null
+      | _ -> error "CollateDataIntoIntervals expects (snap_id, Qq, T)")
+
+(* --- context creation ---------------------------------------------------- *)
+
+let create ?data () =
+  let data = match data with Some d -> d | None -> Sq.Db.create ~snapshots:true () in
+  let meta = Sq.Db.create ~snapshots:false () in
+  ignore (Sq.Engine.exec meta snapids_ddl);
+  let ctx = { data; meta; runs = Hashtbl.create 8 } in
+  register_udfs ctx;
+  (* current_snapshot() is only meaningful inside a Qq: the loop body
+     substitutes it before execution.  A direct call is a usage error. *)
+  Sq.Engine.register_fn data "current_snapshot" (fun _ ->
+      error "current_snapshot() is only valid inside an RQL Qq query");
+  ctx
+
+(* Convenience wrappers for the two databases. *)
+let exec_data ctx sql = Sq.Engine.exec ctx.data sql
+let exec_meta ctx sql = Sq.Engine.exec ctx.meta sql
+
+(* --- persistence ---------------------------------------------------------- *)
+
+let ctx_magic = "RQLCTX01"
+
+(* Save the whole context — the application database with its complete
+   snapshot history, and the SnapIds/result database — to [path]. *)
+let save (ctx : ctx) ~path =
+  let data_img = Sq.Backup.snapshot_image ctx.data in
+  let meta_img = Sq.Backup.snapshot_image ctx.meta in
+  let oc = open_out_bin path in
+  (try Marshal.to_channel oc (ctx_magic, data_img, meta_img) []
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+(* Reopen a context saved by {!save}: AS OF queries over the restored
+   history work immediately, mechanisms and current_snapshot() are
+   re-registered, and new snapshots can be declared on top. *)
+let load ~path =
+  let ic = open_in_bin path in
+  let magic, data_img, meta_img =
+    try (Marshal.from_channel ic : string * Sq.Backup.image * Sq.Backup.image)
+    with _ ->
+      close_in_noerr ic;
+      error "could not read an RQL context image from %s" path
+  in
+  close_in ic;
+  if magic <> ctx_magic then error "not an RQL context image: %s" path;
+  let ctx =
+    { data = Sq.Backup.restore_image data_img;
+      meta = Sq.Backup.restore_image meta_img;
+      runs = Hashtbl.create 8 }
+  in
+  register_udfs ctx;
+  Sq.Engine.register_fn ctx.data "current_snapshot" (fun _ ->
+      error "current_snapshot() is only valid inside an RQL Qq query");
+  ctx

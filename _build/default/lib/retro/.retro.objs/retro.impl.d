@@ -1,0 +1,1 @@
+lib/retro/retro.ml: Array Bytes List Maplog Pagelog Printf Spt Storage Unix

@@ -1,0 +1,1 @@
+lib/retro/maplog.ml: Array Hashtbl List Printf Storage

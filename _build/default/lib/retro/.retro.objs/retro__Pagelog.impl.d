@@ -1,0 +1,1 @@
+lib/retro/pagelog.ml: Bytes Storage

@@ -1,0 +1,1 @@
+lib/retro/pagelog.mli: Bytes

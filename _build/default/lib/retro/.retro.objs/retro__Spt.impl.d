@@ -1,0 +1,1 @@
+lib/retro/spt.ml: Hashtbl Maplog

@@ -1,0 +1,1 @@
+lib/retro/spt.mli: Hashtbl Maplog

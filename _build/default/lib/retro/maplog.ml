@@ -1,0 +1,196 @@
+(* Maplog: the log-structured list of (page id -> Pagelog location)
+   mappings (paper §4, [23]).  A mapping is appended when a page's
+   pre-state is copied out; a snapshot declaration records the current
+   log position so that SPT(S) can be constructed by scanning the suffix
+   that starts at S's position, taking the first mapping seen for each
+   page.  Pages with no mapping in the suffix are shared with the current
+   database. *)
+
+type entry = { pid : int; pl_off : int }
+
+type boundary = {
+  pos : int;      (* maplog position at declaration *)
+  db_pages : int; (* database size (pages) at declaration *)
+  ts : float;     (* declaration timestamp *)
+}
+
+type t = {
+  mutable entries : entry array;
+  mutable n_entries : int;
+  mutable boundaries : boundary array; (* index = snapshot id - 1 *)
+  mutable n_boundaries : int;
+  (* Skippy-style skip levels ([23]): memoized first-occurrence-per-page
+     digests of fixed-size entry segments.  The log is append-only, so a
+     full segment's digest never changes. *)
+  mutable skippy : bool;
+  l1 : (int, entry array) Hashtbl.t; (* segment index -> digest *)
+  l2 : (int, entry array) Hashtbl.t;
+}
+
+(* L1 digests cover [l1_size] raw entries; L2 digests cover [l2_factor]
+   L1 segments. *)
+let l1_size = 1024
+let l2_factor = 16
+
+let create () =
+  { entries = Array.make 256 { pid = 0; pl_off = 0 };
+    n_entries = 0;
+    boundaries = Array.make 16 { pos = 0; db_pages = 0; ts = 0. };
+    n_boundaries = 0;
+    skippy = true;
+    l1 = Hashtbl.create 64;
+    l2 = Hashtbl.create 16 }
+
+let set_skippy t on = t.skippy <- on
+
+let append t e =
+  if t.n_entries >= Array.length t.entries then begin
+    let a = Array.make (2 * Array.length t.entries) e in
+    Array.blit t.entries 0 a 0 t.n_entries;
+    t.entries <- a
+  end;
+  t.entries.(t.n_entries) <- e;
+  t.n_entries <- t.n_entries + 1;
+  Storage.Stats.global.maplog_appends <- Storage.Stats.global.maplog_appends + 1
+
+(* Record a snapshot declaration; returns the new snapshot id (1-based). *)
+let declare t ~db_pages ~ts =
+  let b = { pos = t.n_entries; db_pages; ts } in
+  if t.n_boundaries >= Array.length t.boundaries then begin
+    let a = Array.make (2 * Array.length t.boundaries) b in
+    Array.blit t.boundaries 0 a 0 t.n_boundaries;
+    t.boundaries <- a
+  end;
+  t.boundaries.(t.n_boundaries) <- b;
+  t.n_boundaries <- t.n_boundaries + 1;
+  t.n_boundaries
+
+let snapshot_count t = t.n_boundaries
+
+let boundary t snap_id =
+  if snap_id < 1 || snap_id > t.n_boundaries then
+    invalid_arg (Printf.sprintf "Maplog.boundary: unknown snapshot %d" snap_id);
+  t.boundaries.(snap_id - 1)
+
+(* First-occurrence-per-page digest of raw entries [lo, hi). *)
+let dedup_range t lo hi =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  for i = lo to hi - 1 do
+    let e = t.entries.(i) in
+    if not (Hashtbl.mem seen e.pid) then begin
+      Hashtbl.add seen e.pid ();
+      out := e :: !out
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+(* Digest of the [n]-th full L1 segment (memoized; segments are
+   immutable once the log has grown past them). *)
+let l1_digest t n =
+  match Hashtbl.find_opt t.l1 n with
+  | Some d -> d
+  | None ->
+    let d = dedup_range t (n * l1_size) ((n + 1) * l1_size) in
+    Hashtbl.add t.l1 n d;
+    d
+
+(* Digest of the [n]-th L2 segment: the merged first-wins digest of its
+   L1 segments. *)
+let l2_digest t n =
+  match Hashtbl.find_opt t.l2 n with
+  | Some d -> d
+  | None ->
+    let seen = Hashtbl.create 256 in
+    let out = ref [] in
+    for k = n * l2_factor to ((n + 1) * l2_factor) - 1 do
+      Array.iter
+        (fun (e : entry) ->
+          if not (Hashtbl.mem seen e.pid) then begin
+            Hashtbl.add seen e.pid ();
+            out := e :: !out
+          end)
+        (l1_digest t k)
+    done;
+    let d = Array.of_list (List.rev !out) in
+    Hashtbl.add t.l2 n d;
+    d
+
+(* Scan the suffix starting at snapshot [snap_id]'s position, calling
+   [f pid pl_off] for the *first* mapping of each page only.  Returns the
+   number of entries visited (the SPT build cost).
+
+   With [skippy] on, the scan hops to memoized segment digests once it
+   reaches a segment boundary — the multi-level skip structure of [23]
+   that keeps the scan near n log n instead of proportional to the whole
+   history suffix. *)
+let scan_from t snap_id ~f =
+  let b = boundary t snap_id in
+  let seen = Hashtbl.create 256 in
+  let visited = ref 0 in
+  let visit (e : entry) =
+    incr visited;
+    if e.pid < b.db_pages && not (Hashtbl.mem seen e.pid) then begin
+      Hashtbl.add seen e.pid ();
+      f e.pid e.pl_off
+    end
+  in
+  let n = t.n_entries in
+  if not t.skippy then
+    for i = b.pos to n - 1 do
+      visit t.entries.(i)
+    done
+  else begin
+    let l2_span = l1_size * l2_factor in
+    let i = ref b.pos in
+    while !i < n do
+      if !i mod l2_span = 0 && !i + l2_span <= n then begin
+        Array.iter visit (l2_digest t (!i / l2_span));
+        i := !i + l2_span
+      end
+      else if !i mod l1_size = 0 && !i + l1_size <= n then begin
+        Array.iter visit (l1_digest t (!i / l1_size));
+        i := !i + l1_size
+      end
+      else begin
+        visit t.entries.(!i);
+        incr i
+      end
+    done
+  end;
+  Storage.Stats.global.maplog_scanned <-
+    Storage.Stats.global.maplog_scanned + !visited;
+  !visited
+
+let length t = t.n_entries
+
+(* Portable image (for backup/restore); skip digests are rebuilt on
+   demand after restore. *)
+type image = { img_entries : entry array; img_boundaries : boundary array }
+
+let dump t =
+  { img_entries = Array.sub t.entries 0 t.n_entries;
+    img_boundaries = Array.sub t.boundaries 0 t.n_boundaries }
+
+let restore img =
+  let t = create () in
+  Array.iter (fun e ->
+      (* re-append without recounting stats *)
+      if t.n_entries >= Array.length t.entries then begin
+        let a = Array.make (2 * Array.length t.entries) e in
+        Array.blit t.entries 0 a 0 t.n_entries;
+        t.entries <- a
+      end;
+      t.entries.(t.n_entries) <- e;
+      t.n_entries <- t.n_entries + 1)
+    img.img_entries;
+  Array.iter (fun b ->
+      if t.n_boundaries >= Array.length t.boundaries then begin
+        let a = Array.make (2 * Array.length t.boundaries) b in
+        Array.blit t.boundaries 0 a 0 t.n_boundaries;
+        t.boundaries <- a
+      end;
+      t.boundaries.(t.n_boundaries) <- b;
+      t.n_boundaries <- t.n_boundaries + 1)
+    img.img_boundaries;
+  t

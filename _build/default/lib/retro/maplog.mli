@@ -1,0 +1,55 @@
+(** Maplog: the log-structured list of page-id → Pagelog-location
+    mappings (paper §4, [23]).
+
+    A mapping is appended when a page's pre-state is copied out; a
+    snapshot declaration records the log position, so SPT(S) is the
+    first-mapping-per-page over the suffix starting at S's position.
+    Pages absent from the suffix are shared with the current database.
+
+    A Skippy-style skip structure (memoized per-segment digests, [23])
+    accelerates the suffix scan for old snapshots; it can be toggled for
+    the ablation benchmark. *)
+
+type entry = { pid : int; pl_off : int }
+
+type boundary = {
+  pos : int;      (** maplog position at declaration *)
+  db_pages : int; (** database size (pages) at declaration *)
+  ts : float;     (** declaration timestamp *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Enable/disable the skip index (on by default). *)
+val set_skippy : t -> bool -> unit
+
+val append : t -> entry -> unit
+
+(** Record a snapshot declaration; returns the new 1-based snapshot
+    id. *)
+val declare : t -> db_pages:int -> ts:float -> int
+
+val snapshot_count : t -> int
+
+(** @raise Invalid_argument on an unknown snapshot id. *)
+val boundary : t -> int -> boundary
+
+(** Scan the suffix for snapshot [snap_id], calling [f pid pl_off] for
+    the first mapping of each page (pages beyond the declaration-time
+    database size are skipped).  Returns the number of entries visited —
+    the SPT build cost, accumulated into {!Storage.Stats.global}. *)
+val scan_from : t -> int -> f:(int -> int -> unit) -> int
+
+(** Total mappings appended. *)
+val length : t -> int
+
+(** {1 Backup} *)
+
+type image = { img_entries : entry array; img_boundaries : boundary array }
+
+val dump : t -> image
+
+(** Skip digests are rebuilt lazily after restore. *)
+val restore : image -> t

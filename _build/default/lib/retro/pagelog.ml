@@ -1,0 +1,22 @@
+(* Pagelog: the log-structured on-disk archive of copied-out pre-state
+   pages (paper §4).  Pre-states are appended as transactions commit and
+   fetched by snapshot queries through the snapshot page table.  Lives on
+   the simulated SSD (Storage.Disk), whose counters drive the modeled I/O
+   costs in the benchmarks. *)
+
+type t = { disk : Storage.Disk.t }
+
+let create () = { disk = Storage.Disk.create ~name:"pagelog" () }
+
+(* Append a pre-state page; returns its Pagelog offset (block index). *)
+let append t (page : Bytes.t) = Storage.Disk.append t.disk page
+
+let read t off = Storage.Disk.read t.disk off
+
+let length t = Storage.Disk.length t.disk
+
+let size_bytes t = Storage.Disk.size_bytes t.disk
+
+let dump t = Storage.Disk.dump t.disk
+
+let restore blocks = { disk = Storage.Disk.restore ~name:"pagelog" blocks }

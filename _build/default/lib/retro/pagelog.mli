@@ -1,0 +1,24 @@
+(** Pagelog: the log-structured on-disk archive of copied-out pre-state
+    pages (paper §4).  Pre-states are appended as transactions commit
+    and fetched by snapshot queries through the snapshot page table.
+    Lives on the simulated SSD whose counters drive the modeled I/O
+    costs. *)
+
+type t
+
+val create : unit -> t
+
+(** Append a pre-state page; returns its Pagelog offset. *)
+val append : t -> Bytes.t -> int
+
+val read : t -> int -> Bytes.t
+
+(** Pages archived so far. *)
+val length : t -> int
+
+val size_bytes : t -> int
+
+(** {1 Backup} *)
+
+val dump : t -> Bytes.t array
+val restore : Bytes.t array -> t

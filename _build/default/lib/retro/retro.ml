@@ -1,0 +1,147 @@
+(* Retro: page-level copy-on-write snapshots for the storage manager
+   (paper §4; Shaull et al. [21-23]).
+
+   Retro interposes on transaction commit: the first time a page is
+   modified after a snapshot declaration, its pre-state is copied out to
+   the Pagelog and a mapping is appended to the Maplog.  A pre-state
+   archived at epoch e is shared by every snapshot declared since the
+   page's previous archiving — the Maplog suffix scan recovers exactly
+   this sharing.  Snapshot queries fetch mapped pages from the Pagelog
+   (through the snapshot page cache) and unmapped pages from the current
+   database, which is how recent snapshots become cheap to read. *)
+
+(* Re-export the submodules: [retro.ml] is the library root, so they are
+   only reachable through it. *)
+module Pagelog = Pagelog
+module Maplog = Maplog
+module Spt = Spt
+
+type t = {
+  pagelog : Pagelog.t;
+  maplog : Maplog.t;
+  pager : Storage.Pager.t;
+  mutable saved_epoch : int array; (* per page: last epoch whose pre-state is archived *)
+  snap_cache : Bytes.t Storage.Lru.t; (* keyed by pagelog offset *)
+  mutable clock : unit -> float; (* timestamp source for SnapIds entries *)
+}
+
+let default_cache_pages = 1 lsl 16
+
+let saved_epoch t pid = if pid < Array.length t.saved_epoch then t.saved_epoch.(pid) else 0
+
+let set_saved_epoch t pid e =
+  if pid >= Array.length t.saved_epoch then begin
+    let a = Array.make (max (2 * Array.length t.saved_epoch) (pid + 1)) 0 in
+    Array.blit t.saved_epoch 0 a 0 (Array.length t.saved_epoch);
+    t.saved_epoch <- a
+  end;
+  t.saved_epoch.(pid) <- e
+
+let current_epoch t = Maplog.snapshot_count t.maplog
+
+(* The commit interposition: archive pre-states for pages modified for
+   the first time since the latest snapshot declaration. *)
+let on_commit t (events : Storage.Pager.commit_event list) =
+  let epoch = current_epoch t in
+  if epoch > 0 then
+    List.iter
+      (fun (ev : Storage.Pager.commit_event) ->
+        match ev.before with
+        | None -> () (* page id did not exist in any snapshot *)
+        | Some before ->
+          if saved_epoch t ev.pid < epoch then begin
+            let off = Pagelog.append t.pagelog before in
+            Maplog.append t.maplog { Maplog.pid = ev.pid; pl_off = off };
+            set_saved_epoch t ev.pid epoch;
+            Storage.Stats.global.cow_archived <- Storage.Stats.global.cow_archived + 1
+          end)
+      events
+
+(* Attach a Retro instance to a pager, interposing on commit. *)
+let attach ?(cache_pages = default_cache_pages) pager =
+  let t =
+    { pagelog = Pagelog.create ();
+      maplog = Maplog.create ();
+      pager;
+      saved_epoch = Array.make 256 0;
+      snap_cache = Storage.Lru.create cache_pages;
+      clock = Unix.gettimeofday }
+  in
+  pager.Storage.Pager.pre_commit_hook <- on_commit t;
+  t
+
+(* Declare a snapshot reflecting the current committed state (called by
+   COMMIT WITH SNAPSHOT just after the transaction installs).  Returns
+   the new snapshot identifier. *)
+let declare t =
+  Maplog.declare t.maplog ~db_pages:(Storage.Pager.n_pages t.pager) ~ts:(t.clock ())
+
+let snapshot_count t = Maplog.snapshot_count t.maplog
+
+let snapshot_ts t snap_id = (Maplog.boundary t.maplog snap_id).Maplog.ts
+
+let build_spt t snap_id = Spt.build t.maplog snap_id
+
+(* Toggle the Skippy skip index on the Maplog (on by default); the
+   ablation benchmark compares SPT-build costs with and without it. *)
+let set_skippy t on = Maplog.set_skippy t.maplog on
+
+(* Fetch page [pid] as of the snapshot described by [spt]. *)
+let read_page t (spt : Spt.t) pid =
+  if not (Spt.in_snapshot spt pid) then
+    invalid_arg
+      (Printf.sprintf "Retro.read_page: page %d beyond snapshot %d (db_pages=%d)" pid
+         spt.Spt.snap_id spt.Spt.db_pages);
+  match Spt.find spt pid with
+  | Some off -> (
+    match Storage.Lru.find t.snap_cache off with
+    | Some page ->
+      Storage.Stats.global.snap_cache_hits <- Storage.Stats.global.snap_cache_hits + 1;
+      page
+    | None ->
+      Storage.Stats.global.snap_cache_misses <- Storage.Stats.global.snap_cache_misses + 1;
+      let page = Pagelog.read t.pagelog off in
+      Storage.Lru.add t.snap_cache off page;
+      page)
+  | None ->
+    (* Shared with the current database: served from memory. *)
+    Storage.Pager.read_committed t.pager pid
+
+let read_ctx t spt : Storage.Pager.read = fun pid -> read_page t spt pid
+
+(* Empty the snapshot page cache: the paper's experiments assume the
+   cache is cold at the start of each RQL query. *)
+let clear_cache t = Storage.Lru.clear t.snap_cache
+
+let set_cache_pages t n = Storage.Lru.set_capacity t.snap_cache n
+
+let pagelog_size_bytes t = Pagelog.size_bytes t.pagelog
+let maplog_length t = Maplog.length t.maplog
+
+(* --- backup/restore ----------------------------------------------------- *)
+
+(* Portable image of the whole snapshot system: the archive, the mapping
+   log and the per-page COW bookkeeping. *)
+type image = {
+  img_pagelog : Bytes.t array;
+  img_maplog : Maplog.image;
+  img_saved_epoch : int array;
+}
+
+let export t =
+  { img_pagelog = Pagelog.dump t.pagelog;
+    img_maplog = Maplog.dump t.maplog;
+    img_saved_epoch = Array.copy t.saved_epoch }
+
+(* Attach a restored snapshot system to a (restored) pager. *)
+let import ?(cache_pages = default_cache_pages) pager img =
+  let t =
+    { pagelog = Pagelog.restore img.img_pagelog;
+      maplog = Maplog.restore img.img_maplog;
+      pager;
+      saved_epoch = Array.copy img.img_saved_epoch;
+      snap_cache = Storage.Lru.create cache_pages;
+      clock = Unix.gettimeofday }
+  in
+  pager.Storage.Pager.pre_commit_hook <- on_commit t;
+  t

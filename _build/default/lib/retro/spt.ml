@@ -1,0 +1,22 @@
+(* Snapshot page tables: the per-snapshot map from page id to Pagelog
+   location, built on demand by scanning the Maplog (paper §4).  A page
+   absent from the table is shared with the current database state. *)
+
+type t = {
+  snap_id : int;
+  db_pages : int;              (* database size at declaration: pages >= this did not exist *)
+  map : (int, int) Hashtbl.t;  (* pid -> pagelog offset *)
+  scan_len : int;              (* maplog entries visited to build this SPT *)
+}
+
+let build maplog snap_id =
+  let map = Hashtbl.create 1024 in
+  let scan_len = Maplog.scan_from maplog snap_id ~f:(fun pid off -> Hashtbl.replace map pid off) in
+  let b = Maplog.boundary maplog snap_id in
+  { snap_id; db_pages = b.Maplog.db_pages; map; scan_len }
+
+let find t pid = Hashtbl.find_opt t.map pid
+
+let cardinal t = Hashtbl.length t.map
+
+let in_snapshot t pid = pid >= 0 && pid < t.db_pages

@@ -1,0 +1,20 @@
+(** Snapshot page tables: the per-snapshot map from page id to Pagelog
+    location, built on demand by scanning the Maplog (paper §4).
+    A page absent from the table is shared with the current database. *)
+
+type t = {
+  snap_id : int;
+  db_pages : int;              (** pages beyond this did not exist in the snapshot *)
+  map : (int, int) Hashtbl.t;  (** pid -> pagelog offset *)
+  scan_len : int;              (** maplog entries visited to build this SPT *)
+}
+
+val build : Maplog.t -> int -> t
+
+val find : t -> int -> int option
+
+(** Mapped pages (pages that must be fetched from the Pagelog). *)
+val cardinal : t -> int
+
+(** Did the page exist when the snapshot was declared? *)
+val in_snapshot : t -> int -> bool

@@ -1,0 +1,1 @@
+lib/sql/backup.ml: Db Marshal Option Printf Retro Storage

@@ -1,0 +1,1 @@
+lib/sql/backup.mli: Db

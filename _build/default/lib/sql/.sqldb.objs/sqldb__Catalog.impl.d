@@ -1,0 +1,1 @@
+lib/sql/catalog.ml: Array Hashtbl List Option Storage String

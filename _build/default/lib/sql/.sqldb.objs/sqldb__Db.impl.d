@@ -1,0 +1,1 @@
+lib/sql/db.ml: Catalog Expr Func Hashtbl Printf Retro Storage String

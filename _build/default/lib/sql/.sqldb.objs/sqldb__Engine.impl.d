@@ -1,0 +1,1 @@
+lib/sql/engine.ml: Array Ast Catalog Db Exec Expr Hashtbl Lexer List Parser Printf Storage String

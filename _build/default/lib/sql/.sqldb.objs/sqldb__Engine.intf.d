@@ -1,0 +1,1 @@
+lib/sql/engine.mli: Catalog Db Storage

@@ -1,0 +1,1 @@
+lib/sql/exec.ml: Array Ast Catalog Db Exec_stats Expr Hashtbl List Option Printf Retro Storage String

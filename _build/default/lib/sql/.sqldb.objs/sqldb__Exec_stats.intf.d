@@ -1,0 +1,1 @@
+lib/sql/exec_stats.mli:

@@ -1,0 +1,1 @@
+lib/sql/expr.ml: Array Ast Float Hashtbl List Option Printf Storage String

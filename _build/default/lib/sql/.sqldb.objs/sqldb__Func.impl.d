@@ -1,0 +1,1 @@
+lib/sql/func.ml: Array Buffer Expr Float List Storage String

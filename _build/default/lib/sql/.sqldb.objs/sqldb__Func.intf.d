@@ -1,0 +1,1 @@
+lib/sql/func.mli: Storage

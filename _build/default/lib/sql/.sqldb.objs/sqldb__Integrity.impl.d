@@ -1,0 +1,1 @@
+lib/sql/integrity.ml: Array Catalog Db Exec Hashtbl List Option Printexc Printf Storage String

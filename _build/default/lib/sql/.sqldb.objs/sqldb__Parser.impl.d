@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Array Ast Buffer Lexer List Printf Storage String

@@ -1,0 +1,63 @@
+(* Database backup/restore.
+
+   A database image captures the committed pages and, for snapshottable
+   databases, the whole Retro state (Pagelog, Maplog, COW bookkeeping) —
+   so a saved database reopens with its entire snapshot history intact
+   and AS OF queries keep working.  Images are written with [Marshal]
+   behind a magic/version header; registered functions are not part of
+   the image and must be re-registered by the caller (Rql.load does). *)
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type image = {
+  img_pager : Storage.Pager.image;
+  img_retro : Retro.image option;
+}
+
+let magic = "RQLDB001"
+
+(* Capture a consistent image of the committed state. *)
+let snapshot_image (db : Db.t) : image =
+  if Db.in_txn db then error "cannot back up a database with an open transaction";
+  { img_pager = Storage.Pager.dump db.Db.pager;
+    img_retro = Option.map Retro.export db.Db.retro }
+
+(* Materialize an image as a fresh database handle. *)
+let restore_image (img : image) : Db.t =
+  let pager = Storage.Pager.restore img.img_pager in
+  let retro = Option.map (fun r -> Retro.import pager r) img.img_retro in
+  Db.of_parts ~pager ~retro
+
+let write_channel oc (img : image) = Marshal.to_channel oc (magic, img) []
+
+let read_channel ic : image =
+  let m, img = (Marshal.from_channel ic : string * image) in
+  if m <> magic then error "not a database image (bad magic %S)" m;
+  img
+
+(* Save the database to [path] (overwriting). *)
+let save (db : Db.t) ~path =
+  let oc = open_out_bin path in
+  (try write_channel oc (snapshot_image db)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+(* Load a database saved by {!save}. *)
+let load ~path : Db.t =
+  let ic = open_in_bin path in
+  let img =
+    try read_channel ic
+    with
+    | Error _ as e ->
+      close_in_noerr ic;
+      raise e
+    | _ ->
+      close_in_noerr ic;
+      error "could not read a database image from %s" path
+  in
+  close_in ic;
+  restore_image img

@@ -1,0 +1,25 @@
+(** Database backup/restore.
+
+    An image captures the committed pages and, for snapshottable
+    databases, the whole Retro state (Pagelog, Maplog, COW bookkeeping):
+    a saved database reopens with its complete snapshot history and
+    AS OF queries keep working.  Registered functions are not part of
+    the image; callers re-register them (Rql.load does). *)
+
+exception Error of string
+
+type image
+
+(** Capture a consistent image.
+    @raise Error if a transaction is open. *)
+val snapshot_image : Db.t -> image
+
+(** Materialize an image as a fresh handle. *)
+val restore_image : image -> Db.t
+
+(** Save to [path], overwriting. *)
+val save : Db.t -> path:string -> unit
+
+(** Load a database saved by {!save}.
+    @raise Error on a malformed or foreign file. *)
+val load : path:string -> Db.t

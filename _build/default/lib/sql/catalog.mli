@@ -1,0 +1,52 @@
+(** The system catalog, stored on ordinary database pages (a heap file
+    rooted at page 0) so snapshots capture it: a query running AS OF a
+    snapshot resolves tables, schemas and index roots exactly as they
+    existed in that snapshot. *)
+
+type table = {
+  tname : string;
+  tcols : (string * string) array; (** column name, declared type *)
+  theap : int;                     (** heap chain head page *)
+}
+
+type index = {
+  iname : string;
+  itable : string;
+  icols : string list;
+  iroot : int; (** fixed B+tree root page *)
+}
+
+type t
+
+(** The fixed page id of the catalog heap. *)
+val catalog_root : int
+
+(** Create the catalog heap; must be the first allocation in a fresh
+    database.
+    @raise Invalid_argument otherwise. *)
+val bootstrap : Storage.Txn.t -> unit
+
+(** Load the whole catalog through any read context — committed state,
+    a transaction view, or a Retro snapshot. *)
+val load : Storage.Pager.read -> t
+
+(** Lookups are case-insensitive. *)
+val find_table : t -> string -> table option
+
+val find_index : t -> string -> index option
+
+val indexes_of_table : t -> string -> index list
+
+val table_names : t -> string list
+
+val add_table : Storage.Txn.t -> table -> unit
+val add_index : Storage.Txn.t -> index -> unit
+
+(** Remove the entry from a catalog loaded in the same state; returns
+    whether it existed. *)
+val remove_table : t -> Storage.Txn.t -> string -> bool
+
+val remove_index : t -> Storage.Txn.t -> string -> bool
+
+val iter_tables : t -> f:(table -> unit) -> unit
+val iter_indexes : t -> f:(index -> unit) -> unit

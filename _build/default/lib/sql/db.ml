@@ -1,0 +1,137 @@
+(* Database handle: a pager (optionally with a Retro snapshot system
+   attached), the current explicit transaction, registered functions and
+   cached handles.
+
+   A handle created with [snapshots:false] is a non-snapshottable
+   database; RQL stores SnapIds and result tables in such a database, as
+   the paper describes (§3). *)
+
+module R = Storage.Record
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type fn = R.value array -> R.value
+
+type t = {
+  pager : Storage.Pager.t;
+  retro : Retro.t option;
+  funcs : (string, fn) Hashtbl.t;
+  mutable txn : Storage.Txn.t option;         (* explicit BEGIN..COMMIT *)
+  mutable catalog_cache : Catalog.t option;   (* current-state catalog *)
+  heap_handles : (int, Storage.Heap.t) Hashtbl.t; (* first page -> handle *)
+}
+
+(* Assemble a handle from restored parts (Backup). *)
+let of_parts ~pager ~retro =
+  { pager;
+    retro;
+    funcs = Hashtbl.create 16;
+    txn = None;
+    catalog_cache = None;
+    heap_handles = Hashtbl.create 16 }
+
+let create ?(snapshots = true) () =
+  let pager = Storage.Pager.create () in
+  let retro = if snapshots then Some (Retro.attach pager) else None in
+  let db =
+    { pager;
+      retro;
+      funcs = Hashtbl.create 16;
+      txn = None;
+      catalog_cache = None;
+      heap_handles = Hashtbl.create 16 }
+  in
+  Storage.Txn.with_txn pager (fun txn -> Catalog.bootstrap txn);
+  db
+
+let retro_exn t =
+  match t.retro with
+  | Some r -> r
+  | None -> error "this database has no snapshot system attached"
+
+let register_fn t name fn = Hashtbl.replace t.funcs (String.lowercase_ascii name) fn
+
+let lookup_fn t name =
+  let name = String.lowercase_ascii name in
+  match Hashtbl.find_opt t.funcs name with
+  | Some f -> Some f
+  | None -> Func.find name
+
+let fn_ctx t : Expr.fn_ctx = { Expr.lookup_fn = (fun name -> lookup_fn t name) }
+
+(* Read context for the current state: the open transaction's view if
+   one is active, otherwise the committed state. *)
+let read_current t : Storage.Pager.read =
+  match t.txn with
+  | Some txn when Storage.Txn.is_active txn -> Storage.Txn.read_ctx txn
+  | _ -> Storage.Pager.read t.pager
+
+let invalidate_catalog t = t.catalog_cache <- None
+
+let catalog t =
+  match t.txn with
+  | Some txn when Storage.Txn.is_active txn ->
+    (* Inside a transaction the catalog may contain uncommitted DDL;
+       don't cache. *)
+    Catalog.load (Storage.Txn.read_ctx txn)
+  | _ -> (
+    match t.catalog_cache with
+    | Some c -> c
+    | None ->
+      let c = Catalog.load (Storage.Pager.read t.pager) in
+      t.catalog_cache <- Some c;
+      c)
+
+(* Cached heap handle (keeps insert hints warm across statements). *)
+let heap_handle t first_page =
+  match Hashtbl.find_opt t.heap_handles first_page with
+  | Some h -> h
+  | None ->
+    let h = Storage.Heap.open_existing first_page in
+    Hashtbl.add t.heap_handles first_page h;
+    h
+
+let drop_heap_handle t first_page = Hashtbl.remove t.heap_handles first_page
+
+(* Run [f] in the open transaction, or wrap it in an autocommit
+   transaction if none is open. *)
+let with_write_txn t f =
+  match t.txn with
+  | Some txn when Storage.Txn.is_active txn -> f txn
+  | _ -> Storage.Txn.with_txn t.pager f
+
+let begin_txn t =
+  (match t.txn with
+  | Some txn when Storage.Txn.is_active txn -> error "transaction already open"
+  | _ -> ());
+  t.txn <- Some (Storage.Txn.begin_txn t.pager)
+
+(* Commit; with [snapshot] also declares a Retro snapshot reflecting the
+   committed state and returns its id. *)
+let commit t ~snapshot =
+  let sid =
+    match t.txn with
+    | Some txn when Storage.Txn.is_active txn ->
+      Storage.Txn.commit txn;
+      t.txn <- None;
+      if snapshot then Some (Retro.declare (retro_exn t)) else None
+    | _ ->
+      (* COMMIT WITH SNAPSHOT outside BEGIN declares a snapshot of the
+         current committed state. *)
+      if snapshot then Some (Retro.declare (retro_exn t))
+      else error "no transaction is open"
+  in
+  invalidate_catalog t;
+  sid
+
+let rollback t =
+  (match t.txn with
+  | Some txn when Storage.Txn.is_active txn ->
+    Storage.Txn.abort txn;
+    t.txn <- None
+  | _ -> error "no transaction is open");
+  invalidate_catalog t
+
+let in_txn t = match t.txn with Some txn -> Storage.Txn.is_active txn | None -> false

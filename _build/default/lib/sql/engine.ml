@@ -1,0 +1,282 @@
+(* Public SQL engine API: parse and execute statements against a
+   database handle, in the style of the sqlite3 C API the paper builds
+   on.  [exec_rows] is the analogue of sqlite3_exec: it invokes a
+   callback for every result row, which is how RQL mechanisms process
+   snapshot-query output. *)
+
+module R = Storage.Record
+open Ast
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type db = Db.t
+
+type result = {
+  columns : string array;
+  rows : R.row list;
+  rows_affected : int;
+  snapshot : int option; (* id returned by COMMIT WITH SNAPSHOT *)
+}
+
+let empty_result = { columns = [||]; rows = []; rows_affected = 0; snapshot = None }
+
+let create = Db.create
+let register_fn = Db.register_fn
+
+(* --- DDL ------------------------------------------------------------- *)
+
+let sanitize_cols cols =
+  let seen = Hashtbl.create 8 in
+  List.mapi
+    (fun i (name, ty) ->
+      let name = if name = "" then Printf.sprintf "column_%d" (i + 1) else name in
+      let key = String.lowercase_ascii name in
+      let name =
+        if Hashtbl.mem seen key then Printf.sprintf "%s_%d" name (i + 1) else name
+      in
+      Hashtbl.replace seen (String.lowercase_ascii name) ();
+      (name, ty))
+    cols
+
+let create_table db ~name ~cols ~if_not_exists =
+  let cat = Db.catalog db in
+  match Catalog.find_table cat name with
+  | Some _ ->
+    if if_not_exists then None
+    else error "table %s already exists" name
+  | None ->
+    if cols = [] then error "table %s must have at least one column" name;
+    let tbl =
+      Db.with_write_txn db (fun txn ->
+          let heap = Storage.Heap.create txn in
+          let tbl =
+            { Catalog.tname = name;
+              tcols = Array.of_list (sanitize_cols cols);
+              theap = Storage.Heap.first_page heap }
+          in
+          Catalog.add_table txn tbl;
+          tbl)
+    in
+    Db.invalidate_catalog db;
+    Some tbl
+
+let create_index db ~name ~table ~columns ~if_not_exists =
+  let cat = Db.catalog db in
+  match Catalog.find_index cat name with
+  | Some _ -> if if_not_exists then () else error "index %s already exists" name
+  | None ->
+    let tbl =
+      match Catalog.find_table cat table with
+      | Some t -> t
+      | None -> error "no such table: %s" table
+    in
+    List.iter (fun c -> ignore (Exec.col_pos tbl c)) columns;
+    Db.with_write_txn db (fun txn ->
+        let bt = Storage.Btree.create txn in
+        let idx =
+          { Catalog.iname = name; itable = tbl.Catalog.tname; icols = columns;
+            iroot = Storage.Btree.root bt }
+        in
+        Catalog.add_index txn idx;
+        (* populate from existing rows *)
+        let read = Storage.Txn.read_ctx txn in
+        Storage.Heap.iter read (Storage.Heap.open_existing tbl.Catalog.theap)
+          ~f:(fun rid data ->
+            let row = R.decode_row data in
+            Storage.Btree.insert txn bt (Exec.index_key tbl idx row) rid));
+    Db.invalidate_catalog db
+
+let drop_table db ~name ~if_exists =
+  let cat = Db.catalog db in
+  match Catalog.find_table cat name with
+  | None -> if if_exists then 0 else error "no such table: %s" name
+  | Some tbl ->
+    Db.with_write_txn db (fun txn ->
+        List.iter
+          (fun idx ->
+            Storage.Btree.drop txn (Storage.Btree.open_existing idx.Catalog.iroot);
+            ignore (Catalog.remove_index cat txn idx.Catalog.iname))
+          (Catalog.indexes_of_table cat tbl.Catalog.tname);
+        Storage.Heap.drop txn (Storage.Heap.open_existing tbl.Catalog.theap);
+        ignore (Catalog.remove_table cat txn name));
+    Db.drop_heap_handle db tbl.Catalog.theap;
+    Db.invalidate_catalog db;
+    1
+
+let drop_index db ~name ~if_exists =
+  let cat = Db.catalog db in
+  match Catalog.find_index cat name with
+  | None -> if if_exists then 0 else error "no such index: %s" name
+  | Some idx ->
+    Db.with_write_txn db (fun txn ->
+        Storage.Btree.drop txn (Storage.Btree.open_existing idx.Catalog.iroot);
+        ignore (Catalog.remove_index cat txn name));
+    Db.invalidate_catalog db;
+    1
+
+(* --- statement dispatch ---------------------------------------------- *)
+
+let run_insert db (i : stmt) =
+  match i with
+  | Insert { table; columns; values; from_select } ->
+    let env = Exec.current_env db in
+    let tbl =
+      match Catalog.find_table env.Exec.cat table with
+      | Some t -> t
+      | None -> error "no such table: %s" table
+    in
+    let ncols = Array.length tbl.Catalog.tcols in
+    let positions =
+      match columns with
+      | None -> Array.init ncols (fun i -> i)
+      | Some cols -> Array.of_list (List.map (Exec.col_pos tbl) cols)
+    in
+    let make_row (vals : R.value list) =
+      if List.length vals <> Array.length positions then
+        error "INSERT expects %d values, got %d" (Array.length positions) (List.length vals);
+      let row = Array.make ncols R.Null in
+      List.iteri (fun i v -> row.(positions.(i)) <- v) vals;
+      row
+    in
+    let rows =
+      match from_select with
+      | None ->
+        let fnctx = Db.fn_ctx db in
+        List.map
+          (fun exprs ->
+            make_row
+              (List.map (fun e -> Expr.eval_const fnctx (Exec.expand_sub env e)) exprs))
+          values
+      | Some sel ->
+        let senv = Exec.env_of_select db sel in
+        let _, rows = Exec.select_all senv sel in
+        List.map (fun r -> make_row (Array.to_list r)) rows
+    in
+    let n =
+      Db.with_write_txn db (fun txn ->
+          List.iter (fun row -> ignore (Exec.insert_row_raw env txn tbl row)) rows;
+          List.length rows)
+    in
+    { empty_result with rows_affected = n }
+  | _ -> assert false
+
+let run_stmt db (s : stmt) : result =
+  match s with
+  | Select sel ->
+    let env = Exec.env_of_select db sel in
+    let columns, rows = Exec.select_all env sel in
+    { empty_result with columns; rows }
+  | Explain sel ->
+    let env = Exec.env_of_select db sel in
+    let notes = Exec.explain env sel in
+    { empty_result with
+      columns = [| "detail" |];
+      rows = List.map (fun n -> [| R.Text n |]) notes }
+  | Insert _ -> run_insert db s
+  | Delete { table; where } ->
+    let env = Exec.current_env db in
+    let tbl =
+      match Catalog.find_table env.Exec.cat table with
+      | Some t -> t
+      | None -> error "no such table: %s" table
+    in
+    let rows = Exec.matching_rows env tbl where in
+    let n = Db.with_write_txn db (fun txn -> Exec.delete_rows env txn tbl rows) in
+    { empty_result with rows_affected = n }
+  | Update { table; sets; where } ->
+    let env = Exec.current_env db in
+    let tbl =
+      match Catalog.find_table env.Exec.cat table with
+      | Some t -> t
+      | None -> error "no such table: %s" table
+    in
+    let rows = Exec.matching_rows env tbl where in
+    let n = Db.with_write_txn db (fun txn -> Exec.update_rows env txn tbl sets rows) in
+    { empty_result with rows_affected = n }
+  | Create_table { table; cols; if_not_exists; as_select = None } ->
+    ignore
+      (create_table db ~name:table
+         ~cols:(List.map (fun c -> (c.col_name, c.col_type)) cols)
+         ~if_not_exists);
+    empty_result
+  | Create_table { table; if_not_exists; as_select = Some sel; _ } ->
+    let senv = Exec.env_of_select db sel in
+    let columns, rows = Exec.select_all senv sel in
+    let cols = Array.to_list (Array.map (fun c -> (c, "")) columns) in
+    (match create_table db ~name:table ~cols ~if_not_exists with
+    | None -> empty_result
+    | Some tbl ->
+      let env = Exec.current_env db in
+      let n =
+        Db.with_write_txn db (fun txn ->
+            List.iter (fun row -> ignore (Exec.insert_row_raw env txn tbl row)) rows;
+            List.length rows)
+      in
+      { empty_result with rows_affected = n })
+  | Create_index { index; table; columns; if_not_exists } ->
+    create_index db ~name:index ~table ~columns ~if_not_exists;
+    empty_result
+  | Drop_table { table; if_exists } ->
+    let n = drop_table db ~name:table ~if_exists in
+    { empty_result with rows_affected = n }
+  | Drop_index { index; if_exists } ->
+    let n = drop_index db ~name:index ~if_exists in
+    { empty_result with rows_affected = n }
+  | Begin_txn ->
+    Db.begin_txn db;
+    empty_result
+  | Commit { with_snapshot } ->
+    let snapshot = Db.commit db ~snapshot:with_snapshot in
+    { empty_result with snapshot }
+  | Rollback ->
+    Db.rollback db;
+    empty_result
+
+let wrap_errors f =
+  try f () with
+  | Lexer.Error m -> raise (Error ("SQL lexer: " ^ m))
+  | Parser.Error m -> raise (Error ("SQL parser: " ^ m))
+  | Expr.Error m -> raise (Error m)
+  | Exec.Error m -> raise (Error m)
+  | Db.Error m -> raise (Error m)
+  | Invalid_argument m -> raise (Error m)
+
+(* Execute a single SQL statement. *)
+let exec db sql : result = wrap_errors (fun () -> run_stmt db (Parser.parse_one sql))
+
+(* Execute a script of semicolon-separated statements; returns the last
+   statement's result. *)
+let exec_script db sql : result =
+  wrap_errors (fun () ->
+      List.fold_left (fun _ s -> run_stmt db s) empty_result (Parser.parse_many sql))
+
+(* sqlite3_exec analogue: stream result rows of a SELECT through [f].
+   Non-SELECT statements execute normally and invoke [f] zero times. *)
+let exec_rows db sql ~(f : string array -> R.row -> unit) : unit =
+  wrap_errors (fun () ->
+      match Parser.parse_one sql with
+      | Select sel ->
+        let env = Exec.env_of_select db sel in
+        let header, run = Exec.select_stream env sel in
+        run (fun row -> f header row)
+      | other -> ignore (run_stmt db other))
+
+(* Convenience accessors used by tests and examples. *)
+let query db sql : R.row list = (exec db sql).rows
+
+let query_one db sql : R.row =
+  match (exec db sql).rows with
+  | [ r ] -> r
+  | rows -> error "expected exactly one row, got %d" (List.length rows)
+
+let scalar db sql : R.value =
+  match query_one db sql with
+  | [| v |] -> v
+  | r -> error "expected a single column, got %d" (Array.length r)
+
+let int_scalar db sql : int =
+  match scalar db sql with
+  | R.Int i -> i
+  | v -> error "expected an integer, got %s" (R.value_to_string v)

@@ -1,0 +1,75 @@
+(** Public SQL engine API, in the style of the sqlite3 C API the paper
+    builds on: parse and execute statements against a database handle;
+    {!exec_rows} is the analogue of [sqlite3_exec], invoking a callback
+    per result row — the interface the RQL loop bodies use.
+
+    The dialect covers the SQLite subset the paper's programs need plus
+    Retro's extensions: SELECT with joins (incl. LEFT JOIN), GROUP
+    BY/HAVING, ORDER BY/LIMIT/OFFSET, DISTINCT, UNION [ALL],
+    (uncorrelated) subqueries, CAST, aggregate and scalar functions,
+    DML, DDL, EXPLAIN, [SELECT AS OF sid] and [COMMIT WITH SNAPSHOT]. *)
+
+exception Error of string
+
+type db = Db.t
+
+type result = {
+  columns : string array;   (** header (empty for non-SELECT) *)
+  rows : Storage.Record.row list;
+  rows_affected : int;
+  snapshot : int option;    (** id returned by COMMIT WITH SNAPSHOT *)
+}
+
+val empty_result : result
+
+(** Create a database.  [snapshots:false] yields a non-snapshottable
+    database (no Retro attached), as RQL uses for SnapIds and result
+    tables. *)
+val create : ?snapshots:bool -> unit -> db
+
+(** Register (or replace) a scalar function / UDF. *)
+val register_fn : db -> string -> (Storage.Record.row -> Storage.Record.value) -> unit
+
+(** {1 Statement execution} *)
+
+(** Execute a single SQL statement.
+    @raise Error on parse, resolution or execution failure. *)
+val exec : db -> string -> result
+
+(** Execute a semicolon-separated script; returns the last statement's
+    result. *)
+val exec_script : db -> string -> result
+
+(** [sqlite3_exec] analogue: stream result rows of a SELECT through
+    [f header row]; non-SELECT statements execute normally and invoke
+    [f] zero times. *)
+val exec_rows : db -> string -> f:(string array -> Storage.Record.row -> unit) -> unit
+
+(** {1 Programmatic DDL} (used by the RQL layer) *)
+
+(** Returns the created table, or [None] when it existed and
+    [if_not_exists] was set. *)
+val create_table :
+  db -> name:string -> cols:(string * string) list -> if_not_exists:bool ->
+  Catalog.table option
+
+val create_index :
+  db -> name:string -> table:string -> columns:string list -> if_not_exists:bool -> unit
+
+(** Returns the number of tables dropped (0 or 1). *)
+val drop_table : db -> name:string -> if_exists:bool -> int
+
+val drop_index : db -> name:string -> if_exists:bool -> int
+
+(** {1 Convenience accessors} *)
+
+val query : db -> string -> Storage.Record.row list
+
+(** @raise Error unless exactly one row results. *)
+val query_one : db -> string -> Storage.Record.row
+
+(** @raise Error unless exactly one row with one column results. *)
+val scalar : db -> string -> Storage.Record.value
+
+(** @raise Error unless the scalar is an integer. *)
+val int_scalar : db -> string -> int

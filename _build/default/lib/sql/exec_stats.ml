@@ -1,0 +1,34 @@
+(* Executor-side timing attribution.  The paper's per-iteration cost
+   breakdown (Figs 8-13) splits time into I/O, SPT build, index creation
+   and query evaluation; the executor accumulates the SPT-build and
+   index-creation components here and the RQL layer reads the deltas. *)
+
+type t = {
+  mutable spt_build_s : float;     (* snapshot page table construction *)
+  mutable index_build_s : float;   (* automatic (covering) index creation *)
+  mutable spt_builds : int;
+  mutable index_builds : int;
+}
+
+let global = { spt_build_s = 0.; index_build_s = 0.; spt_builds = 0; index_builds = 0 }
+
+let reset t =
+  t.spt_build_s <- 0.;
+  t.index_build_s <- 0.;
+  t.spt_builds <- 0;
+  t.index_builds <- 0
+
+let copy t = { t with spt_build_s = t.spt_build_s }
+
+let diff a b =
+  { spt_build_s = a.spt_build_s -. b.spt_build_s;
+    index_build_s = a.index_build_s -. b.index_build_s;
+    spt_builds = a.spt_builds - b.spt_builds;
+    index_builds = a.index_builds - b.index_builds }
+
+let now () = Unix.gettimeofday ()
+
+let timed f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)

@@ -1,0 +1,24 @@
+(** Executor-side timing attribution: the SPT-build and (automatic)
+    index-creation components of the paper's per-iteration cost
+    breakdown (Figs 8-13), accumulated globally and read as deltas by
+    the RQL layer. *)
+
+type t = {
+  mutable spt_build_s : float;
+  mutable index_build_s : float;
+  mutable spt_builds : int;
+  mutable index_builds : int;
+}
+
+val global : t
+
+val reset : t -> unit
+val copy : t -> t
+
+(** Fieldwise [a - b]. *)
+val diff : t -> t -> t
+
+val now : unit -> float
+
+(** Run [f], returning its result and elapsed wall-clock seconds. *)
+val timed : (unit -> 'a) -> 'a * float

@@ -1,0 +1,10 @@
+(** Builtin scalar functions: the SQLite core-function subset the
+    paper's workloads use (abs, length, lower/upper, substr, coalesce,
+    ifnull, nullif, typeof, round, scalar min/max, instr, trim,
+    replace).  User-defined functions registered on a handle live in the
+    same namespace and take precedence. *)
+
+exception Error of string
+
+(** Lookup by (case-insensitive) name. *)
+val find : string -> (Storage.Record.row -> Storage.Record.value) option

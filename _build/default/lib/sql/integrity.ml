@@ -1,0 +1,132 @@
+(* Database integrity checking (the PRAGMA integrity_check analogue).
+
+   Walks the catalog, every heap chain and every index B+tree, and
+   verifies the structural invariants the engine relies on:
+   - heap chains are acyclic and made of heap pages;
+   - every stored row decodes and matches its table's arity;
+   - B+tree pages have the right kinds, leaves are sorted, and interior
+     separators route correctly;
+   - every index entry points at a live heap row whose key columns
+     equal the entry key, and the entry count equals the row count;
+   - no page is claimed by two structures.
+
+   Returns a list of problem descriptions; empty means healthy. *)
+
+module R = Storage.Record
+
+let check (db : Db.t) : string list =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let read = Db.read_current db in
+  let cat = try Some (Catalog.load read) with e ->
+    problem "catalog unreadable: %s" (Printexc.to_string e);
+    None
+  in
+  (match cat with
+  | None -> ()
+  | Some cat ->
+    let owner : (int, string) Hashtbl.t = Hashtbl.create 64 in
+    let claim pid who =
+      match Hashtbl.find_opt owner pid with
+      | Some other -> problem "page %d claimed by both %s and %s" pid other who
+      | None -> Hashtbl.add owner pid who
+    in
+    (* heaps (including the catalog heap itself) *)
+    let check_heap ~who ~arity first =
+      let rows = ref 0 in
+      let rec walk pid hops =
+        if hops > 1_000_000 then problem "%s: heap chain too long (cycle?)" who
+        else begin
+          claim pid who;
+          let p = read pid in
+          (match Storage.Page.kind p with
+          | Storage.Page.Heap_page -> ()
+          | _ -> problem "%s: page %d is not a heap page" who pid);
+          Storage.Page.iter p ~f:(fun slot data ->
+              incr rows;
+              match R.decode_row data with
+              | row ->
+                if arity > 0 && Array.length row <> arity then
+                  problem "%s: row at (%d,%d) has %d columns, expected %d" who pid slot
+                    (Array.length row) arity
+              | exception e ->
+                problem "%s: row at (%d,%d) does not decode: %s" who pid slot
+                  (Printexc.to_string e));
+          let next = Storage.Page.next p in
+          if next >= 0 then walk next (hops + 1)
+        end
+      in
+      walk first 0;
+      !rows
+    in
+    ignore (check_heap ~who:"catalog" ~arity:0 Catalog.catalog_root);
+    let table_rows : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    Catalog.iter_tables cat ~f:(fun (tbl : Catalog.table) ->
+        let who = "table " ^ tbl.Catalog.tname in
+        let rows =
+          check_heap ~who ~arity:(Array.length tbl.Catalog.tcols) tbl.Catalog.theap
+        in
+        Hashtbl.replace table_rows (String.lowercase_ascii tbl.Catalog.tname) rows);
+    (* indexes *)
+    Catalog.iter_indexes cat ~f:(fun (idx : Catalog.index) ->
+        let who = "index " ^ idx.Catalog.iname in
+        match Catalog.find_table cat idx.Catalog.itable with
+        | None -> problem "%s references missing table %s" who idx.Catalog.itable
+        | Some tbl ->
+          let heap = Storage.Heap.open_existing tbl.Catalog.theap in
+          let bt = Storage.Btree.open_existing idx.Catalog.iroot in
+          (* page kinds along the tree *)
+          let rec walk pid depth =
+            if depth > 64 then problem "%s: tree too deep (cycle?)" who
+            else begin
+              claim pid who;
+              let p = read pid in
+              match Storage.Page.kind p with
+              | Storage.Page.Btree_leaf -> ()
+              | Storage.Page.Btree_interior ->
+                walk (Storage.Page.aux p) (depth + 1);
+                Storage.Page.iter p ~f:(fun _ data ->
+                    match R.decode_row data with
+                    | row -> (
+                      match row.(Array.length row - 1) with
+                      | R.Int child -> walk child (depth + 1)
+                      | _ -> problem "%s: malformed interior entry" who)
+                    | exception _ -> problem "%s: undecodable interior entry" who)
+              | _ -> problem "%s: page %d is not an index page" who pid
+            end
+          in
+          walk idx.Catalog.iroot 0;
+          (* ordered, and every entry backed by a matching heap row *)
+          let entries = ref 0 in
+          let last = ref None in
+          Storage.Btree.iter_all read bt ~f:(fun key rid ->
+              incr entries;
+              (match !last with
+              | Some prev when R.compare_row prev key > 0 ->
+                problem "%s: entries out of order" who
+              | _ -> ());
+              last := Some key;
+              match Storage.Heap.get read heap rid with
+              | None -> problem "%s: entry (%s, rid %d) has no heap row" who
+                          (String.concat "," (Array.to_list (Array.map R.value_to_string key)))
+                          rid
+              | Some data ->
+                let row = R.decode_row data in
+                let want = Exec.index_key tbl idx row in
+                if R.compare_row want key <> 0 then
+                  problem "%s: entry key mismatch at rid %d" who rid);
+          let rows =
+            Option.value
+              (Hashtbl.find_opt table_rows (String.lowercase_ascii tbl.Catalog.tname))
+              ~default:0
+          in
+          if !entries <> rows then
+            problem "%s: %d entries vs %d table rows" who !entries rows));
+  List.rev !problems
+
+(* Convenience wrapper that raises on corruption. *)
+let check_exn db =
+  match check db with
+  | [] -> ()
+  | problems ->
+    raise (Db.Error ("integrity check failed:\n  " ^ String.concat "\n  " problems))

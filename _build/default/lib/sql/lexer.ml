@@ -1,0 +1,140 @@
+(* SQL tokenizer.  Keywords are returned as [Ident] and matched
+   case-insensitively by the parser, as SQLite does. *)
+
+type token =
+  | Ident of string
+  | Str of string      (* 'single quoted', '' escapes a quote *)
+  | Int_lit of int
+  | Float_lit of float
+  | Lparen | Rparen | Comma | Dot | Semi
+  | Star | Plus | Minus | Slash | Percent
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Concat_op
+  | Eof
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Tokenize [s] fully; positions are not tracked beyond error offsets. *)
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let toks = ref [] in
+  let push t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some s.[!i + k] else None in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && peek 1 = Some '-' then begin
+      (* line comment *)
+      while !i < n && s.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let rec skip () =
+        if !i + 1 >= n then error "unterminated /* comment"
+        else if s.[!i] = '*' && s.[!i + 1] = '/' then i := !i + 2
+        else begin incr i; skip () end
+      in
+      skip ()
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do incr i done;
+      push (Ident (String.sub s start (!i - start)))
+    end
+    else if is_digit c || (c = '.' && (match peek 1 with Some d -> is_digit d | None -> false))
+    then begin
+      let start = !i in
+      while !i < n && is_digit s.[!i] do incr i done;
+      let is_float = ref false in
+      if !i < n && s.[!i] = '.' then begin
+        is_float := true;
+        incr i;
+        while !i < n && is_digit s.[!i] do incr i done
+      end;
+      if !i < n && (s.[!i] = 'e' || s.[!i] = 'E') then begin
+        is_float := true;
+        incr i;
+        if !i < n && (s.[!i] = '+' || s.[!i] = '-') then incr i;
+        while !i < n && is_digit s.[!i] do incr i done
+      end;
+      let text = String.sub s start (!i - start) in
+      if !is_float then push (Float_lit (float_of_string text))
+      else
+        match int_of_string_opt text with
+        | Some v -> push (Int_lit v)
+        | None -> push (Float_lit (float_of_string text))
+    end
+    else if c = '\'' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !i >= n then error "unterminated string literal"
+        else if s.[!i] = '\'' then
+          if peek 1 = Some '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2;
+            go ()
+          end
+          else incr i
+        else begin
+          Buffer.add_char buf s.[!i];
+          incr i;
+          go ()
+        end
+      in
+      go ();
+      push (Str (Buffer.contents buf))
+    end
+    else if c = '"' then begin
+      (* double-quoted identifier *)
+      incr i;
+      let start = !i in
+      while !i < n && s.[!i] <> '"' do incr i done;
+      if !i >= n then error "unterminated quoted identifier";
+      push (Ident (String.sub s start (!i - start)));
+      incr i
+    end
+    else begin
+      let two a b t = if c = a && peek 1 = Some b then (push t; i := !i + 2; true) else false in
+      if two '<' '=' Le || two '>' '=' Ge || two '<' '>' Ne || two '!' '=' Ne
+         || two '|' '|' Concat_op || two '=' '=' Eq
+      then ()
+      else begin
+        (match c with
+        | '(' -> push Lparen
+        | ')' -> push Rparen
+        | ',' -> push Comma
+        | '.' -> push Dot
+        | ';' -> push Semi
+        | '*' -> push Star
+        | '+' -> push Plus
+        | '-' -> push Minus
+        | '/' -> push Slash
+        | '%' -> push Percent
+        | '=' -> push Eq
+        | '<' -> push Lt
+        | '>' -> push Gt
+        | c -> error "unexpected character %C at offset %d" c !i);
+        incr i
+      end
+    end
+  done;
+  List.rev (Eof :: !toks)
+
+let token_to_string = function
+  | Ident s -> s
+  | Str s -> Printf.sprintf "'%s'" s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | Lparen -> "(" | Rparen -> ")" | Comma -> "," | Dot -> "." | Semi -> ";"
+  | Star -> "*" | Plus -> "+" | Minus -> "-" | Slash -> "/" | Percent -> "%"
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Concat_op -> "||"
+  | Eof -> "<eof>"

@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Array Bytes List Page Pager Record String Txn

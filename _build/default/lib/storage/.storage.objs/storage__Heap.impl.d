@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Hashtbl Page Pager String Txn

@@ -1,0 +1,1 @@
+lib/storage/heap.mli: Pager Txn

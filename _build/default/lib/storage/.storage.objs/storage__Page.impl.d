@@ -1,0 +1,1 @@
+lib/storage/page.ml: Bytes Char Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/storage/pager.ml: Array Bytes Option Printf Stats

@@ -1,0 +1,1 @@
+lib/storage/record.ml: Array Buffer Char Float Fmt Int64 Printf String

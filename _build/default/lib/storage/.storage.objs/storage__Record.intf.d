@@ -1,0 +1,1 @@
+lib/storage/record.mli: Format

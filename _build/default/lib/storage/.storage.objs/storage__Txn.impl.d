@@ -1,0 +1,1 @@
+lib/storage/txn.ml: Bytes Hashtbl List Page Pager Stats

@@ -1,0 +1,1 @@
+lib/storage/txn.mli: Bytes Page Pager

@@ -1,0 +1,304 @@
+(* Page-based B+tree used for table indexes.
+
+   Index entries are composite keys (column values, rowid), which makes
+   every entry unique and lets non-unique indexes store duplicates.
+   Interior nodes store (separator, child) pairs plus a leftmost child in
+   the page's aux field; leaves are chained through the page header's
+   [next] field for range scans.
+
+   The root page id is fixed for the lifetime of the index (recorded in
+   the catalog): when the root splits its content moves to a fresh child
+   and the root becomes interior in place.  Index pages are ordinary
+   database pages, so indexes are captured by Retro snapshots exactly as
+   the paper requires ("a snapshot includes the entire state of the
+   database (e.g., tables, indexes, system catalogs)").
+
+   Deletion is lazy (no rebalancing); pages stay allocated until the
+   index is dropped.  This mirrors SQLite's free-list behaviour closely
+   enough for the experiments. *)
+
+type entry = {
+  key : Record.row; (* column values *)
+  aux : int;        (* leaf: rowid; interior: child page id *)
+}
+
+type t = { root : int }
+
+let root t = t.root
+
+let encode_entry e = Record.encode_row (Array.append e.key [| Record.Int e.aux |])
+
+let decode_entry s =
+  let r = Record.decode_row s in
+  let n = Array.length r in
+  let aux = match r.(n - 1) with Record.Int i -> i | _ -> invalid_arg "Btree: bad entry" in
+  { key = Array.sub r 0 (n - 1); aux }
+
+(* Composite comparison: (key, rid).  [rid_a]/[rid_b] disambiguate
+   duplicate keys; use min_int/max_int to form range endpoints. *)
+let compare_composite (ka, ra) (kb, rb) =
+  let c = Record.compare_row ka kb in
+  if c <> 0 then c else compare ra rb
+
+let load (p : Page.t) : entry array =
+  let out = ref [] in
+  Page.iter p ~f:(fun _ data -> out := decode_entry data :: !out);
+  let arr = Array.of_list (List.rev !out) in
+  arr
+
+(* Rewrite a node page with [entries] in order; slot order is then key
+   order, so lookups can binary-search over slots. *)
+let store (p : Page.t) kind ~next ~aux entries =
+  Page.init p kind;
+  Page.set_next p next;
+  Page.set_aux p aux;
+  Array.iter
+    (fun e ->
+      match Page.insert p (encode_entry e) with
+      | Some _ -> ()
+      | None -> invalid_arg "Btree.store: node overflow")
+    entries
+
+let entries_bytes entries =
+  Array.fold_left (fun acc e -> acc + String.length (encode_entry e) + Page.slot_bytes) 0 entries
+
+let create txn =
+  let pid = Txn.alloc txn Page.Btree_leaf in
+  { root = pid }
+
+let open_existing root = { root }
+
+(* Interior entries store (separator, child): the separator is a promoted
+   leaf composite whose rid is kept as an extra trailing key column, and
+   [aux] holds the child page id.  Routing compares full composites so
+   duplicate column values are handled exactly. *)
+
+let sep_composite (e : entry) =
+  let n = Array.length e.key in
+  match e.key.(n - 1) with
+  | Record.Int rid -> (Array.sub e.key 0 (n - 1), rid)
+  | _ -> invalid_arg "Btree: bad separator"
+
+let make_sep (key, rid) child = { key = Array.append key [| Record.Int rid |]; aux = child }
+
+(* Node pages are always kept dense and sorted (in-place edits shift the
+   slot directory; splits rewrite whole nodes), so searches can binary-
+   search over slots, decoding only the probed entries. *)
+
+let slot_entry (p : Page.t) i = decode_entry (Page.get_exn p i)
+
+(* First slot whose composite is >= c. *)
+let lower_bound_page (p : Page.t) c =
+  let n = Page.nslots p in
+  let rec bs lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      let e = slot_entry p mid in
+      if compare_composite (e.key, e.aux) c < 0 then bs (mid + 1) hi else bs lo mid
+  in
+  bs 0 n
+
+(* Interior routing: last separator <= c (-1 = leftmost child). *)
+let route_on_page (p : Page.t) c =
+  let n = Page.nslots p in
+  let rec bs lo hi =
+    if lo >= hi then lo - 1
+    else
+      let mid = (lo + hi) / 2 in
+      if compare_composite (sep_composite (slot_entry p mid)) c <= 0 then bs (mid + 1) hi
+      else bs lo mid
+  in
+  bs 0 n
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+
+(* Split point by accumulated bytes (entries have variable size). *)
+let split_point entries =
+  let total = entries_bytes entries in
+  let acc = ref 0 in
+  let n = Array.length entries in
+  let rec go i =
+    if i >= n - 1 then n - 1
+    else begin
+      acc := !acc + String.length (encode_entry entries.(i)) + Page.slot_bytes;
+      if !acc * 2 >= total then i + 1 else go (i + 1)
+    end
+  in
+  max 1 (go 0)
+
+(* Recursive insert; returns (separator, right page id) when [pid]
+   split.  The fast path shifts the slot directory in place
+   (Page.insert_at); only splits materialize the whole node.
+   [lower_bound_w] works on the writable image so positions stay valid
+   after earlier in-place edits. *)
+let rec ins txn pid c =
+  let p = Txn.read txn pid in
+  match Page.kind p with
+  | Page.Btree_leaf ->
+    let key, rid = c in
+    let entry = { key; aux = rid } in
+    let w = Txn.write txn pid in
+    let pos = lower_bound_page w c in
+    if Page.insert_at w pos (encode_entry entry) then None
+    else begin
+      (* split: materialize including the new entry *)
+      let entries = array_insert (load w) pos entry in
+      let mid = split_point entries in
+      let left = Array.sub entries 0 mid in
+      let right = Array.sub entries mid (Array.length entries - mid) in
+      let right_pid = Txn.alloc txn Page.Btree_leaf in
+      let rp = Txn.write txn right_pid in
+      store rp Page.Btree_leaf ~next:(Page.next w) ~aux:(-1) right;
+      store w Page.Btree_leaf ~next:right_pid ~aux:(-1) left;
+      let s = right.(0) in
+      Some ((s.key, s.aux), right_pid)
+    end
+  | Page.Btree_interior ->
+    let i = route_on_page p c in
+    let child = if i < 0 then Page.aux p else (decode_entry (Page.get_exn p i)).aux in
+    (match ins txn child c with
+    | None -> None
+    | Some (sep, right_pid) ->
+      let sep_entry = make_sep sep right_pid in
+      let w = Txn.write txn pid in
+      if Page.insert_at w (i + 1) (encode_entry sep_entry) then None
+      else begin
+        let entries = array_insert (load w) (i + 1) sep_entry in
+        let mid = split_point entries in
+        let promoted = entries.(mid) in
+        let left = Array.sub entries 0 mid in
+        let right = Array.sub entries (mid + 1) (Array.length entries - mid - 1) in
+        let right_pid = Txn.alloc txn Page.Btree_interior in
+        let rp = Txn.write txn right_pid in
+        store rp Page.Btree_interior ~next:(-1) ~aux:promoted.aux right;
+        store w Page.Btree_interior ~next:(-1) ~aux:(Page.aux w) left;
+        Some (sep_composite promoted, right_pid)
+      end)
+  | Page.Free | Page.Heap_page | Page.Meta ->
+    invalid_arg "Btree.ins: not an index page"
+
+let insert txn t key rid =
+  match ins txn t.root (key, rid) with
+  | None -> ()
+  | Some (sep, right_pid) ->
+    (* Root split: move the root's (already stored) left half to a fresh
+       page and turn the fixed root page into an interior node. *)
+    let left_pid = Txn.alloc txn Page.Btree_leaf in
+    let root_img = Txn.read txn t.root in
+    let lp = Txn.write txn left_pid in
+    Bytes.blit root_img 0 lp 0 Page.size;
+    let w = Txn.write txn t.root in
+    store w Page.Btree_interior ~next:(-1) ~aux:left_pid [| make_sep sep right_pid |]
+
+let rec leaf_for read pid c =
+  let p : Page.t = read pid in
+  match Page.kind p with
+  | Page.Btree_leaf -> pid
+  | Page.Btree_interior ->
+    let i = route_on_page p c in
+    let child = if i < 0 then Page.aux p else (slot_entry p i).aux in
+    leaf_for read child c
+  | Page.Free | Page.Heap_page | Page.Meta -> invalid_arg "Btree.leaf_for: not an index page"
+
+(* Visit entries with composite in [lo, hi]; [f] returns false to stop. *)
+let range (read : Pager.read) t ~lo ~hi ~f =
+  let exception Stop in
+  let start = leaf_for read t.root lo in
+  try
+    let rec walk pid ~first =
+      let p = read pid in
+      let n = Page.nslots p in
+      let from = if first then lower_bound_page p lo else 0 in
+      for i = from to n - 1 do
+        let e = slot_entry p i in
+        let c = (e.key, e.aux) in
+        if compare_composite c hi > 0 then raise Stop
+        else if compare_composite c lo >= 0 then if not (f e.key e.aux) then raise Stop
+      done;
+      let next = Page.next p in
+      if next >= 0 then walk next ~first:false
+    in
+    walk start ~first:true
+  with Stop -> ()
+
+let min_composite = ([| |], min_int)
+
+(* Iteration with a lower bound only (no upper bound exists for rows in
+   general: they compare by length last). *)
+let iter_from (read : Pager.read) t ~lo ~f =
+  let exception Stop in
+  let start = leaf_for read t.root lo in
+  try
+    let rec walk pid ~first =
+      let p = read pid in
+      let n = Page.nslots p in
+      let from = if first then lower_bound_page p lo else 0 in
+      for i = from to n - 1 do
+        let e = slot_entry p i in
+        if not (f e.key e.aux) then raise Stop
+      done;
+      let next = Page.next p in
+      if next >= 0 then walk next ~first:false
+    in
+    walk start ~first:true
+  with Stop -> ()
+
+let iter_all read t ~f = iter_from read t ~lo:min_composite ~f:(fun k r -> f k r; true)
+
+(* Entries whose key columns equal [key] exactly. *)
+let lookup read t key ~f =
+  range read t ~lo:(key, min_int) ~hi:(key, max_int) ~f:(fun _ rid -> f rid; true)
+
+let delete txn t key rid =
+  let c = (key, rid) in
+  let pid = leaf_for (Txn.read_ctx txn) t.root c in
+  let p = Txn.read txn pid in
+  let i = lower_bound_page p c in
+  if
+    i < Page.nslots p
+    &&
+    let e = slot_entry p i in
+    compare_composite (e.key, e.aux) c = 0
+  then begin
+    let w = Txn.write txn pid in
+    Page.remove_at w i;
+    true
+  end
+  else false
+
+let count read t =
+  let n = ref 0 in
+  iter_all read t ~f:(fun _ _ -> incr n);
+  !n
+
+(* Pages reachable from the root (index size experiments). *)
+let page_count read t =
+  let n = ref 0 in
+  let rec go pid =
+    incr n;
+    let p = read pid in
+    match Page.kind p with
+    | Page.Btree_leaf -> ()
+    | Page.Btree_interior ->
+      go (Page.aux p);
+      Page.iter p ~f:(fun _ data -> go (decode_entry data).aux)
+    | Page.Free | Page.Heap_page | Page.Meta -> ()
+  in
+  go t.root;
+  !n
+
+let drop txn t =
+  let read = Txn.read_ctx txn in
+  let rec go pid =
+    let p = read pid in
+    (match Page.kind p with
+    | Page.Btree_interior ->
+      go (Page.aux p);
+      Page.iter p ~f:(fun _ data -> go (decode_entry data).aux)
+    | Page.Btree_leaf | Page.Free | Page.Heap_page | Page.Meta -> ());
+    Txn.free txn pid
+  in
+  go t.root

@@ -1,0 +1,50 @@
+(** Page-based B+trees used for table indexes.
+
+    Entries are composite keys (column values, rowid): every entry is
+    unique and non-unique indexes hold duplicates naturally.  Leaves are
+    chained for range scans; the root page id is fixed for the index's
+    lifetime (recorded in the catalog), so snapshots capture indexes
+    exactly as the paper requires.  Deletion is lazy (no rebalancing). *)
+
+type t
+
+val create : Txn.t -> t
+val open_existing : int -> t
+
+val root : t -> int
+(** The fixed root page id. *)
+
+(** Insert entry (key, rid); duplicates of [key] are allowed as long as
+    rids differ. *)
+val insert : Txn.t -> t -> Record.row -> int -> unit
+
+(** Remove exactly the (key, rid) entry; returns whether it existed. *)
+val delete : Txn.t -> t -> Record.row -> int -> bool
+
+(** Visit every rid whose key columns equal [key]. *)
+val lookup : Pager.read -> t -> Record.row -> f:(int -> unit) -> unit
+
+(** Visit entries with composite (key, rid) in [lo, hi] (inclusive);
+    [f] returns [false] to stop.  Use [(k, min_int)]/[(k, max_int)] to
+    form bounds around a key. *)
+val range :
+  Pager.read -> t -> lo:Record.row * int -> hi:Record.row * int ->
+  f:(Record.row -> int -> bool) -> unit
+
+(** Ordered iteration from a lower bound to the end. *)
+val iter_from :
+  Pager.read -> t -> lo:Record.row * int -> f:(Record.row -> int -> bool) -> unit
+
+(** Full ordered iteration. *)
+val iter_all : Pager.read -> t -> f:(Record.row -> int -> unit) -> unit
+
+(** The smallest possible composite, for unbounded scans. *)
+val min_composite : Record.row * int
+
+val count : Pager.read -> t -> int
+
+(** Pages reachable from the root (index size experiments). *)
+val page_count : Pager.read -> t -> int
+
+(** Release every page of the index (DROP INDEX). *)
+val drop : Txn.t -> t -> unit

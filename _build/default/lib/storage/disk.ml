@@ -1,0 +1,50 @@
+(* Simulated block device used for the snapshot archive (Pagelog).
+
+   The container has no dedicated SSD, so instead of timing host
+   filesystem I/O (noise), reads and writes are counted and converted to
+   time by Stats.Cost_model.  Blocks are page-sized. *)
+
+type t = {
+  mutable blocks : Bytes.t array;
+  mutable n_blocks : int;
+  name : string;
+}
+
+let create ?(name = "disk") () = { blocks = Array.make 64 Bytes.empty; n_blocks = 0; name }
+
+let length t = t.n_blocks
+
+let grow t =
+  let cap = Array.length t.blocks in
+  if t.n_blocks >= cap then begin
+    let blocks = Array.make (cap * 2) Bytes.empty in
+    Array.blit t.blocks 0 blocks 0 cap;
+    t.blocks <- blocks
+  end
+
+(* Append a block; returns its index.  The block is copied so later
+   mutation by the caller cannot corrupt the archive. *)
+let append t (b : Bytes.t) =
+  grow t;
+  t.blocks.(t.n_blocks) <- Bytes.copy b;
+  t.n_blocks <- t.n_blocks + 1;
+  Stats.global.pagelog_writes <- Stats.global.pagelog_writes + 1;
+  t.n_blocks - 1
+
+let read t i =
+  if i < 0 || i >= t.n_blocks then
+    invalid_arg (Printf.sprintf "Disk.read %s: block %d/%d" t.name i t.n_blocks);
+  Stats.global.pagelog_reads <- Stats.global.pagelog_reads + 1;
+  t.blocks.(i)
+
+(* Total archive size in bytes (Pagelog growth experiments). *)
+let size_bytes t = t.n_blocks * Page.size
+
+(* Portable copies of all blocks (for backup/restore). *)
+let dump t = Array.init t.n_blocks (fun i -> Bytes.copy t.blocks.(i))
+
+let restore ?(name = "disk") blocks =
+  let n = Array.length blocks in
+  let t = { blocks = Array.make (max 64 n) Bytes.empty; n_blocks = n; name } in
+  Array.iteri (fun i b -> t.blocks.(i) <- Bytes.copy b) blocks;
+  t

@@ -1,0 +1,28 @@
+(** Simulated block device backing the snapshot archive (Pagelog).
+
+    Reads and writes are counted into {!Stats.global} and converted to
+    modeled time by {!Stats.Cost_model}; see DESIGN.md for the
+    substitution rationale.  Blocks are page-sized and copied on append,
+    so later mutation of the source buffer cannot corrupt the archive. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+(** Blocks written so far. *)
+val length : t -> int
+
+(** Append a copy of the block; returns its index. *)
+val append : t -> Bytes.t -> int
+
+(** @raise Invalid_argument on an out-of-range index. *)
+val read : t -> int -> Bytes.t
+
+val size_bytes : t -> int
+
+(** {1 Backup} *)
+
+(** Portable copies of all blocks. *)
+val dump : t -> Bytes.t array
+
+val restore : ?name:string -> Bytes.t array -> t

@@ -1,0 +1,56 @@
+(** Heap files: page chains holding serialized rows.
+
+    A table's rows live on a chain of slotted pages linked through the
+    page header's [next] field; the chain head is recorded in the
+    catalog, so a query running AS OF a snapshot follows the chain as it
+    existed in that snapshot.
+
+    A handle carries an advisory in-memory free-space map so deleted
+    space is found by later inserts; correctness never depends on it
+    (pages are re-checked before use). *)
+
+type t
+
+(** Allocate a fresh chain head inside [txn]. *)
+val create : Txn.t -> t
+
+(** Handle on an existing chain (e.g. from the catalog). *)
+val open_existing : int -> t
+
+val first_page : t -> int
+
+(** Row ids encode (page id, slot); stable across in-place updates. *)
+val rid_of : pid:int -> slot:int -> int
+
+val pid_of_rid : int -> int
+val slot_of_rid : int -> int
+
+(** Insert a row, reusing freed space when possible, extending the
+    chain otherwise.  Returns the new rid.
+    @raise Invalid_argument if the record exceeds a page. *)
+val insert : Txn.t -> t -> string -> int
+
+(** Fetch a row through any read context (committed, transaction-local
+    or Retro snapshot). *)
+val get : Pager.read -> t -> int -> string option
+
+(** Delete by rid; returns whether the row existed. *)
+val delete : Txn.t -> t -> int -> bool
+
+(** Update in place when the new bytes fit, else delete + reinsert
+    ([`Moved] carries the new rid). *)
+val update : Txn.t -> t -> int -> string -> [ `Same | `Moved of int ]
+
+(** Visit every live row in chain order. *)
+val iter : Pager.read -> t -> f:(int -> string -> unit) -> unit
+
+(** Like {!iter} but [f] returns [false] to stop early. *)
+val iter_while : Pager.read -> t -> f:(int -> string -> bool) -> unit
+
+val count : Pager.read -> t -> int
+
+(** Pages in the chain (size experiments). *)
+val page_count : Pager.read -> t -> int
+
+(** Release every page of the chain (DROP TABLE). *)
+val drop : Txn.t -> t -> unit

@@ -1,0 +1,29 @@
+(** A small LRU cache keyed by ints (the snapshot page cache).
+    Hashtable over a doubly-linked list; all operations O(1). *)
+
+type 'a t
+
+(** @raise Invalid_argument if [capacity < 1]. *)
+val create : int -> 'a t
+
+val length : 'a t -> int
+
+(** Lookup; a hit refreshes recency.  Counts into {!stats}. *)
+val find : 'a t -> int -> 'a option
+
+(** Membership without touching recency or stats. *)
+val mem : 'a t -> int -> bool
+
+(** Insert or refresh; evicts the least recently used entry at
+    capacity. *)
+val add : 'a t -> int -> 'a -> unit
+
+val clear : 'a t -> unit
+
+(** Shrink or grow the capacity, evicting as needed. *)
+val set_capacity : 'a t -> int -> unit
+
+(** (hits, misses) accumulated by {!find}. *)
+val stats : 'a t -> int * int
+
+val reset_stats : 'a t -> unit

@@ -1,0 +1,240 @@
+(* Slotted pages.
+
+   Every database object (heap files, B+tree nodes, the catalog) lives on
+   fixed-size slotted pages so that the Retro layer can snapshot the whole
+   database uniformly at page granularity, as in the paper.
+
+   Layout (little endian):
+     0        kind byte
+     1..4     next page id (int32, -1 = none); heap chain / leaf chain
+     5..6     slot count (u16)
+     7..8     content start offset (u16) — record area is [content, size)
+     9..12    aux (int32) — B+tree interior: leftmost child; else free
+     13..15   reserved
+     16+4i    slot i: u16 record offset (0 = dead), u16 record length
+   Records are appended downward from the end of the page. *)
+
+let size = 4096
+let header = 16
+let slot_bytes = 4
+
+type kind = Free | Heap_page | Btree_leaf | Btree_interior | Meta
+
+let kind_code = function
+  | Free -> 0
+  | Heap_page -> 1
+  | Btree_leaf -> 2
+  | Btree_interior -> 3
+  | Meta -> 4
+
+let kind_of_code = function
+  | 0 -> Free
+  | 1 -> Heap_page
+  | 2 -> Btree_leaf
+  | 3 -> Btree_interior
+  | 4 -> Meta
+  | c -> invalid_arg (Printf.sprintf "Page.kind_of_code %d" c)
+
+type t = Bytes.t
+
+let get_u16 (p : t) off = Char.code (Bytes.get p off) lor (Char.code (Bytes.get p (off + 1)) lsl 8)
+
+let set_u16 (p : t) off v =
+  Bytes.set p off (Char.chr (v land 0xff));
+  Bytes.set p (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let get_i32 (p : t) off =
+  let v = Bytes.get_int32_le p off in
+  Int32.to_int v
+
+let set_i32 (p : t) off v = Bytes.set_int32_le p off (Int32.of_int v)
+
+let kind p = kind_of_code (Char.code (Bytes.get p 0))
+let set_kind p k = Bytes.set p 0 (Char.chr (kind_code k))
+let next p = get_i32 p 1
+let set_next p v = set_i32 p 1 v
+let nslots p = get_u16 p 5
+let set_nslots p v = set_u16 p 5 v
+let content p = get_u16 p 7
+let set_content p v = set_u16 p 7 v
+let aux p = get_i32 p 9
+let set_aux p v = set_i32 p 9 v
+
+let init (p : t) k =
+  Bytes.fill p 0 size '\000';
+  set_kind p k;
+  set_next p (-1);
+  set_nslots p 0;
+  set_content p size;
+  set_aux p (-1)
+
+let create k =
+  let p = Bytes.create size in
+  init p k;
+  p
+
+let slot_off p i = get_u16 p (header + (slot_bytes * i))
+let slot_len p i = get_u16 p (header + (slot_bytes * i) + 2)
+
+let set_slot p i off len =
+  set_u16 p (header + (slot_bytes * i)) off;
+  set_u16 p (header + (slot_bytes * i) + 2) len
+
+let live p i = slot_off p i <> 0
+
+(* Bytes of slot [i], or [None] if the slot is dead. *)
+let get p i =
+  if i < 0 || i >= nslots p || not (live p i) then None
+  else Some (Bytes.sub_string p (slot_off p i) (slot_len p i))
+
+let get_exn p i =
+  match get p i with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Page.get_exn: dead slot %d" i)
+
+let free_space p =
+  content p - (header + (slot_bytes * nslots p))
+
+(* Rewrite the record area dropping dead space.  Slot indexes are
+   preserved (rowids embed the slot index). *)
+let compact p =
+  let n = nslots p in
+  let recs =
+    List.init n (fun i -> if live p i then Some (i, get_exn p i) else None)
+  in
+  let pos = ref size in
+  set_content p size;
+  List.iter
+    (function
+      | None -> ()
+      | Some (i, data) ->
+        let len = String.length data in
+        pos := !pos - len;
+        Bytes.blit_string data 0 p !pos len;
+        set_slot p i !pos len)
+    recs;
+  set_content p !pos
+
+let dead_bytes p =
+  let live_bytes = ref 0 in
+  for i = 0 to nslots p - 1 do
+    if live p i then live_bytes := !live_bytes + slot_len p i
+  done;
+  size - content p - !live_bytes
+
+(* Would [insert] of a record of [len] bytes succeed (possibly after
+   compaction)? *)
+let can_insert p len =
+  let reuse = ref false in
+  (try
+     for i = 0 to nslots p - 1 do
+       if not (live p i) then begin
+         reuse := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let need = len + if !reuse then 0 else slot_bytes in
+  free_space p + dead_bytes p >= need
+
+let find_dead_slot p =
+  let n = nslots p in
+  let rec go i = if i >= n then None else if live p i then go (i + 1) else Some i in
+  go 0
+
+(* Insert a record, returning its slot index, or [None] if the page is
+   full even after compaction. *)
+let insert p data =
+  let len = String.length data in
+  if len > size - header - slot_bytes then None
+  else begin
+    let slot, slot_cost =
+      match find_dead_slot p with Some i -> i, 0 | None -> nslots p, slot_bytes
+    in
+    if free_space p < len + slot_cost && free_space p + dead_bytes p >= len + slot_cost
+    then compact p;
+    if free_space p < len + slot_cost then None
+    else begin
+      if slot = nslots p then set_nslots p (slot + 1);
+      let off = content p - len in
+      Bytes.blit_string data 0 p off len;
+      set_content p off;
+      set_slot p slot off len;
+      Some slot
+    end
+  end
+
+let delete p i =
+  if i < 0 || i >= nslots p || not (live p i) then false
+  else begin
+    set_slot p i 0 0;
+    true
+  end
+
+(* Replace slot [i] in place.  Returns false if it no longer fits, in
+   which case the slot is left unchanged and the caller must relocate. *)
+let update p i data =
+  if i < 0 || i >= nslots p || not (live p i) then false
+  else
+    let len = String.length data in
+    let old = slot_len p i in
+    if len <= old then begin
+      Bytes.blit_string data 0 p (slot_off p i) len;
+      set_slot p i (slot_off p i) len;
+      true
+    end
+    else if free_space p + dead_bytes p + old >= len then begin
+      set_slot p i 0 0;
+      if free_space p < len then compact p;
+      let off = content p - len in
+      Bytes.blit_string data 0 p off len;
+      set_content p off;
+      set_slot p i off len;
+      true
+    end
+    else false
+
+let iter p ~f =
+  for i = 0 to nslots p - 1 do
+    if live p i then f i (get_exn p i)
+  done
+
+(* Ordered insertion: create a gap at slot [i] by shifting the slot
+   directory, keeping slot order equal to key order.  Used by B+tree
+   nodes (which never have dead slots).  Returns false when the record
+   does not fit even after compaction. *)
+let insert_at p i data =
+  let n = nslots p in
+  if i < 0 || i > n then invalid_arg "Page.insert_at: bad position";
+  let len = String.length data in
+  if len > size - header - slot_bytes then false
+  else begin
+    if free_space p < len + slot_bytes && free_space p + dead_bytes p >= len + slot_bytes
+    then compact p;
+    if free_space p < len + slot_bytes then false
+    else begin
+      let off = content p - len in
+      Bytes.blit_string data 0 p off len;
+      set_content p off;
+      Bytes.blit p (header + (slot_bytes * i)) p
+        (header + (slot_bytes * (i + 1)))
+        (slot_bytes * (n - i));
+      set_nslots p (n + 1);
+      set_slot p i off len;
+      true
+    end
+  end
+
+(* Ordered removal: close the slot-directory gap at [i].  The record
+   bytes become dead space reclaimed by the next compaction. *)
+let remove_at p i =
+  let n = nslots p in
+  if i < 0 || i >= n then invalid_arg "Page.remove_at: bad position";
+  Bytes.blit p
+    (header + (slot_bytes * (i + 1)))
+    p
+    (header + (slot_bytes * i))
+    (slot_bytes * (n - i - 1));
+  set_nslots p (n - 1)
+
+let copy (p : t) : t = Bytes.copy p

@@ -1,0 +1,94 @@
+(** Slotted pages: the fixed-size unit of storage, snapshotting and
+    I/O.
+
+    A page is a [size]-byte buffer holding a header, a slot directory
+    growing down from the header and a record area growing up from the
+    end.  Heap pages keep slot indexes stable (rowids embed them);
+    B+tree node pages keep the slot directory dense and sorted via
+    {!insert_at}/{!remove_at}. *)
+
+val size : int
+(** Page size in bytes (4096). *)
+
+val header : int
+(** Header bytes reserved at the start of each page. *)
+
+val slot_bytes : int
+(** Bytes per slot-directory entry. *)
+
+type kind = Free | Heap_page | Btree_leaf | Btree_interior | Meta
+
+type t = Bytes.t
+
+(** {1 Header accessors} *)
+
+val kind : t -> kind
+val set_kind : t -> kind -> unit
+
+val next : t -> int
+(** Chain link: next heap page / next B+tree leaf; [-1] = none. *)
+
+val set_next : t -> int -> unit
+
+val nslots : t -> int
+
+val aux : t -> int
+(** Auxiliary header field (B+tree interior: leftmost child). *)
+
+val set_aux : t -> int -> unit
+
+(** {1 Lifecycle} *)
+
+(** Reset [p] to an empty page of the given kind. *)
+val init : t -> kind -> unit
+
+val create : kind -> t
+
+(** {1 Records} *)
+
+(** Bytes of slot [i], or [None] if dead/out of range. *)
+val get : t -> int -> string option
+
+(** @raise Invalid_argument on a dead slot. *)
+val get_exn : t -> int -> string
+
+val live : t -> int -> bool
+
+(** Contiguous free bytes (before compaction). *)
+val free_space : t -> int
+
+(** Bytes recoverable by {!compact}. *)
+val dead_bytes : t -> int
+
+(** Would an insert of [len] bytes succeed, counting compaction? *)
+val can_insert : t -> int -> bool
+
+(** Insert a record, reusing a dead slot if any; returns the slot index
+    or [None] if the page is full even after compaction. *)
+val insert : t -> string -> int option
+
+(** Kill slot [i]; returns whether it was live. *)
+val delete : t -> int -> bool
+
+(** Replace slot [i] in place (compacting if needed); returns [false]
+    when the new record no longer fits and the slot is left unchanged. *)
+val update : t -> int -> string -> bool
+
+(** Rewrite the record area dropping dead space; slot indexes are
+    preserved. *)
+val compact : t -> unit
+
+(** Visit live slots in slot order. *)
+val iter : t -> f:(int -> string -> unit) -> unit
+
+(** {1 Ordered slot operations (B+tree nodes)} *)
+
+(** Open a gap at slot [i] by shifting the directory, keeping slot order
+    equal to key order.  Returns [false] if the record cannot fit. *)
+val insert_at : t -> int -> string -> bool
+
+(** Close the directory gap at slot [i]; the record bytes become dead
+    space. *)
+val remove_at : t -> int -> unit
+
+val copy : t -> t

@@ -1,0 +1,99 @@
+(* The current-state database: an array of committed page images.
+
+   As in the paper's evaluation ("we assume the current state database is
+   memory resident"), current-state pages live in memory; reads are
+   counted as cheap memory fetches.  All mutation goes through Txn, which
+   calls [install] at commit; the [pre_commit_hook] is the interposition
+   point where Retro captures copy-on-write pre-states. *)
+
+type commit_event = {
+  pid : int;
+  before : Bytes.t option; (* committed image being overwritten; None for a brand-new page id *)
+}
+
+type t = {
+  mutable pages : Bytes.t option array;
+  mutable n_pages : int;
+  mutable free_list : int list;
+  mutable pre_commit_hook : commit_event list -> unit;
+}
+
+(* A read context: how a storage structure (heap, B+tree) resolves a page
+   id to bytes.  Instantiated by committed reads, transaction-local reads
+   and Retro snapshot reads. *)
+type read = int -> Bytes.t
+
+let create () =
+  { pages = Array.make 64 None; n_pages = 0; free_list = []; pre_commit_hook = (fun _ -> ()) }
+
+let n_pages t = t.n_pages
+
+let grow t wanted =
+  let cap = Array.length t.pages in
+  if wanted >= cap then begin
+    let cap' = max (cap * 2) (wanted + 1) in
+    let pages = Array.make cap' None in
+    Array.blit t.pages 0 pages 0 cap;
+    t.pages <- pages
+  end
+
+(* Committed image of a page.  Callers must treat the result as
+   read-only; Txn copies before mutating. *)
+let read_committed t pid =
+  if pid < 0 || pid >= t.n_pages then
+    invalid_arg (Printf.sprintf "Pager.read_committed: page %d/%d" pid t.n_pages);
+  Stats.global.db_page_reads <- Stats.global.db_page_reads + 1;
+  match t.pages.(pid) with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Pager.read_committed: free page %d" pid)
+
+let committed_exists t pid =
+  pid >= 0 && pid < t.n_pages && t.pages.(pid) <> None
+
+(* Reserve a page id for a transaction.  Returns the id and the previous
+   committed image if the id is recycled (needed for COW: older snapshots
+   may still reference the recycled page). *)
+let reserve t =
+  match t.free_list with
+  | pid :: rest ->
+    t.free_list <- rest;
+    (pid, t.pages.(pid))
+  | [] ->
+    let pid = t.n_pages in
+    grow t pid;
+    t.n_pages <- t.n_pages + 1;
+    Stats.global.pages_allocated <- Stats.global.pages_allocated + 1;
+    (pid, None)
+
+(* Return a reserved id that was never committed (transaction abort). *)
+let unreserve t pid = t.free_list <- pid :: t.free_list
+
+let install t pid (bytes : Bytes.t) =
+  grow t pid;
+  if pid >= t.n_pages then t.n_pages <- pid + 1;
+  t.pages.(pid) <- Some bytes;
+  Stats.global.db_page_writes <- Stats.global.db_page_writes + 1
+
+let release t pid = t.free_list <- pid :: t.free_list
+
+let read : t -> read = fun t pid -> read_committed t pid
+
+(* Portable image of the committed state (for backup/restore). *)
+type image = {
+  img_pages : Bytes.t option array;
+  img_n_pages : int;
+  img_free : int list;
+}
+
+let dump t =
+  { img_pages = Array.init t.n_pages (fun i -> Option.map Bytes.copy t.pages.(i));
+    img_n_pages = t.n_pages;
+    img_free = t.free_list }
+
+let restore img =
+  let t = create () in
+  grow t (max 0 (img.img_n_pages - 1));
+  Array.iteri (fun i p -> t.pages.(i) <- Option.map Bytes.copy p) img.img_pages;
+  t.n_pages <- img.img_n_pages;
+  t.free_list <- img.img_free;
+  t

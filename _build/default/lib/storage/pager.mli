@@ -1,0 +1,67 @@
+(** The current-state database: an array of committed page images.
+
+    As in the paper's evaluation, current-state pages are memory
+    resident; reads count as cheap memory fetches.  All mutation goes
+    through {!Txn}, which calls {!install} at commit; the
+    [pre_commit_hook] is where Retro captures copy-on-write
+    pre-states. *)
+
+type commit_event = {
+  pid : int;
+  before : Bytes.t option;
+      (** committed image being overwritten; [None] for a brand-new id *)
+}
+
+type t = {
+  mutable pages : Bytes.t option array;
+  mutable n_pages : int;
+  mutable free_list : int list;
+  mutable pre_commit_hook : commit_event list -> unit;
+}
+
+(** A read context: how a storage structure resolves a page id to bytes.
+    Instantiated by committed reads, transaction views and Retro
+    snapshot reads. *)
+type read = int -> Bytes.t
+
+val create : unit -> t
+
+val n_pages : t -> int
+
+(** Committed image; treat as read-only ({!Txn} copies before
+    mutating).
+    @raise Invalid_argument on an unallocated page. *)
+val read_committed : t -> int -> Bytes.t
+
+val committed_exists : t -> int -> bool
+
+(** Reserve a page id for a transaction; returns the previous committed
+    image when the id is recycled. *)
+val reserve : t -> int * Bytes.t option
+
+(** Return a reserved-but-never-committed id (transaction abort). *)
+val unreserve : t -> int -> unit
+
+(** Install a committed after-image (called by {!Txn.commit}). *)
+val install : t -> int -> Bytes.t -> unit
+
+(** Put a page id on the free list (its content stays readable for
+    snapshot sharing until the id is recycled). *)
+val release : t -> int -> unit
+
+(** Committed-state read context. *)
+val read : t -> read
+
+(** {1 Backup} *)
+
+type image = {
+  img_pages : Bytes.t option array;
+  img_n_pages : int;
+  img_free : int list;
+}
+
+(** Portable copy of the committed state. *)
+val dump : t -> image
+
+(** A fresh pager holding the image (no hook attached). *)
+val restore : image -> t

@@ -1,0 +1,141 @@
+(* Value model and row codec.
+
+   The engine uses SQLite-style dynamic typing with four storage classes:
+   NULL, INTEGER, REAL and TEXT.  Rows are arrays of values serialized
+   into the slotted pages of Page.t.  The ordering used by indexes and by
+   ORDER BY follows SQLite: NULL < numeric < TEXT, with INTEGER and REAL
+   compared numerically across classes. *)
+
+type value =
+  | Null
+  | Int of int
+  | Real of float
+  | Text of string
+
+type row = value array
+
+let type_name = function
+  | Null -> "NULL"
+  | Int _ -> "INTEGER"
+  | Real _ -> "REAL"
+  | Text _ -> "TEXT"
+
+let value_to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Real f ->
+    (* Render integral floats as "1.0" so output is unambiguous. *)
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.12g" f
+  | Text s -> s
+
+let pp_value ppf v = Fmt.string ppf (value_to_string v)
+
+(* Total order over storage classes (SQLite semantics). *)
+let compare_value a b =
+  let rank = function Null -> 0 | Int _ | Real _ -> 1 | Text _ -> 2 in
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> compare x y
+  | Real x, Real y -> Float.compare x y
+  | Int x, Real y -> Float.compare (float_of_int x) y
+  | Real x, Int y -> Float.compare x (float_of_int y)
+  | Text x, Text y -> String.compare x y
+  | _ -> compare (rank a) (rank b)
+
+let compare_row (a : row) (b : row) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i = n then compare (Array.length a) (Array.length b)
+    else
+      let c = compare_value a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal_value a b = compare_value a b = 0
+
+(* --- binary codec --------------------------------------------------- *)
+
+let tag_null = 0
+and tag_int = 1
+and tag_real = 2
+and tag_text = 3
+
+let put_u16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff))
+
+let put_i64_raw buf (v : int64) =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let put_i64 buf v = put_i64_raw buf (Int64.of_int v)
+
+let encode_value buf = function
+  | Null -> Buffer.add_char buf (Char.chr tag_null)
+  | Int i ->
+    Buffer.add_char buf (Char.chr tag_int);
+    put_i64 buf i
+  | Real f ->
+    Buffer.add_char buf (Char.chr tag_real);
+    put_i64_raw buf (Int64.bits_of_float f)
+  | Text s ->
+    Buffer.add_char buf (Char.chr tag_text);
+    put_u16 buf (String.length s);
+    Buffer.add_string buf s
+
+let encode_row (r : row) : string =
+  let buf = Buffer.create 64 in
+  put_u16 buf (Array.length r);
+  Array.iter (encode_value buf) r;
+  Buffer.contents buf
+
+let get_u16 s pos =
+  let v = Char.code s.[!pos] lor (Char.code s.[!pos + 1] lsl 8) in
+  pos := !pos + 2;
+  v
+
+let get_i64_raw s pos =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (Char.code s.[!pos + i])) (8 * i))
+  done;
+  pos := !pos + 8;
+  !v
+
+let get_i64 s pos = Int64.to_int (get_i64_raw s pos)
+
+let decode_value s pos =
+  let tag = Char.code s.[!pos] in
+  incr pos;
+  if tag = tag_null then Null
+  else if tag = tag_int then Int (get_i64 s pos)
+  else if tag = tag_real then Real (Int64.float_of_bits (get_i64_raw s pos))
+  else if tag = tag_text then begin
+    let len = get_u16 s pos in
+    let v = Text (String.sub s !pos len) in
+    pos := !pos + len;
+    v
+  end
+  else invalid_arg (Printf.sprintf "Record.decode_value: bad tag %d" tag)
+
+let decode_row (s : string) : row =
+  let pos = ref 0 in
+  let n = get_u16 s pos in
+  Array.init n (fun _ -> decode_value s pos)
+
+(* Approximate in-memory footprint of a row in bytes; used by the
+   memory-cost experiments (Fig 11, Sec. 5.3). *)
+let row_size (r : row) =
+  Array.fold_left
+    (fun acc v ->
+      acc
+      + match v with
+        | Null -> 1
+        | Int _ -> 9
+        | Real _ -> 9
+        | Text s -> 3 + String.length s)
+    2 r

@@ -1,0 +1,43 @@
+(** Value model and row codec.
+
+    SQLite-style dynamic typing with four storage classes.  Rows are
+    arrays of values serialized into slotted pages; the comparison order
+    (NULL < numeric < TEXT, numerics compared across classes) is shared
+    by indexes, ORDER BY and expression evaluation. *)
+
+type value =
+  | Null
+  | Int of int
+  | Real of float
+  | Text of string
+
+type row = value array
+
+(** Storage-class name, as SQLite's [typeof()] reports it. *)
+val type_name : value -> string
+
+(** Render a value for display; [Null] prints as ["NULL"], integral
+    reals as ["2.0"]. *)
+val value_to_string : value -> string
+
+val pp_value : Format.formatter -> value -> unit
+
+(** Total order over values: NULL first, then numerics (INTEGER and
+    REAL compared numerically), then TEXT byte-wise. *)
+val compare_value : value -> value -> int
+
+(** Lexicographic row comparison; shorter rows sort first on ties. *)
+val compare_row : row -> row -> int
+
+val equal_value : value -> value -> bool
+
+(** Serialize a row to bytes (length-prefixed, little-endian). *)
+val encode_row : row -> string
+
+(** Inverse of {!encode_row}.
+    @raise Invalid_argument on corrupt input. *)
+val decode_row : string -> row
+
+(** Approximate in-memory footprint in bytes (within a few bytes of the
+    encoded size); used by the memory-cost experiments. *)
+val row_size : row -> int

@@ -1,0 +1,41 @@
+(** Global cost accounting for the storage manager and the Retro
+    layer: the raw material for the per-iteration cost attribution
+    (I/O / SPT build / query evaluation / UDF) used by the benchmarks. *)
+
+type t = {
+  mutable db_page_reads : int;      (** current-state pages (memory resident) *)
+  mutable db_page_writes : int;
+  mutable pagelog_reads : int;      (** snapshot-archive reads (simulated SSD) *)
+  mutable pagelog_writes : int;
+  mutable maplog_appends : int;
+  mutable maplog_scanned : int;     (** maplog entries visited by SPT builds *)
+  mutable snap_cache_hits : int;
+  mutable snap_cache_misses : int;
+  mutable pages_allocated : int;
+  mutable txn_commits : int;
+  mutable txn_aborts : int;
+  mutable cow_archived : int;       (** pre-state pages copied out at commit *)
+}
+
+val make : unit -> t
+
+(** The single global instance (the engine is single-process). *)
+val global : t
+
+val reset : t -> unit
+val copy : t -> t
+
+(** Fieldwise [a - b]: attribute counter deltas to a code region. *)
+val diff : t -> t -> t
+
+(** Latency model for the simulated archive device, calibrated to the
+    paper's measured per-page I/O (see DESIGN.md). *)
+module Cost_model : sig
+  val ssd_read_s : float ref
+  val ssd_write_s : float ref
+
+  (** Modeled I/O seconds for a counter delta. *)
+  val io_seconds : t -> float
+end
+
+val pp : Format.formatter -> t -> unit

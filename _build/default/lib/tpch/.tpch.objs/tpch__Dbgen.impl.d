@@ -1,0 +1,1 @@
+lib/tpch/dbgen.ml: Array Data Float List Printf Rng Schema Sqldb Storage String

@@ -1,0 +1,1 @@
+lib/tpch/dbgen.mli: Rng Sqldb Storage

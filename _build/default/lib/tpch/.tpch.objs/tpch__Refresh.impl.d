@@ -1,0 +1,1 @@
+lib/tpch/refresh.ml: Array Data Dbgen Hashtbl List Rng Sqldb Storage

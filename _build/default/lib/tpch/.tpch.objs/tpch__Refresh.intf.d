@@ -1,0 +1,1 @@
+lib/tpch/refresh.mli: Dbgen Sqldb

@@ -1,0 +1,1 @@
+lib/tpch/rng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/tpch/tpch_queries.ml: Printf

@@ -1,0 +1,1 @@
+lib/tpch/workload.ml: Dbgen Float List Printf Refresh Rql Schema

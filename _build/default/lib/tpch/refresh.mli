@@ -1,0 +1,18 @@
+(** TPC-H refresh functions (the paper's update-workload building
+    blocks).  RF1 inserts new orders and their lineitems with fresh
+    keys; RF2 deletes the lowest existing order keys and their
+    lineitems — dbgen's deletion pattern, which gives each update
+    workload its clustered page touches and well-defined overwrite
+    cycle (§4). *)
+
+(** Insert [count] new open orders (recent dates) and their lineitems;
+    returns [count]. *)
+val rf1 : Dbgen.state -> Sqldb.Db.t -> count:int -> int
+
+(** Delete all rows of [table] whose [keycol] is in [keys] in one scan
+    and one transaction, maintaining indexes; returns rows deleted. *)
+val delete_by_key : Sqldb.Db.t -> table:string -> keycol:string -> int array -> int
+
+(** Delete the [count] oldest live orders and their lineitems; returns
+    orders deleted. *)
+val rf2 : Dbgen.state -> Sqldb.Db.t -> count:int -> int

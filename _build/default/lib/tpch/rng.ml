@@ -1,0 +1,41 @@
+(* Deterministic pseudo-random generator (splitmix64) so that data
+   generation and refresh streams are reproducible across runs — dbgen's
+   property that makes experiments repeatable. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [lo, hi] inclusive. *)
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Rng.int_range";
+  let span = hi - lo + 1 in
+  (* mask to 62 bits so the value fits OCaml's 63-bit int non-negatively *)
+  let r = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) in
+  lo + (r mod span)
+
+let float_range t lo hi =
+  let r = Int64.to_float (Int64.logand (next_int64 t) 0xFFFFFFFFFFFFFL) /. 4503599627370496. in
+  lo +. (r *. (hi -. lo))
+
+let pick t arr = arr.(int_range t 0 (Array.length arr - 1))
+
+(* Fisher-Yates sample of [k] distinct elements from [arr]. *)
+let sample t arr k =
+  let n = Array.length arr in
+  let k = min k n in
+  let a = Array.copy arr in
+  for i = 0 to k - 1 do
+    let j = int_range t i (n - 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.sub a 0 k

@@ -1,0 +1,19 @@
+(** Deterministic pseudo-random generator (splitmix64): data generation
+    and refresh streams are reproducible per seed, as with dbgen. *)
+
+type t
+
+val create : int -> t
+
+val next_int64 : t -> int64
+
+(** Uniform int in [lo, hi] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+val int_range : t -> int -> int -> int
+
+val float_range : t -> float -> float -> float
+
+val pick : t -> 'a array -> 'a
+
+(** [k] distinct elements, Fisher-Yates style. *)
+val sample : t -> 'a array -> int -> 'a array

@@ -1,0 +1,33 @@
+(* TPC-H schema DDL (all eight tables, full column sets).  As in the
+   paper's setup, the initial database is created without additional
+   indices; experiments add native indexes explicitly where evaluated. *)
+
+let ddl =
+  [ "CREATE TABLE region (r_regionkey INTEGER, r_name TEXT, r_comment TEXT)";
+    "CREATE TABLE nation (n_nationkey INTEGER, n_name TEXT, n_regionkey INTEGER, \
+     n_comment TEXT)";
+    "CREATE TABLE supplier (s_suppkey INTEGER, s_name TEXT, s_address TEXT, \
+     s_nationkey INTEGER, s_phone TEXT, s_acctbal REAL, s_comment TEXT)";
+    "CREATE TABLE part (p_partkey INTEGER, p_name TEXT, p_mfgr TEXT, p_brand TEXT, \
+     p_type TEXT, p_size INTEGER, p_container TEXT, p_retailprice REAL, p_comment TEXT)";
+    "CREATE TABLE partsupp (ps_partkey INTEGER, ps_suppkey INTEGER, ps_availqty INTEGER, \
+     ps_supplycost REAL, ps_comment TEXT)";
+    "CREATE TABLE customer (c_custkey INTEGER, c_name TEXT, c_address TEXT, \
+     c_nationkey INTEGER, c_phone TEXT, c_acctbal REAL, c_mktsegment TEXT, c_comment TEXT)";
+    "CREATE TABLE orders (o_orderkey INTEGER, o_custkey INTEGER, o_orderstatus TEXT, \
+     o_totalprice REAL, o_orderdate TEXT, o_orderpriority TEXT, o_clerk TEXT, \
+     o_shippriority INTEGER, o_comment TEXT)";
+    "CREATE TABLE lineitem (l_orderkey INTEGER, l_partkey INTEGER, l_suppkey INTEGER, \
+     l_linenumber INTEGER, l_quantity INTEGER, l_extendedprice REAL, l_discount REAL, \
+     l_tax REAL, l_returnflag TEXT, l_linestatus TEXT, l_shipdate TEXT, l_commitdate TEXT, \
+     l_receiptdate TEXT, l_shipinstruct TEXT, l_shipmode TEXT, l_comment TEXT)" ]
+
+(* Row counts at scale factor 1, per the TPC-H specification.  Scaled
+   counts are rounded and floored at small minimums so tiny scale
+   factors stay usable. *)
+let sf1_supplier = 10_000
+let sf1_part = 200_000
+let sf1_customer = 150_000
+let sf1_orders = 1_500_000
+
+let scaled sf base minimum = max minimum (int_of_float (Float.round (float_of_int base *. sf)))

@@ -1,0 +1,110 @@
+(* TPC-H queries runnable on this engine.
+
+   The paper's evaluation uses custom queries because full TPC-H queries
+   are CPU-bound and blur the costs under study (§5); still, a credible
+   TPC-H substrate should run the benchmark's own queries.  This module
+   carries the subset expressible in the engine's dialect, parameterized
+   the way dbgen's qgen does.  Each is an ordinary SELECT, so each also
+   runs AS OF any snapshot and inside RQL mechanisms. *)
+
+(* Q1: pricing summary report.  [delta] days before the last shipdate
+   (qgen default 90); dates are ISO text so plain comparison works. *)
+let q1 ?(date = "1998-09-02") () =
+  Printf.sprintf
+    "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, \
+     SUM(l_extendedprice) AS sum_base_price, SUM(l_extendedprice * (1 - l_discount)) AS \
+     sum_disc_price, SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge, \
+     AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price, AVG(l_discount) AS \
+     avg_disc, COUNT(*) AS count_order FROM lineitem WHERE l_shipdate <= '%s' GROUP BY \
+     l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus"
+    date
+
+(* Q3: shipping priority — top unshipped orders for a market segment. *)
+let q3 ?(segment = "BUILDING") ?(date = "1995-03-15") () =
+  Printf.sprintf
+    "SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue, o_orderdate, \
+     o_shippriority FROM customer, orders, lineitem WHERE c_mktsegment = '%s' AND c_custkey \
+     = o_custkey AND l_orderkey = o_orderkey AND o_orderdate < '%s' AND l_shipdate > '%s' \
+     GROUP BY l_orderkey, o_orderdate, o_shippriority ORDER BY revenue DESC, o_orderdate \
+     LIMIT 10"
+    segment date date
+
+(* Q4: order priority checking (rewritten without EXISTS-correlation:
+   join + distinct orderkey). *)
+let q4 ?(date_lo = "1993-07-01") ?(date_hi = "1993-10-01") () =
+  Printf.sprintf
+    "SELECT o_orderpriority, COUNT(DISTINCT o_orderkey) AS order_count FROM orders, \
+     lineitem WHERE o_orderkey = l_orderkey AND o_orderdate >= '%s' AND o_orderdate < '%s' \
+     AND l_commitdate < l_receiptdate GROUP BY o_orderpriority ORDER BY o_orderpriority"
+    date_lo date_hi
+
+(* Q5: local supplier volume within a region. *)
+let q5 ?(region = "ASIA") ?(date_lo = "1994-01-01") ?(date_hi = "1995-01-01") () =
+  Printf.sprintf
+    "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM customer, \
+     orders, lineitem, supplier, nation, region WHERE c_custkey = o_custkey AND l_orderkey \
+     = o_orderkey AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey AND s_nationkey = \
+     n_nationkey AND n_regionkey = r_regionkey AND r_name = '%s' AND o_orderdate >= '%s' \
+     AND o_orderdate < '%s' GROUP BY n_name ORDER BY revenue DESC"
+    region date_lo date_hi
+
+(* Q6: forecasting revenue change — a pure range scan. *)
+let q6 ?(date_lo = "1994-01-01") ?(date_hi = "1995-01-01") ?(discount = 0.06)
+    ?(quantity = 24) () =
+  Printf.sprintf
+    "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem WHERE l_shipdate >= \
+     '%s' AND l_shipdate < '%s' AND l_discount BETWEEN %g AND %g AND l_quantity < %d"
+    date_lo date_hi (discount -. 0.01) (discount +. 0.01) quantity
+
+(* Q10: returned-item reporting. *)
+let q10 ?(date_lo = "1993-10-01") ?(date_hi = "1994-01-01") () =
+  Printf.sprintf
+    "SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue, \
+     c_acctbal, n_name, c_address, c_phone, c_comment FROM customer, orders, lineitem, \
+     nation WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND o_orderdate >= '%s' \
+     AND o_orderdate < '%s' AND l_returnflag = 'R' AND c_nationkey = n_nationkey GROUP BY \
+     c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment ORDER BY revenue \
+     DESC LIMIT 20"
+    date_lo date_hi
+
+(* Q12: shipping modes and order priority. *)
+let q12 ?(mode1 = "MAIL") ?(mode2 = "SHIP") ?(date_lo = "1994-01-01")
+    ?(date_hi = "1995-01-01") () =
+  Printf.sprintf
+    "SELECT l_shipmode, SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = \
+     '2-HIGH' THEN 1 ELSE 0 END) AS high_line_count, SUM(CASE WHEN o_orderpriority <> \
+     '1-URGENT' AND o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END) AS low_line_count FROM \
+     orders, lineitem WHERE o_orderkey = l_orderkey AND l_shipmode IN ('%s', '%s') AND \
+     l_commitdate < l_receiptdate AND l_shipdate < l_commitdate AND l_receiptdate >= '%s' \
+     AND l_receiptdate < '%s' GROUP BY l_shipmode ORDER BY l_shipmode"
+    mode1 mode2 date_lo date_hi
+
+(* Q14: promotion effect. *)
+let q14 ?(date_lo = "1995-09-01") ?(date_hi = "1995-10-01") () =
+  Printf.sprintf
+    "SELECT 100.00 * SUM(CASE WHEN p_type LIKE 'PROMO%%' THEN l_extendedprice * (1 - \
+     l_discount) ELSE 0 END) / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue \
+     FROM lineitem, part WHERE l_partkey = p_partkey AND l_shipdate >= '%s' AND l_shipdate \
+     < '%s'"
+    date_lo date_hi
+
+(* Q19 (simplified to one branch): discounted revenue for quantity and
+   container classes. *)
+let q19 ?(brand = "Brand#12") ?(quantity = 10) () =
+  Printf.sprintf
+    "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM lineitem, part WHERE \
+     p_partkey = l_partkey AND p_brand = '%s' AND l_quantity >= %d AND l_quantity <= %d AND \
+     p_size BETWEEN 1 AND 15"
+    brand quantity (quantity + 10)
+
+(* All queries with their ids, at default (qgen-style) parameters. *)
+let all =
+  [ ("Q1", q1 ());
+    ("Q3", q3 ());
+    ("Q4", q4 ());
+    ("Q5", q5 ());
+    ("Q6", q6 ());
+    ("Q10", q10 ());
+    ("Q12", q12 ());
+    ("Q14", q14 ());
+    ("Q19", q19 ()) ]

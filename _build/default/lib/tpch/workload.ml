@@ -1,0 +1,56 @@
+(* Update workloads: the paper's UW families (Table 1).
+
+   Between two consecutive snapshot declarations, a constant number of
+   orders (and their lineitems) are deleted and inserted.  UW15 deletes
+   and inserts 15K orders per snapshot at SF 1 (1% of the order
+   population); the family scales with the scale factor so the
+   diff(S1,S2)-to-database ratio — what the experiments actually measure
+   — is preserved.  UW30's overwrite cycle is ~50 snapshots, UW15's
+   ~100, as in §4 of the paper. *)
+
+type uw = {
+  uname : string;
+  fraction : float; (* of the SF1 order population, per snapshot *)
+}
+
+let uw7_5 = { uname = "UW7.5"; fraction = 0.005 }
+let uw15 = { uname = "UW15"; fraction = 0.01 }
+let uw30 = { uname = "UW30"; fraction = 0.02 }
+let uw60 = { uname = "UW60"; fraction = 0.04 }
+
+let of_name = function
+  | "UW7.5" -> uw7_5
+  | "UW15" -> uw15
+  | "UW30" -> uw30
+  | "UW60" -> uw60
+  | s -> invalid_arg ("Workload.of_name: " ^ s)
+
+let orders_per_snapshot uw ~sf =
+  max 1 (int_of_float (Float.round (uw.fraction *. float_of_int Schema.sf1_orders *. sf)))
+
+(* Expected overwrite-cycle length (snapshots until the whole order
+   population has been rewritten): 1/fraction. *)
+let overwrite_cycle uw = int_of_float (Float.round (1. /. uw.fraction))
+
+(* Run the update workload: [snapshots] rounds of (RF2 delete; RF1
+   insert; COMMIT WITH SNAPSHOT), recording each snapshot in SnapIds.
+   Returns the declared snapshot ids in order. *)
+let run (ctx : Rql.ctx) st ~uw ~snapshots =
+  let count = orders_per_snapshot uw ~sf:st.Dbgen.sf in
+  let sids = ref [] in
+  for i = 1 to snapshots do
+    ignore (Refresh.rf2 st ctx.Rql.data ~count);
+    ignore (Refresh.rf1 st ctx.Rql.data ~count);
+    let name = Printf.sprintf "%s-%d" uw.uname i in
+    sids := Rql.declare_snapshot ~name ctx :: !sids
+  done;
+  List.rev !sids
+
+(* Build a complete experiment fixture: fresh ctx, TPC-H data at [sf],
+   then [snapshots] rounds of [uw].  This is the setup phase shared by
+   the §5 experiments. *)
+let build_history ?(seed = 42) ~sf ~uw ~snapshots () =
+  let ctx = Rql.create () in
+  let st = Dbgen.generate ~seed ctx.Rql.data ~sf in
+  let sids = run ctx st ~uw ~snapshots in
+  (ctx, st, sids)

@@ -1,0 +1,1 @@
+test/test_asof.ml: Alcotest Array List Printf Sqldb Storage

@@ -1,0 +1,1 @@
+test/test_backup.ml: Alcotest Filename Rql Sqldb Storage Sys

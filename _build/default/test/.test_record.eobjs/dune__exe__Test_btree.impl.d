@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array List Printf QCheck QCheck_alcotest Storage

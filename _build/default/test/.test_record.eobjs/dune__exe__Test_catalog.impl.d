@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Array List Printf Retro Sqldb Storage

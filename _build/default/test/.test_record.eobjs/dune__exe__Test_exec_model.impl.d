@@ -1,0 +1,1 @@
+test/test_exec_model.ml: Alcotest Hashtbl List Option Printf QCheck QCheck_alcotest Sqldb Storage

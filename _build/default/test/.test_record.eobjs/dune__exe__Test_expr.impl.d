@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Printf QCheck QCheck_alcotest Sqldb Storage

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Storage String

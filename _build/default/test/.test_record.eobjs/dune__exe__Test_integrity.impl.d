@@ -1,0 +1,1 @@
+test/test_integrity.ml: Alcotest Filename Option Printf QCheck QCheck_alcotest Random Rql Sqldb Storage Sys Tpch

@@ -1,0 +1,1 @@
+test/test_lru.ml: Alcotest List QCheck QCheck_alcotest Storage

@@ -1,0 +1,1 @@
+test/test_monoid.ml: Alcotest Float List QCheck QCheck_alcotest Rql Storage String

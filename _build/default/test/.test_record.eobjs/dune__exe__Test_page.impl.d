@@ -1,0 +1,1 @@
+test/test_page.ml: Alcotest Hashtbl List Option Printf QCheck QCheck_alcotest Storage String

@@ -1,0 +1,1 @@
+test/test_page.mli:

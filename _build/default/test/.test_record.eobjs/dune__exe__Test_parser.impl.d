@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest List Option Sqldb Storage

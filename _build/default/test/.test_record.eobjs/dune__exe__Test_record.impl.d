@@ -1,0 +1,1 @@
+test/test_record.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Storage String

@@ -1,0 +1,1 @@
+test/test_retro.ml: Alcotest Char Hashtbl List Printf QCheck QCheck_alcotest Random Retro Storage String

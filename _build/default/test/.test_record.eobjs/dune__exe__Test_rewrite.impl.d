@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest List Option Rql Sqldb

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest List Printf Queue Rql Sqldb Storage String

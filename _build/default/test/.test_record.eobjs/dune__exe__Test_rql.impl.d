@@ -1,0 +1,1 @@
+test/test_rql.ml: Alcotest Array List Printf QCheck QCheck_alcotest Random Rql Sqldb Storage

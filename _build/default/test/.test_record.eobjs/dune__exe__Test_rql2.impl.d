@@ -1,0 +1,1 @@
+test/test_rql2.ml: Alcotest Array Float List Printf Retro Rql Sqldb Storage Tpch

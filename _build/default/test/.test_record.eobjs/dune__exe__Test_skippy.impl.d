@@ -1,0 +1,1 @@
+test/test_skippy.ml: Alcotest Hashtbl List Printf Retro Storage String

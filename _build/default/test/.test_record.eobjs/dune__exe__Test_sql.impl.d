@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Hashtbl List Option Printf QCheck QCheck_alcotest Sqldb Storage

@@ -1,0 +1,1 @@
+test/test_sql2.ml: Alcotest Array List Sqldb Storage

@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest List Printf Rql Sqldb Storage Tpch

@@ -1,0 +1,1 @@
+test/test_tpch_queries.ml: Alcotest Array Float Hashtbl Lazy List Option Printf Rql Sqldb Storage Tpch

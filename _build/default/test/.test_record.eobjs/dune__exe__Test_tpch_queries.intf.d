@@ -1,0 +1,1 @@
+test/test_tpch_queries.mli:

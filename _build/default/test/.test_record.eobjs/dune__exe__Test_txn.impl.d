@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest List Storage

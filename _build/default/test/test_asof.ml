@@ -1,0 +1,157 @@
+(* AS OF (snapshot query) tests through the SQL engine: historical reads,
+   schema evolution across snapshots, snapshotted indexes, interleaving
+   with updates, and the paper's Figure 1-3 walkthrough. *)
+
+module R = Storage.Record
+module E = Sqldb.Engine
+
+let value = Alcotest.testable R.pp_value R.equal_value
+let row = Alcotest.(list value)
+
+let rows_of res = List.map Array.to_list res.E.rows
+
+let snap db =
+  match (E.exec db "COMMIT WITH SNAPSHOT").E.snapshot with
+  | Some sid -> sid
+  | None -> Alcotest.fail "expected a snapshot id"
+
+let tests =
+  [ Alcotest.test_case "paper figure 1-3 walkthrough" `Quick (fun () ->
+        let db = E.create () in
+        ignore (E.exec db "CREATE TABLE LoggedIn (l_userid TEXT, l_time TEXT, l_country TEXT)");
+        ignore
+          (E.exec db
+             "INSERT INTO LoggedIn VALUES ('UserA','2008-11-09 13:23:44','USA'), \
+              ('UserB','2008-11-09 15:45:21','UK'), ('UserC','2008-11-09 15:45:21','USA')");
+        let s1 = snap db in
+        ignore (E.exec db "BEGIN");
+        ignore (E.exec db "DELETE FROM LoggedIn WHERE l_userid = 'UserA'");
+        let s2 = snap db in
+        ignore (E.exec db "BEGIN");
+        ignore
+          (E.exec db
+             "INSERT INTO LoggedIn (l_userid, l_time, l_country) VALUES ('UserD','2008-11-11 \
+              10:08:04','UK')");
+        let s3 = snap db in
+        Alcotest.(check (list int)) "snapshot ids" [ 1; 2; 3 ] [ s1; s2; s3 ];
+        let users sid =
+          rows_of
+            (E.exec db (Printf.sprintf "SELECT AS OF %d l_userid FROM LoggedIn ORDER BY l_userid" sid))
+        in
+        Alcotest.(check (list row)) "S1"
+          [ [ R.Text "UserA" ]; [ R.Text "UserB" ]; [ R.Text "UserC" ] ]
+          (users 1);
+        (* snapshot 2 reflects the declaring transaction's delete *)
+        Alcotest.(check (list row)) "S2" [ [ R.Text "UserB" ]; [ R.Text "UserC" ] ] (users 2);
+        Alcotest.(check (list row)) "S3"
+          [ [ R.Text "UserB" ]; [ R.Text "UserC" ]; [ R.Text "UserD" ] ]
+          (users 3));
+    Alcotest.test_case "as-of aggregation and joins" `Quick (fun () ->
+        let db = E.create () in
+        ignore (E.exec db "CREATE TABLE t (g TEXT, v INTEGER)");
+        ignore (E.exec db "INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 3)");
+        let s1 = snap db in
+        ignore (E.exec db "UPDATE t SET v = v * 10");
+        Alcotest.(check value) "historical sum" (R.Int 3)
+          (E.scalar db (Printf.sprintf "SELECT AS OF %d SUM(v) FROM t WHERE g = 'a'" s1));
+        Alcotest.(check value) "current sum" (R.Int 30)
+          (E.scalar db "SELECT SUM(v) FROM t WHERE g = 'a'"));
+    Alcotest.test_case "schema as of snapshot: later table invisible" `Quick (fun () ->
+        let db = E.create () in
+        ignore (E.exec db "CREATE TABLE early (x INTEGER)");
+        ignore (E.exec db "INSERT INTO early VALUES (1)");
+        let s1 = snap db in
+        ignore (E.exec db "CREATE TABLE late (y INTEGER)");
+        ignore (E.exec db "INSERT INTO late VALUES (2)");
+        Alcotest.(check value) "early visible as-of s1" (R.Int 1)
+          (E.scalar db (Printf.sprintf "SELECT AS OF %d COUNT(*) FROM early" s1));
+        Alcotest.(check bool) "late invisible as-of s1" true
+          (try
+             ignore (E.exec db (Printf.sprintf "SELECT AS OF %d COUNT(*) FROM late" s1));
+             false
+           with E.Error _ -> true);
+        Alcotest.(check value) "late visible now" (R.Int 1) (E.scalar db "SELECT COUNT(*) FROM late"));
+    Alcotest.test_case "dropped table still visible in old snapshot" `Quick (fun () ->
+        let db = E.create () in
+        ignore (E.exec db "CREATE TABLE doomed (x INTEGER)");
+        ignore (E.exec db "INSERT INTO doomed VALUES (7)");
+        let s1 = snap db in
+        ignore (E.exec db "DROP TABLE doomed");
+        Alcotest.(check value) "historical read" (R.Int 7)
+          (E.scalar db (Printf.sprintf "SELECT AS OF %d x FROM doomed" s1)));
+    Alcotest.test_case "index as of snapshot serves historical entries" `Quick (fun () ->
+        let db = E.create () in
+        ignore (E.exec db "CREATE TABLE t (k INTEGER, v TEXT)");
+        ignore (E.exec db "CREATE INDEX ik ON t (k)");
+        for i = 1 to 200 do
+          ignore (E.exec db (Printf.sprintf "INSERT INTO t VALUES (%d, 'v%d')" i i))
+        done;
+        let s1 = snap db in
+        ignore (E.exec db "DELETE FROM t WHERE k <= 100");
+        (* the WHERE k = 50 plan uses the index; as-of it must see the
+           historical entry *)
+        Alcotest.(check value) "historical index hit" (R.Text "v50")
+          (E.scalar db (Printf.sprintf "SELECT AS OF %d v FROM t WHERE k = 50" s1));
+        Alcotest.(check int) "current index miss" 0
+          (E.int_scalar db "SELECT COUNT(*) FROM t WHERE k = 50"));
+    Alcotest.test_case "many snapshots, point lookups at each" `Quick (fun () ->
+        let db = E.create () in
+        ignore (E.exec db "CREATE TABLE c (n INTEGER)");
+        ignore (E.exec db "INSERT INTO c VALUES (0)");
+        let sids =
+          List.init 20 (fun i ->
+              ignore (E.exec db (Printf.sprintf "UPDATE c SET n = %d" (i + 1)));
+              snap db)
+        in
+        List.iteri
+          (fun i sid ->
+            Alcotest.(check value)
+              (Printf.sprintf "as of %d" sid)
+              (R.Int (i + 1))
+              (E.scalar db (Printf.sprintf "SELECT AS OF %d n FROM c" sid)))
+          sids);
+    Alcotest.test_case "as-of rejects unknown and future snapshots" `Quick (fun () ->
+        let db = E.create () in
+        ignore (E.exec db "CREATE TABLE t (x INTEGER)");
+        let _s1 = snap db in
+        List.iter
+          (fun sid ->
+            Alcotest.(check bool)
+              (Printf.sprintf "sid %d" sid)
+              true
+              (try
+                 ignore (E.exec db (Printf.sprintf "SELECT AS OF %d * FROM t" sid));
+                 false
+               with E.Error _ -> true))
+          [ 0; 2; -1; 99 ]);
+    Alcotest.test_case "snapshot query does not block later updates" `Quick (fun () ->
+        let db = E.create () in
+        ignore (E.exec db "CREATE TABLE t (x INTEGER)");
+        ignore (E.exec db "INSERT INTO t VALUES (1)");
+        let s1 = snap db in
+        (* interleave: snapshot read, update, snapshot read again *)
+        Alcotest.(check value) "read 1" (R.Int 1)
+          (E.scalar db (Printf.sprintf "SELECT AS OF %d x FROM t" s1));
+        ignore (E.exec db "UPDATE t SET x = 2");
+        Alcotest.(check value) "read 2 unchanged" (R.Int 1)
+          (E.scalar db (Printf.sprintf "SELECT AS OF %d x FROM t" s1));
+        Alcotest.(check value) "current" (R.Int 2) (E.scalar db "SELECT x FROM t"));
+    Alcotest.test_case "snapshot outside transaction captures committed state" `Quick
+      (fun () ->
+        let db = E.create () in
+        ignore (E.exec db "CREATE TABLE t (x INTEGER)");
+        ignore (E.exec db "INSERT INTO t VALUES (42)");
+        let s = snap db in
+        ignore (E.exec db "DELETE FROM t");
+        Alcotest.(check value) "captured" (R.Int 42)
+          (E.scalar db (Printf.sprintf "SELECT AS OF %d x FROM t" s)));
+    Alcotest.test_case "non-snapshot database rejects AS OF" `Quick (fun () ->
+        let db = E.create ~snapshots:false () in
+        ignore (E.exec db "CREATE TABLE t (x INTEGER)");
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (E.exec db "SELECT AS OF 1 * FROM t");
+             false
+           with E.Error _ -> true)) ]
+
+let () = Alcotest.run "asof" [ ("asof", tests) ]

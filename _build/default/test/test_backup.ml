@@ -1,0 +1,108 @@
+(* Backup/restore tests: a saved database reopens with its full snapshot
+   history, AS OF queries and RQL mechanisms keep working, and new
+   snapshots stack on top of the restored history. *)
+
+module R = Storage.Record
+module E = Sqldb.Engine
+
+let value = Alcotest.testable R.pp_value R.equal_value
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let build_ctx () =
+  let ctx = Rql.create () in
+  let e sql = ignore (E.exec ctx.Rql.data sql) in
+  e "CREATE TABLE LoggedIn (l_userid TEXT, l_time TEXT, l_country TEXT)";
+  e
+    "INSERT INTO LoggedIn VALUES ('UserA','2008-11-09 13:23:44','USA'), ('UserB','2008-11-09 \
+     15:45:21','UK'), ('UserC','2008-11-09 15:45:21','USA')";
+  ignore (Rql.declare_snapshot ~name:"s1" ctx);
+  e "DELETE FROM LoggedIn WHERE l_userid = 'UserA'";
+  ignore (Rql.declare_snapshot ~name:"s2" ctx);
+  e "INSERT INTO LoggedIn VALUES ('UserD','2008-11-11 10:08:04','UK')";
+  ignore (Rql.declare_snapshot ~name:"s3" ctx);
+  ctx
+
+let tests =
+  [ Alcotest.test_case "db-level save/load preserves data" `Quick (fun () ->
+        let db = E.create ~snapshots:false () in
+        ignore (E.exec db "CREATE TABLE t (a INTEGER, b TEXT)");
+        ignore (E.exec db "INSERT INTO t VALUES (1,'x'), (2,'y')");
+        ignore (E.exec db "CREATE INDEX ia ON t (a)");
+        let path = tmp "rql_test_db.img" in
+        Sqldb.Backup.save db ~path;
+        let db2 = Sqldb.Backup.load ~path in
+        Alcotest.(check int) "rows" 2 (E.int_scalar db2 "SELECT COUNT(*) FROM t");
+        Alcotest.(check value) "index works" (R.Text "y")
+          (E.scalar db2 "SELECT b FROM t WHERE a = 2");
+        (* the original is unaffected by writes to the copy *)
+        ignore (E.exec db2 "DELETE FROM t");
+        Alcotest.(check int) "original intact" 2 (E.int_scalar db "SELECT COUNT(*) FROM t");
+        Sys.remove path);
+    Alcotest.test_case "snapshot history survives a reload" `Quick (fun () ->
+        let ctx = build_ctx () in
+        let path = tmp "rql_test_ctx.img" in
+        Rql.save ctx ~path;
+        let ctx2 = Rql.load ~path in
+        Alcotest.(check int) "snapids" 3
+          (E.int_scalar ctx2.Rql.meta "SELECT COUNT(*) FROM SnapIds");
+        Alcotest.(check int) "as of 1" 3
+          (E.int_scalar ctx2.Rql.data "SELECT AS OF 1 COUNT(*) FROM LoggedIn");
+        Alcotest.(check int) "as of 2" 2
+          (E.int_scalar ctx2.Rql.data "SELECT AS OF 2 COUNT(*) FROM LoggedIn");
+        Alcotest.(check value) "named snapshot" (R.Text "s2")
+          (E.scalar ctx2.Rql.meta "SELECT snap_name FROM SnapIds WHERE snap_id = 2");
+        Sys.remove path);
+    Alcotest.test_case "mechanisms work on a restored context" `Quick (fun () ->
+        let ctx = build_ctx () in
+        let path = tmp "rql_test_ctx2.img" in
+        Rql.save ctx ~path;
+        let ctx2 = Rql.load ~path in
+        let run =
+          Rql.collate_data ctx2 ~qs:"SELECT snap_id FROM SnapIds"
+            ~qq:"SELECT DISTINCT l_userid, current_snapshot() AS sid FROM LoggedIn"
+            ~table:"T"
+        in
+        Alcotest.(check int) "rows" 8 run.Rql.Iter_stats.result_rows;
+        (* the SQL-UDF form was re-registered too *)
+        ignore
+          (E.exec ctx2.Rql.meta
+             "SELECT CollateData(snap_id, 'SELECT l_userid FROM LoggedIn', 'T2') FROM SnapIds");
+        Alcotest.(check int) "udf rows" 8 (E.int_scalar ctx2.Rql.meta "SELECT COUNT(*) FROM T2");
+        Sys.remove path);
+    Alcotest.test_case "new snapshots stack on a restored history" `Quick (fun () ->
+        let ctx = build_ctx () in
+        let path = tmp "rql_test_ctx3.img" in
+        Rql.save ctx ~path;
+        let ctx2 = Rql.load ~path in
+        ignore (E.exec ctx2.Rql.data "DELETE FROM LoggedIn WHERE l_userid = 'UserB'");
+        let s4 = Rql.declare_snapshot ctx2 in
+        Alcotest.(check int) "id continues" 4 s4;
+        Alcotest.(check int) "as of 4" 2
+          (E.int_scalar ctx2.Rql.data "SELECT AS OF 4 COUNT(*) FROM LoggedIn");
+        (* COW still protects the restored snapshots *)
+        Alcotest.(check int) "as of 3 unchanged" 3
+          (E.int_scalar ctx2.Rql.data "SELECT AS OF 3 COUNT(*) FROM LoggedIn");
+        Sys.remove path);
+    Alcotest.test_case "open transaction blocks backup" `Quick (fun () ->
+        let db = E.create () in
+        ignore (E.exec db "CREATE TABLE t (a INTEGER)");
+        ignore (E.exec db "BEGIN");
+        Alcotest.(check bool) "raises" true
+          (try
+             Sqldb.Backup.save db ~path:(tmp "nope.img");
+             false
+           with Sqldb.Backup.Error _ -> true));
+    Alcotest.test_case "garbage file rejected" `Quick (fun () ->
+        let path = tmp "rql_garbage.img" in
+        let oc = open_out_bin path in
+        output_string oc "this is not a database";
+        close_out oc;
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Sqldb.Backup.load ~path);
+             false
+           with Sqldb.Backup.Error _ -> true);
+        Sys.remove path) ]
+
+let () = Alcotest.run "backup" [ ("backup", tests) ]

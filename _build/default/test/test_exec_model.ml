@@ -1,0 +1,188 @@
+(* Differential property tests for the executor: random data and random
+   query shapes are checked against straightforward OCaml models —
+   filtering, projection, DISTINCT, ORDER BY + LIMIT/OFFSET, equi-joins
+   and LEFT JOIN, with and without indexes (so both access paths are
+   exercised against the same model). *)
+
+module R = Storage.Record
+module E = Sqldb.Engine
+
+let gen_rows =
+  QCheck.Gen.(
+    list_size (int_bound 80)
+      (pair (int_bound 12) (pair (int_bound 8) (string_size ~gen:(char_range 'a' 'e') (return 1)))))
+
+let arb_rows =
+  QCheck.make ~print:(fun l -> Printf.sprintf "<%d rows>" (List.length l)) gen_rows
+
+let load ?(indexed = false) rows =
+  let db = E.create ~snapshots:false () in
+  ignore (E.exec db "CREATE TABLE m (a INTEGER, b INTEGER, c TEXT)");
+  if indexed then ignore (E.exec db "CREATE INDEX ma ON m (a)");
+  List.iter
+    (fun (a, (b, c)) ->
+      ignore (E.exec db (Printf.sprintf "INSERT INTO m VALUES (%d, %d, '%s')" a b c)))
+    rows;
+  db
+
+let ints_of rows = List.map (fun r -> match r with [| R.Int i |] -> i | _ -> min_int) rows
+
+(* WHERE + projection against List.filter, with and without an index on
+   the filtered column. *)
+let prop_where =
+  QCheck.Test.make ~name:"WHERE matches model (seq scan and index scan)" ~count:50
+    (QCheck.pair arb_rows (QCheck.int_bound 12))
+    (fun (rows, k) ->
+      let expected =
+        List.filter (fun (a, (b, _)) -> a = k && b < 4) rows |> List.map (fun (_, (b, _)) -> b)
+        |> List.sort compare
+      in
+      List.for_all
+        (fun indexed ->
+          let db = load ~indexed rows in
+          let got =
+            ints_of (E.exec db (Printf.sprintf "SELECT b FROM m WHERE a = %d AND b < 4" k)).E.rows
+            |> List.sort compare
+          in
+          got = expected)
+        [ false; true ])
+
+(* ORDER BY multiple keys + LIMIT/OFFSET against List.sort. *)
+let prop_order_limit =
+  QCheck.Test.make ~name:"ORDER BY + LIMIT/OFFSET matches model" ~count:50
+    (QCheck.triple arb_rows (QCheck.int_bound 10) (QCheck.int_bound 5))
+    (fun (rows, limit, offset) ->
+      let db = load rows in
+      let got =
+        (E.exec db
+           (Printf.sprintf "SELECT a, b FROM m ORDER BY a DESC, b ASC LIMIT %d OFFSET %d"
+              limit offset))
+          .E.rows
+        |> List.map (fun r -> match r with [| R.Int a; R.Int b |] -> (a, b) | _ -> (0, 0))
+      in
+      let sorted =
+        List.sort
+          (fun (a1, b1) (a2, b2) -> if a1 <> a2 then compare a2 a1 else compare b1 b2)
+          (List.map (fun (a, (b, _)) -> (a, b)) rows)
+      in
+      let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t in
+      let rec take n l =
+        if n <= 0 then [] else match l with [] -> [] | h :: t -> h :: take (n - 1) t
+      in
+      got = take limit (drop offset sorted))
+
+(* DISTINCT against a set model. *)
+let prop_distinct =
+  QCheck.Test.make ~name:"DISTINCT matches model" ~count:50 arb_rows (fun rows ->
+      let db = load rows in
+      let got = List.sort compare (ints_of (E.exec db "SELECT DISTINCT a FROM m").E.rows) in
+      let expected = List.sort_uniq compare (List.map (fun (a, _) -> a) rows) in
+      got = expected)
+
+(* Equi-join against a nested-loop model, with and without an index on
+   the inner join column. *)
+let prop_join =
+  QCheck.Test.make ~name:"equi-join matches model" ~count:40 (QCheck.pair arb_rows arb_rows)
+    (fun (rows1, rows2) ->
+      let expected =
+        List.concat_map
+          (fun (a1, (b1, _)) ->
+            List.filter_map
+              (fun (a2, (b2, _)) -> if a1 = a2 then Some (a1, b1, b2) else None)
+              rows2)
+          rows1
+        |> List.sort compare
+      in
+      List.for_all
+        (fun indexed ->
+          let db = E.create ~snapshots:false () in
+          ignore (E.exec db "CREATE TABLE l (a INTEGER, b INTEGER)");
+          ignore (E.exec db "CREATE TABLE r (a INTEGER, b INTEGER)");
+          if indexed then ignore (E.exec db "CREATE INDEX ra ON r (a)");
+          List.iter
+            (fun (a, (b, _)) ->
+              ignore (E.exec db (Printf.sprintf "INSERT INTO l VALUES (%d, %d)" a b)))
+            rows1;
+          List.iter
+            (fun (a, (b, _)) ->
+              ignore (E.exec db (Printf.sprintf "INSERT INTO r VALUES (%d, %d)" a b)))
+            rows2;
+          let got =
+            (E.exec db "SELECT l.a, l.b, r.b FROM l, r WHERE l.a = r.a").E.rows
+            |> List.map (fun row ->
+                   match row with
+                   | [| R.Int a; R.Int b1; R.Int b2 |] -> (a, b1, b2)
+                   | _ -> (min_int, 0, 0))
+            |> List.sort compare
+          in
+          got = expected)
+        [ false; true ])
+
+(* LEFT JOIN against a model with null padding. *)
+let prop_left_join =
+  QCheck.Test.make ~name:"LEFT JOIN matches model" ~count:40 (QCheck.pair arb_rows arb_rows)
+    (fun (rows1, rows2) ->
+      let db = E.create ~snapshots:false () in
+      ignore (E.exec db "CREATE TABLE l (a INTEGER)");
+      ignore (E.exec db "CREATE TABLE r (a INTEGER, b INTEGER)");
+      List.iter
+        (fun (a, _) -> ignore (E.exec db (Printf.sprintf "INSERT INTO l VALUES (%d)" a)))
+        rows1;
+      List.iter
+        (fun (a, (b, _)) ->
+          ignore (E.exec db (Printf.sprintf "INSERT INTO r VALUES (%d, %d)" a b)))
+        rows2;
+      let expected =
+        List.concat_map
+          (fun (a1, _) ->
+            let matches =
+              List.filter_map
+                (fun (a2, (b2, _)) -> if a1 = a2 then Some (a1, Some b2) else None)
+                rows2
+            in
+            if matches = [] then [ (a1, None) ] else matches)
+          rows1
+        |> List.sort compare
+      in
+      let got =
+        (E.exec db "SELECT l.a, r.b FROM l LEFT JOIN r ON l.a = r.a").E.rows
+        |> List.map (fun row ->
+               match row with
+               | [| R.Int a; R.Int b |] -> (a, Some b)
+               | [| R.Int a; R.Null |] -> (a, None)
+               | _ -> (min_int, None))
+        |> List.sort compare
+      in
+      got = expected)
+
+(* Aggregates with HAVING against a model. *)
+let prop_having =
+  QCheck.Test.make ~name:"GROUP BY + HAVING matches model" ~count:40
+    (QCheck.pair arb_rows (QCheck.int_range 1 5))
+    (fun (rows, threshold) ->
+      let db = load rows in
+      let model = Hashtbl.create 8 in
+      List.iter
+        (fun (a, _) ->
+          Hashtbl.replace model a (1 + Option.value (Hashtbl.find_opt model a) ~default:0))
+        rows;
+      let expected =
+        Hashtbl.fold (fun a n acc -> if n >= threshold then (a, n) :: acc else acc) model []
+        |> List.sort compare
+      in
+      let got =
+        (E.exec db
+           (Printf.sprintf
+              "SELECT a, COUNT(*) AS n FROM m GROUP BY a HAVING n >= %d" threshold))
+          .E.rows
+        |> List.map (fun r -> match r with [| R.Int a; R.Int n |] -> (a, n) | _ -> (0, 0))
+        |> List.sort compare
+      in
+      got = expected)
+
+let () =
+  Alcotest.run "exec-model"
+    [ ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_where; prop_order_limit; prop_distinct; prop_join; prop_left_join;
+            prop_having ] ) ]

@@ -1,0 +1,121 @@
+(* Expression evaluation tests: SQL three-valued logic, arithmetic and
+   coercions, LIKE matching, CASE, and builtin scalar functions — driven
+   through the engine so parsing is exercised too. *)
+
+module R = Storage.Record
+module E = Sqldb.Engine
+
+let db = E.create ~snapshots:false ()
+
+let value = Alcotest.testable R.pp_value R.equal_value
+
+let check name sql expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.check value sql expected (E.scalar db ("SELECT " ^ sql)))
+
+let arithmetic =
+  [ check "int addition" "1 + 2" (R.Int 3);
+    check "mixed promotes to real" "1 + 2.5" (R.Real 3.5);
+    check "integer division truncates" "7 / 2" (R.Int 3);
+    check "real division" "7.0 / 2" (R.Real 3.5);
+    check "division by zero is NULL" "1 / 0" R.Null;
+    check "real division by zero is NULL" "1.0 / 0.0" R.Null;
+    check "modulo" "7 % 3" (R.Int 1);
+    check "unary minus" "-(3 + 4)" (R.Int (-7));
+    check "null propagates through arithmetic" "1 + NULL" R.Null;
+    check "text coerces numerically" "'3' + 4" (R.Real 7.);
+    check "concat" "'foo' || 'bar'" (R.Text "foobar");
+    check "concat of number renders" "1 || 2" (R.Text "12");
+    check "concat null is null" "'a' || NULL" R.Null ]
+
+let logic =
+  [ check "true and true" "1 AND 1" (R.Int 1);
+    check "true and false" "1 AND 0" (R.Int 0);
+    check "null and false is false" "NULL AND 0" (R.Int 0);
+    check "null and true is null" "NULL AND 1" R.Null;
+    check "null or true is true" "NULL OR 1" (R.Int 1);
+    check "null or false is null" "NULL OR 0" R.Null;
+    check "not null is null" "NOT NULL" R.Null;
+    check "comparison with null is null" "1 = NULL" R.Null;
+    check "is null" "NULL IS NULL" (R.Int 1);
+    check "is not null" "3 IS NOT NULL" (R.Int 1);
+    check "equality across numeric classes" "1 = 1.0" (R.Int 1);
+    check "text compare" "'abc' < 'abd'" (R.Int 1);
+    check "between" "5 BETWEEN 1 AND 10" (R.Int 1);
+    check "not between" "5 NOT BETWEEN 1 AND 4" (R.Int 1);
+    check "in list" "2 IN (1, 2, 3)" (R.Int 1);
+    check "not in list" "9 NOT IN (1, 2, 3)" (R.Int 1);
+    check "in with null candidate and no match" "9 IN (1, NULL)" R.Null;
+    check "in with match beats null" "1 IN (1, NULL)" (R.Int 1) ]
+
+let like =
+  [ check "percent wildcard" "'hello' LIKE 'he%'" (R.Int 1);
+    check "underscore wildcard" "'cat' LIKE 'c_t'" (R.Int 1);
+    check "case insensitive" "'HELLO' LIKE 'hello'" (R.Int 1);
+    check "no match" "'hello' LIKE 'x%'" (R.Int 0);
+    check "not like" "'hello' NOT LIKE 'x%'" (R.Int 1);
+    check "percent in middle" "'2008-11-09 13:23' LIKE '2008-11-09%'" (R.Int 1);
+    check "empty pattern" "'' LIKE ''" (R.Int 1);
+    check "pathological pattern terminates" "'aaaaaaaaaaaaaaaaaaaab' LIKE '%a%a%a%a%a%a%a%a%c'"
+      (R.Int 0) ]
+
+let case_and_functions =
+  [ check "case first match wins" "CASE WHEN 1 THEN 'a' WHEN 1 THEN 'b' END" (R.Text "a");
+    check "case else" "CASE WHEN 0 THEN 'a' ELSE 'b' END" (R.Text "b");
+    check "case no match no else" "CASE WHEN 0 THEN 'a' END" R.Null;
+    check "abs" "ABS(-4)" (R.Int 4);
+    check "abs real" "ABS(-4.5)" (R.Real 4.5);
+    check "length" "LENGTH('hello')" (R.Int 5);
+    check "lower/upper" "LOWER('AbC') || UPPER('dEf')" (R.Text "abcDEF");
+    check "substr" "SUBSTR('hello', 2, 3)" (R.Text "ell");
+    check "substr negative start" "SUBSTR('hello', -3)" (R.Text "llo");
+    check "coalesce" "COALESCE(NULL, NULL, 7, 8)" (R.Int 7);
+    check "ifnull" "IFNULL(NULL, 'd')" (R.Text "d");
+    check "nullif equal" "NULLIF(3, 3)" R.Null;
+    check "nullif different" "NULLIF(3, 4)" (R.Int 3);
+    check "typeof" "TYPEOF(3.5)" (R.Text "real");
+    check "round" "ROUND(3.14159, 2)" (R.Real 3.14);
+    check "scalar min/max" "MIN(3, 1, 2) + MAX(3, 1, 2)" (R.Int 4);
+    check "instr" "INSTR('hello', 'll')" (R.Int 3);
+    check "replace" "REPLACE('aXbXc', 'X', '-')" (R.Text "a-b-c") ]
+
+let errors =
+  [ Alcotest.test_case "unknown function" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (E.exec db "SELECT no_such_fn(1)");
+             false
+           with E.Error _ -> true));
+    Alcotest.test_case "aggregate outside aggregation rejected in WHERE" `Quick (fun () ->
+        ignore (E.exec db "CREATE TABLE IF NOT EXISTS te (x INTEGER)");
+        ignore (E.exec db "INSERT INTO te VALUES (1)");
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (E.exec db "SELECT x FROM te WHERE COUNT(*) > 1");
+             false
+           with E.Error _ -> true)) ]
+
+(* qcheck: 3VL laws via the evaluator *)
+let tri = QCheck.Gen.oneofl [ Some true; Some false; None ]
+
+let lit = function
+  | Some true -> "1"
+  | Some false -> "0"
+  | None -> "NULL"
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"De Morgan under 3VL" ~count:50
+    (QCheck.make QCheck.Gen.(pair tri tri))
+    (fun (a, b) ->
+      let q s = E.scalar db ("SELECT " ^ s) in
+      q (Printf.sprintf "NOT (%s AND %s)" (lit a) (lit b))
+      = q (Printf.sprintf "(NOT %s) OR (NOT %s)" (lit a) (lit b)))
+
+let () =
+  Alcotest.run "expr"
+    [ ("arithmetic", arithmetic);
+      ("logic", logic);
+      ("like", like);
+      ("case+functions", case_and_functions);
+      ("errors", errors);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_de_morgan ]) ]

@@ -1,0 +1,139 @@
+(* Heap file tests: chain growth, rid stability, deletion-space reuse,
+   updates that relocate, and a model-based property. *)
+
+module H = Storage.Heap
+module T = Storage.Txn
+module P = Storage.Pager
+
+let with_heap f =
+  let pager = P.create () in
+  let heap = T.with_txn pager (fun txn -> H.create txn) in
+  f pager heap
+
+let basic =
+  [ Alcotest.test_case "insert then get" `Quick (fun () ->
+        with_heap (fun pager h ->
+            let rid = T.with_txn pager (fun txn -> H.insert txn h "hello") in
+            Alcotest.(check (option string)) "get" (Some "hello") (H.get (P.read pager) h rid)));
+    Alcotest.test_case "iter in insertion order within a page" `Quick (fun () ->
+        with_heap (fun pager h ->
+            T.with_txn pager (fun txn ->
+                for i = 1 to 10 do ignore (H.insert txn h (Printf.sprintf "r%d" i)) done);
+            let out = ref [] in
+            H.iter (P.read pager) h ~f:(fun _ d -> out := d :: !out);
+            Alcotest.(check (list string))
+              "order"
+              (List.init 10 (fun i -> Printf.sprintf "r%d" (i + 1)))
+              (List.rev !out)));
+    Alcotest.test_case "chain grows past one page" `Quick (fun () ->
+        with_heap (fun pager h ->
+            let data = String.make 1000 'x' in
+            T.with_txn pager (fun txn ->
+                for _ = 1 to 50 do ignore (H.insert txn h data) done);
+            Alcotest.(check bool) "several pages" true (H.page_count (P.read pager) h > 5);
+            Alcotest.(check int) "all rows" 50 (H.count (P.read pager) h)));
+    Alcotest.test_case "delete removes row" `Quick (fun () ->
+        with_heap (fun pager h ->
+            let rid = T.with_txn pager (fun txn -> H.insert txn h "x") in
+            T.with_txn pager (fun txn -> ignore (H.delete txn h rid));
+            Alcotest.(check (option string)) "gone" None (H.get (P.read pager) h rid);
+            Alcotest.(check int) "count" 0 (H.count (P.read pager) h)));
+    Alcotest.test_case "deleted space is reused" `Quick (fun () ->
+        with_heap (fun pager h ->
+            let data = String.make 1000 'x' in
+            let rids =
+              T.with_txn pager (fun txn -> List.init 40 (fun _ -> H.insert txn h data))
+            in
+            let pages_before = H.page_count (P.read pager) h in
+            T.with_txn pager (fun txn -> List.iter (fun r -> ignore (H.delete txn h r)) rids);
+            T.with_txn pager (fun txn ->
+                for _ = 1 to 40 do ignore (H.insert txn h data) done);
+            let pages_after = H.page_count (P.read pager) h in
+            Alcotest.(check bool) "no significant growth" true (pages_after <= pages_before + 1)));
+    Alcotest.test_case "update in place keeps rid" `Quick (fun () ->
+        with_heap (fun pager h ->
+            let rid = T.with_txn pager (fun txn -> H.insert txn h "abcdef") in
+            let res = T.with_txn pager (fun txn -> H.update txn h rid "ab") in
+            Alcotest.(check bool) "same rid" true (res = `Same);
+            Alcotest.(check (option string)) "value" (Some "ab") (H.get (P.read pager) h rid)));
+    Alcotest.test_case "update that outgrows the page moves" `Quick (fun () ->
+        with_heap (fun pager h ->
+            (* fill the first page almost completely *)
+            let rid0 = T.with_txn pager (fun txn -> H.insert txn h (String.make 100 'a')) in
+            T.with_txn pager (fun txn ->
+                for _ = 1 to 9 do ignore (H.insert txn h (String.make 400 'b')) done);
+            let res =
+              T.with_txn pager (fun txn -> H.update txn h rid0 (String.make 3000 'c'))
+            in
+            (match res with
+            | `Moved rid' ->
+              Alcotest.(check (option string)) "moved value" (Some (String.make 3000 'c'))
+                (H.get (P.read pager) h rid')
+            | `Same ->
+              Alcotest.(check (option string)) "in-place value" (Some (String.make 3000 'c'))
+                (H.get (P.read pager) h rid0));
+            Alcotest.(check int) "row count stable" 10 (H.count (P.read pager) h)));
+    Alcotest.test_case "iter_while stops early" `Quick (fun () ->
+        with_heap (fun pager h ->
+            T.with_txn pager (fun txn ->
+                for i = 1 to 20 do ignore (H.insert txn h (string_of_int i)) done);
+            let n = ref 0 in
+            H.iter_while (P.read pager) h ~f:(fun _ _ ->
+                incr n;
+                !n < 5);
+            Alcotest.(check int) "stopped at 5" 5 !n)) ]
+
+(* Model-based: random inserts/deletes/updates tracked in a hashtable. *)
+type op = Ins of string | Del of int | Upd of int * string
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [ (6, map (fun s -> Ins s) (string_size (int_range 1 300)));
+        (3, map (fun i -> Del i) (int_bound 200));
+        (2, map2 (fun i s -> Upd (i, s)) (int_bound 200) (string_size (int_range 1 300))) ])
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun l -> Printf.sprintf "<%d ops>" (List.length l))
+    QCheck.Gen.(list_size (int_bound 250) gen_op)
+
+let prop_model =
+  QCheck.Test.make ~name:"heap matches model" ~count:60 arb_ops (fun ops ->
+      with_heap (fun pager h ->
+          let model : (int, string) Hashtbl.t = Hashtbl.create 64 in
+          let rids = ref [||] in
+          let nth i = if Array.length !rids = 0 then None else Some !rids.(i mod Array.length !rids) in
+          let add_rid r = rids := Array.append !rids [| r |] in
+          T.with_txn pager (fun txn ->
+              List.iter
+                (function
+                  | Ins s ->
+                    let r = H.insert txn h s in
+                    add_rid r;
+                    Hashtbl.replace model r s
+                  | Del i -> (
+                    match nth i with
+                    | Some r when Hashtbl.mem model r ->
+                      ignore (H.delete txn h r);
+                      Hashtbl.remove model r
+                    | _ -> ())
+                  | Upd (i, s) -> (
+                    match nth i with
+                    | Some r when Hashtbl.mem model r -> (
+                      match H.update txn h r s with
+                      | `Same -> Hashtbl.replace model r s
+                      | `Moved r' ->
+                        Hashtbl.remove model r;
+                        Hashtbl.replace model r' s;
+                        add_rid r')
+                    | _ -> ()))
+                ops);
+          let read = P.read pager in
+          let ok = ref (H.count read h = Hashtbl.length model) in
+          Hashtbl.iter (fun r s -> if H.get read h r <> Some s then ok := false) model;
+          !ok))
+
+let () =
+  Alcotest.run "heap"
+    [ ("basic", basic); ("properties", [ QCheck_alcotest.to_alcotest prop_model ]) ]

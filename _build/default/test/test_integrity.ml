@@ -1,0 +1,114 @@
+(* Integrity-checker tests: healthy databases pass (including after
+   heavy churn and on restored backups), and seeded corruptions are
+   detected.  Also used as a property: random workloads must leave the
+   database structurally sound. *)
+
+module R = Storage.Record
+module E = Sqldb.Engine
+module I = Sqldb.Integrity
+
+let check_clean name db =
+  Alcotest.(check (list string)) name [] (I.check db)
+
+let tests =
+  [ Alcotest.test_case "fresh database is clean" `Quick (fun () ->
+        check_clean "fresh" (E.create ()));
+    Alcotest.test_case "clean after DDL + DML + indexes" `Quick (fun () ->
+        let db = E.create () in
+        ignore (E.exec db "CREATE TABLE t (a INTEGER, b TEXT)");
+        ignore (E.exec db "CREATE INDEX ia ON t (a)");
+        ignore (E.exec db "CREATE INDEX iba ON t (b, a)");
+        for i = 1 to 500 do
+          ignore (E.exec db (Printf.sprintf "INSERT INTO t VALUES (%d, 'v%d')" (i mod 50) i))
+        done;
+        ignore (E.exec db "DELETE FROM t WHERE a % 3 = 0");
+        ignore (E.exec db "UPDATE t SET a = a + 100 WHERE a % 3 = 1");
+        check_clean "after churn" db);
+    Alcotest.test_case "clean after drops" `Quick (fun () ->
+        let db = E.create () in
+        ignore (E.exec db "CREATE TABLE t (a INTEGER)");
+        ignore (E.exec db "CREATE INDEX ia ON t (a)");
+        ignore (E.exec db "INSERT INTO t VALUES (1), (2)");
+        ignore (E.exec db "DROP INDEX ia");
+        ignore (E.exec db "DROP TABLE t");
+        ignore (E.exec db "CREATE TABLE u (x TEXT)");
+        ignore (E.exec db "INSERT INTO u VALUES ('recycled pages')");
+        check_clean "after drop and recycle" db);
+    Alcotest.test_case "clean after TPC-H history" `Quick (fun () ->
+        let ctx, _st, _ = Tpch.Workload.build_history ~sf:0.002 ~uw:Tpch.Workload.uw30 ~snapshots:5 () in
+        check_clean "tpch data db" ctx.Rql.data;
+        check_clean "tpch meta db" ctx.Rql.meta);
+    Alcotest.test_case "clean after backup round-trip" `Quick (fun () ->
+        let db = E.create () in
+        ignore (E.exec db "CREATE TABLE t (a INTEGER)");
+        ignore (E.exec db "CREATE INDEX ia ON t (a)");
+        ignore (E.exec db "INSERT INTO t VALUES (1), (2), (3)");
+        let path = Filename.concat (Filename.get_temp_dir_name ()) "rql_integ.img" in
+        Sqldb.Backup.save db ~path;
+        let db2 = Sqldb.Backup.load ~path in
+        check_clean "restored" db2;
+        Sys.remove path);
+    Alcotest.test_case "dangling index entry detected" `Quick (fun () ->
+        let db = E.create ~snapshots:false () in
+        ignore (E.exec db "CREATE TABLE t (a INTEGER)");
+        ignore (E.exec db "CREATE INDEX ia ON t (a)");
+        ignore (E.exec db "INSERT INTO t VALUES (7)");
+        (* corrupt: delete the heap row behind the index's back *)
+        let cat = Sqldb.Db.catalog db in
+        let tbl = Option.get (Sqldb.Catalog.find_table cat "t") in
+        let heap = Storage.Heap.open_existing tbl.Sqldb.Catalog.theap in
+        let rid = ref (-1) in
+        Storage.Heap.iter (Sqldb.Db.read_current db) heap ~f:(fun r _ -> rid := r);
+        Storage.Txn.with_txn Sqldb.Db.(db.pager) (fun txn ->
+            ignore (Storage.Heap.delete txn heap !rid));
+        Alcotest.(check bool) "detected" true (I.check db <> []));
+    Alcotest.test_case "entry/row count mismatch detected" `Quick (fun () ->
+        let db = E.create ~snapshots:false () in
+        ignore (E.exec db "CREATE TABLE t (a INTEGER)");
+        ignore (E.exec db "INSERT INTO t VALUES (7)");
+        ignore (E.exec db "CREATE INDEX ia ON t (a)");
+        (* corrupt: insert a heap row behind the index's back *)
+        let cat = Sqldb.Db.catalog db in
+        let tbl = Option.get (Sqldb.Catalog.find_table cat "t") in
+        let heap = Storage.Heap.open_existing tbl.Sqldb.Catalog.theap in
+        Storage.Txn.with_txn Sqldb.Db.(db.pager) (fun txn ->
+            ignore (Storage.Heap.insert txn heap (R.encode_row [| R.Int 9 |])));
+        Alcotest.(check bool) "detected" true (I.check db <> []);
+        Alcotest.(check bool) "check_exn raises" true
+          (try
+             I.check_exn db;
+             false
+           with Sqldb.Db.Error _ -> true)) ]
+
+(* Property: random DML workloads leave the database structurally
+   sound. *)
+let prop_random_workload =
+  QCheck.Test.make ~name:"random workload preserves integrity" ~count:25
+    QCheck.(pair (int_bound 10_000) (int_range 10 120))
+    (fun (seed, ops) ->
+      let rng = Random.State.make [| seed |] in
+      let db = E.create () in
+      ignore (E.exec db "CREATE TABLE t (k INTEGER, v TEXT)");
+      ignore (E.exec db "CREATE INDEX ik ON t (k)");
+      for _ = 1 to ops do
+        match Random.State.int rng 5 with
+        | 0 | 1 ->
+          ignore
+            (E.exec db
+               (Printf.sprintf "INSERT INTO t VALUES (%d, 'v%d')" (Random.State.int rng 30)
+                  (Random.State.int rng 1000)))
+        | 2 ->
+          ignore (E.exec db (Printf.sprintf "DELETE FROM t WHERE k = %d" (Random.State.int rng 30)))
+        | 3 ->
+          ignore
+            (E.exec db
+               (Printf.sprintf "UPDATE t SET k = %d WHERE k = %d" (Random.State.int rng 30)
+                  (Random.State.int rng 30)))
+        | _ -> ignore (E.exec db "COMMIT WITH SNAPSHOT")
+      done;
+      I.check db = [])
+
+let () =
+  Alcotest.run "integrity"
+    [ ("integrity", tests);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_workload ]) ]

@@ -1,0 +1,54 @@
+(* Tokenizer tests. *)
+
+open Sqldb.Lexer
+
+let token_eq a b = a = b
+
+let token_t = Alcotest.testable (fun ppf t -> Fmt.string ppf (token_to_string t)) token_eq
+
+let toks s = tokenize s
+
+let tests =
+  [ Alcotest.test_case "simple select" `Quick (fun () ->
+        Alcotest.(check (list token_t)) "tokens"
+          [ Ident "SELECT"; Star; Ident "FROM"; Ident "t"; Eof ]
+          (toks "SELECT * FROM t"));
+    Alcotest.test_case "numbers" `Quick (fun () ->
+        Alcotest.(check (list token_t)) "ints and floats"
+          [ Int_lit 42; Float_lit 3.5; Float_lit 0.5; Float_lit 1e3; Eof ]
+          (toks "42 3.5 .5 1e3"));
+    Alcotest.test_case "string literals with escapes" `Quick (fun () ->
+        Alcotest.(check (list token_t)) "escape"
+          [ Str "it's"; Eof ]
+          (toks "'it''s'"));
+    Alcotest.test_case "empty string literal" `Quick (fun () ->
+        Alcotest.(check (list token_t)) "empty" [ Str ""; Eof ] (toks "''"));
+    Alcotest.test_case "operators" `Quick (fun () ->
+        Alcotest.(check (list token_t)) "ops"
+          [ Eq; Ne; Ne; Lt; Le; Gt; Ge; Concat_op; Plus; Minus; Slash; Percent; Eof ]
+          (toks "= <> != < <= > >= || + - / %"));
+    Alcotest.test_case "comments are skipped" `Quick (fun () ->
+        Alcotest.(check (list token_t)) "line and block"
+          [ Ident "a"; Ident "b"; Eof ]
+          (toks "a -- comment\n/* block\ncomment */ b"));
+    Alcotest.test_case "quoted identifiers" `Quick (fun () ->
+        Alcotest.(check (list token_t)) "quoted" [ Ident "weird name"; Eof ]
+          (toks "\"weird name\""));
+    Alcotest.test_case "punctuation" `Quick (fun () ->
+        Alcotest.(check (list token_t)) "punct"
+          [ Lparen; Rparen; Comma; Dot; Semi; Eof ]
+          (toks "( ) , . ;"));
+    Alcotest.test_case "unterminated string raises" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (toks "'oops");
+             false
+           with Error _ -> true));
+    Alcotest.test_case "unexpected character raises" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (toks "a ? b");
+             false
+           with Error _ -> true)) ]
+
+let () = Alcotest.run "lexer" [ ("lexer", tests) ]

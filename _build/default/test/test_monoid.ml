@@ -1,0 +1,141 @@
+(* Aggregate-algebra tests: the abelian-monoid laws the paper requires
+   (associativity, commutativity, identity), first-occurrence semantics,
+   AVG's (sum, count) special case, and rejection of non-monoid
+   functions. *)
+
+module M = Rql.Monoid
+module R = Storage.Record
+
+let value = Alcotest.testable R.pp_value R.equal_value
+
+let basic =
+  [ Alcotest.test_case "of_string accepts the paper's functions" `Quick (fun () ->
+        Alcotest.(check bool) "min" true (M.of_string "MIN" = M.Min);
+        Alcotest.(check bool) "max" true (M.of_string "max" = M.Max);
+        Alcotest.(check bool) "sum" true (M.of_string " Sum " = M.Sum);
+        Alcotest.(check bool) "count" true (M.of_string "count" = M.Count);
+        Alcotest.(check bool) "avg" true (M.of_string "avg" = M.Avg));
+    Alcotest.test_case "distinct aggregations rejected with guidance" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) s true
+              (try
+                 ignore (M.of_string s);
+                 false
+               with M.Not_supported msg ->
+                 (* the message points at the CollateData workaround *)
+                 String.length msg > 0))
+          [ "count distinct"; "sum distinct"; "count_distinct"; "sum_distinct"; "median" ]);
+    Alcotest.test_case "avg is not a monoid; others are" `Quick (fun () ->
+        Alcotest.(check bool) "avg" false (M.is_monoid M.Avg);
+        List.iter (fun m -> Alcotest.(check bool) "monoid" true (M.is_monoid m))
+          [ M.Min; M.Max; M.Sum; M.Count ]);
+    Alcotest.test_case "count counts values, not their sum" `Quick (fun () ->
+        let first = M.init M.Count (R.Int 999) in
+        Alcotest.check value "first occurrence is 1" (R.Int 1) first;
+        let second = M.combine M.Count first (R.Int 999) in
+        Alcotest.check value "second is 2" (R.Int 2) second;
+        Alcotest.check value "null does not count" (R.Int 2)
+          (M.combine M.Count second R.Null));
+    Alcotest.test_case "sum mixes int and real" `Quick (fun () ->
+        Alcotest.check value "ints stay int" (R.Int 5)
+          (M.combine M.Sum (R.Int 2) (R.Int 3));
+        Alcotest.check value "mixed promotes" (R.Real 5.5)
+          (M.combine M.Sum (R.Int 2) (R.Real 3.5)));
+    Alcotest.test_case "min/max on text" `Quick (fun () ->
+        Alcotest.check value "min" (R.Text "2008-11-09")
+          (M.combine M.Min (R.Text "2008-11-10") (R.Text "2008-11-09"));
+        Alcotest.check value "max" (R.Text "2008-11-10")
+          (M.combine M.Max (R.Text "2008-11-10") (R.Text "2008-11-09")));
+    Alcotest.test_case "avg state averages and merges" `Quick (fun () ->
+        let st = M.avg_create () in
+        Alcotest.check value "empty avg is null" R.Null (M.avg_current st);
+        M.avg_step st (R.Int 1);
+        M.avg_step st (R.Int 2);
+        M.avg_step st R.Null;
+        Alcotest.check value "avg skips null" (R.Real 1.5) (M.avg_current st);
+        let st2 = M.avg_create () in
+        M.avg_step st2 (R.Int 3);
+        let merged = M.avg_merge st st2 in
+        Alcotest.check value "merged avg" (R.Real 2.) (M.avg_current merged)) ]
+
+(* --- monoid laws ------------------------------------------------------ *)
+
+let gen_value =
+  QCheck.Gen.(
+    frequency
+      [ (1, return R.Null);
+        (5, map (fun i -> R.Int i) (int_range (-1000) 1000));
+        (3, map (fun f -> R.Real (Float.round (f *. 100.) /. 100.)) (float_bound_inclusive 100.)) ])
+
+let arb_value = QCheck.make ~print:R.value_to_string gen_value
+
+let fns = [ M.Min; M.Max; M.Sum ]
+
+(* Equality for combined values: numeric tolerance for float sums. *)
+let veq a b =
+  match (a, b) with
+  | R.Real x, R.Real y -> Float.abs (x -. y) < 1e-9
+  | R.Real x, R.Int y | R.Int y, R.Real x -> Float.abs (x -. float_of_int y) < 1e-9
+  | _ -> R.equal_value a b
+
+let prop_assoc =
+  QCheck.Test.make ~name:"combine is associative" ~count:300
+    (QCheck.triple arb_value arb_value arb_value)
+    (fun (a, b, c) ->
+      List.for_all
+        (fun m ->
+          veq
+            (M.combine m (M.combine m a b) c)
+            (M.combine m a (M.combine m b c)))
+        fns)
+
+let prop_comm =
+  QCheck.Test.make ~name:"combine is commutative" ~count:300 (QCheck.pair arb_value arb_value)
+    (fun (a, b) -> List.for_all (fun m -> veq (M.combine m a b) (M.combine m b a)) fns)
+
+let prop_identity =
+  QCheck.Test.make ~name:"identity element is neutral" ~count:300 arb_value (fun a ->
+      (* NULL itself behaves as an identity (SQL aggregates skip NULL), so
+         neutrality is only meaningful on non-null values *)
+      a = R.Null
+      || List.for_all
+           (fun m ->
+             veq (M.combine m (M.identity m) a) a && veq (M.combine m a (M.identity m)) a)
+           fns)
+
+(* count: combining a fold of n non-null values yields n *)
+let prop_count =
+  QCheck.Test.make ~name:"count equals number of non-null values" ~count:200
+    (QCheck.list arb_value)
+    (fun vs ->
+      match vs with
+      | [] -> true
+      | v0 :: rest ->
+        let folded = List.fold_left (M.combine M.Count) (M.init M.Count v0) rest in
+        let expected = List.length (List.filter (fun v -> v <> R.Null) vs) in
+        veq folded (R.Int expected))
+
+(* avg equals the arithmetic mean of numeric inputs *)
+let prop_avg =
+  QCheck.Test.make ~name:"avg equals arithmetic mean" ~count:200 (QCheck.list arb_value)
+    (fun vs ->
+      let st = M.avg_create () in
+      List.iter (fun v -> M.avg_step st v) vs;
+      let nums =
+        List.filter_map
+          (function R.Int i -> Some (float_of_int i) | R.Real f -> Some f | _ -> None)
+          vs
+      in
+      match nums with
+      | [] -> M.avg_current st = R.Null
+      | _ ->
+        let mean = List.fold_left ( +. ) 0. nums /. float_of_int (List.length nums) in
+        veq (M.avg_current st) (R.Real mean))
+
+let () =
+  Alcotest.run "monoid"
+    [ ("basic", basic);
+      ( "laws",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_assoc; prop_comm; prop_identity; prop_count; prop_avg ] ) ]

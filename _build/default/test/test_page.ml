@@ -1,0 +1,132 @@
+(* Slotted-page tests: layout invariants, slot reuse, compaction, and a
+   model-based property test against a plain association list. *)
+
+module P = Storage.Page
+
+let mk () = P.create P.Heap_page
+
+let basic =
+  [ Alcotest.test_case "fresh page" `Quick (fun () ->
+        let p = mk () in
+        Alcotest.(check int) "nslots" 0 (P.nslots p);
+        Alcotest.(check int) "next" (-1) (P.next p);
+        Alcotest.(check bool) "kind" true (P.kind p = P.Heap_page);
+        Alcotest.(check int) "free" (P.size - P.header) (P.free_space p));
+    Alcotest.test_case "insert then get" `Quick (fun () ->
+        let p = mk () in
+        let s = Option.get (P.insert p "hello") in
+        Alcotest.(check (option string)) "get" (Some "hello") (P.get p s));
+    Alcotest.test_case "multiple inserts keep distinct slots" `Quick (fun () ->
+        let p = mk () in
+        let slots = List.init 10 (fun i -> Option.get (P.insert p (Printf.sprintf "rec%d" i))) in
+        List.iteri
+          (fun i s ->
+            Alcotest.(check (option string)) "get" (Some (Printf.sprintf "rec%d" i)) (P.get p s))
+          slots);
+    Alcotest.test_case "delete frees the slot" `Quick (fun () ->
+        let p = mk () in
+        let s = Option.get (P.insert p "x") in
+        Alcotest.(check bool) "delete ok" true (P.delete p s);
+        Alcotest.(check (option string)) "gone" None (P.get p s);
+        Alcotest.(check bool) "double delete fails" false (P.delete p s));
+    Alcotest.test_case "deleted slot is reused" `Quick (fun () ->
+        let p = mk () in
+        let s0 = Option.get (P.insert p "a") in
+        let _s1 = Option.get (P.insert p "b") in
+        ignore (P.delete p s0);
+        let s2 = Option.get (P.insert p "c") in
+        Alcotest.(check int) "slot reused" s0 s2);
+    Alcotest.test_case "update in place" `Quick (fun () ->
+        let p = mk () in
+        let s = Option.get (P.insert p "abcdef") in
+        Alcotest.(check bool) "shrink" true (P.update p s "xy");
+        Alcotest.(check (option string)) "value" (Some "xy") (P.get p s);
+        Alcotest.(check bool) "grow" true (P.update p s (String.make 100 'z'));
+        Alcotest.(check (option string)) "value" (Some (String.make 100 'z')) (P.get p s));
+    Alcotest.test_case "page fills up and insert fails" `Quick (fun () ->
+        let p = mk () in
+        let data = String.make 500 'd' in
+        let rec fill n = match P.insert p data with Some _ -> fill (n + 1) | None -> n in
+        let n = fill 0 in
+        Alcotest.(check bool) "filled several" true (n >= 7);
+        Alcotest.(check (option Alcotest.int)) "full" None
+          (Option.map (fun _ -> 0) (P.insert p data)));
+    Alcotest.test_case "oversized record rejected" `Quick (fun () ->
+        let p = mk () in
+        Alcotest.(check bool) "reject" true (P.insert p (String.make P.size 'x') = None));
+    Alcotest.test_case "compaction reclaims dead space" `Quick (fun () ->
+        let p = mk () in
+        let data = String.make 400 'd' in
+        let slots = List.init 9 (fun _ -> Option.get (P.insert p data)) in
+        (* delete every other record, then a 1600-byte insert requires
+           compaction to succeed *)
+        List.iteri (fun i s -> if i mod 2 = 0 then ignore (P.delete p s)) slots;
+        Alcotest.(check bool) "big insert fits after compaction" true
+          (P.insert p (String.make 1600 'e') <> None));
+    Alcotest.test_case "iter visits live slots in slot order" `Quick (fun () ->
+        let p = mk () in
+        let s0 = Option.get (P.insert p "a") in
+        let _ = Option.get (P.insert p "b") in
+        let s2 = Option.get (P.insert p "c") in
+        ignore (P.delete p s0);
+        ignore s2;
+        let seen = ref [] in
+        P.iter p ~f:(fun slot data -> seen := (slot, data) :: !seen);
+        Alcotest.(check (list (pair int string))) "live" [ (1, "b"); (2, "c") ] (List.rev !seen));
+    Alcotest.test_case "header fields survive init round" `Quick (fun () ->
+        let p = mk () in
+        P.set_next p 77;
+        P.set_aux p 123;
+        Alcotest.(check int) "next" 77 (P.next p);
+        Alcotest.(check int) "aux" 123 (P.aux p)) ]
+
+(* Model-based property: a random sequence of insert/delete/update
+   matches an association-list model. *)
+type op = Insert of string | Delete of int | Update of int * string
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [ (5, map (fun s -> Insert s) (string_size (int_range 1 60)));
+        (2, map (fun i -> Delete i) (int_bound 40));
+        (2, map2 (fun i s -> Update (i, s)) (int_bound 40) (string_size (int_range 1 60))) ])
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Insert s -> Printf.sprintf "I%d" (String.length s)
+             | Delete i -> Printf.sprintf "D%d" i
+             | Update (i, s) -> Printf.sprintf "U%d/%d" i (String.length s))
+           ops))
+    QCheck.Gen.(list_size (int_bound 120) gen_op)
+
+let prop_model =
+  QCheck.Test.make ~name:"page matches model" ~count:300 arb_ops (fun ops ->
+      let p = mk () in
+      let model : (int, string) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (function
+          | Insert s -> (
+            match P.insert p s with
+            | Some slot -> Hashtbl.replace model slot s
+            | None -> ())
+          | Delete slot -> if P.delete p slot then Hashtbl.remove model slot
+          | Update (slot, s) -> if P.update p slot s then Hashtbl.replace model slot s)
+        ops;
+      (* every model entry must be readable, and iter must visit exactly
+         the model *)
+      let ok = ref true in
+      Hashtbl.iter (fun slot s -> if P.get p slot <> Some s then ok := false) model;
+      let visited = ref 0 in
+      P.iter p ~f:(fun slot data ->
+          incr visited;
+          if Hashtbl.find_opt model slot <> Some data then ok := false);
+      !ok && !visited = Hashtbl.length model)
+
+let () =
+  Alcotest.run "page"
+    [ ("basic", basic);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_model ]) ]

@@ -1,0 +1,93 @@
+(* Unit and property tests for the value model and row codec. *)
+
+module R = Storage.Record
+
+let value = Alcotest.testable R.pp_value R.equal_value
+
+let check_roundtrip name row =
+  Alcotest.test_case name `Quick (fun () ->
+      let encoded = R.encode_row row in
+      let decoded = R.decode_row encoded in
+      Alcotest.(check int) "arity" (Array.length row) (Array.length decoded);
+      Array.iteri (fun i v -> Alcotest.check value (Printf.sprintf "col %d" i) v decoded.(i)) row)
+
+let roundtrip_cases =
+  [ check_roundtrip "empty row" [||];
+    check_roundtrip "single null" [| R.Null |];
+    check_roundtrip "ints" [| R.Int 0; R.Int 1; R.Int (-1); R.Int max_int; R.Int min_int |];
+    check_roundtrip "reals"
+      [| R.Real 0.; R.Real 1.5; R.Real (-1.5); R.Real Float.max_float; R.Real Float.min_float;
+         R.Real infinity; R.Real neg_infinity; R.Real 4900.25 |];
+    check_roundtrip "texts" [| R.Text ""; R.Text "hello"; R.Text (String.make 1000 'x') |];
+    check_roundtrip "unicode-ish text" [| R.Text "caf\xc3\xa9 \xe2\x82\xac" |];
+    check_roundtrip "quotes and newlines" [| R.Text "it's\na 'test'" |];
+    check_roundtrip "mixed"
+      [| R.Null; R.Int 42; R.Real 3.14; R.Text "mixed"; R.Null; R.Int (-7) |] ]
+
+let comparison_cases =
+  [ Alcotest.test_case "null sorts first" `Quick (fun () ->
+        Alcotest.(check bool) "null < int" true (R.compare_value R.Null (R.Int (-100)) < 0);
+        Alcotest.(check bool) "null < text" true (R.compare_value R.Null (R.Text "") < 0);
+        Alcotest.(check bool) "null = null" true (R.compare_value R.Null R.Null = 0));
+    Alcotest.test_case "numeric cross-class comparison" `Quick (fun () ->
+        Alcotest.(check bool) "1 < 1.5" true (R.compare_value (R.Int 1) (R.Real 1.5) < 0);
+        Alcotest.(check bool) "2 > 1.5" true (R.compare_value (R.Int 2) (R.Real 1.5) > 0);
+        Alcotest.(check bool) "1 = 1.0" true (R.compare_value (R.Int 1) (R.Real 1.0) = 0));
+    Alcotest.test_case "numbers before text" `Quick (fun () ->
+        Alcotest.(check bool) "int < text" true (R.compare_value (R.Int 9999) (R.Text "0") < 0);
+        Alcotest.(check bool) "real < text" true (R.compare_value (R.Real 1e30) (R.Text "") < 0));
+    Alcotest.test_case "text is byte order" `Quick (fun () ->
+        Alcotest.(check bool) "a < b" true (R.compare_value (R.Text "a") (R.Text "b") < 0);
+        Alcotest.(check bool) "A < a" true (R.compare_value (R.Text "A") (R.Text "a") < 0));
+    Alcotest.test_case "row comparison is lexicographic" `Quick (fun () ->
+        let a = [| R.Int 1; R.Text "b" |] and b = [| R.Int 1; R.Text "c" |] in
+        Alcotest.(check bool) "a < b" true (R.compare_row a b < 0);
+        Alcotest.(check bool) "prefix < longer" true (R.compare_row [| R.Int 1 |] a < 0));
+    Alcotest.test_case "value_to_string" `Quick (fun () ->
+        Alcotest.(check string) "int" "42" (R.value_to_string (R.Int 42));
+        Alcotest.(check string) "null" "NULL" (R.value_to_string R.Null);
+        Alcotest.(check string) "integral real" "2.0" (R.value_to_string (R.Real 2.));
+        Alcotest.(check string) "text" "x" (R.value_to_string (R.Text "x"))) ]
+
+(* --- qcheck ------------------------------------------------------------- *)
+
+let gen_value =
+  QCheck.Gen.(
+    frequency
+      [ (1, return R.Null);
+        (4, map (fun i -> R.Int i) int);
+        (3, map (fun f -> R.Real f) (float_bound_inclusive 1e12));
+        (3, map (fun s -> R.Text s) (string_size (int_bound 40))) ])
+
+let arb_row =
+  QCheck.make
+    ~print:(fun r ->
+      "[" ^ String.concat "; " (Array.to_list (Array.map R.value_to_string r)) ^ "]")
+    QCheck.Gen.(map Array.of_list (list_size (int_bound 12) gen_value))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:500 arb_row (fun row ->
+      let back = R.decode_row (R.encode_row row) in
+      R.compare_row row back = 0)
+
+let prop_compare_reflexive =
+  QCheck.Test.make ~name:"compare_row is reflexive" ~count:200 arb_row (fun row ->
+      R.compare_row row row = 0)
+
+let prop_compare_antisym =
+  QCheck.Test.make ~name:"compare_row antisymmetry" ~count:200 (QCheck.pair arb_row arb_row)
+    (fun (a, b) -> compare (R.compare_row a b) 0 = compare 0 (R.compare_row b a))
+
+let prop_row_size_bounds =
+  QCheck.Test.make ~name:"row_size approximates encoded size" ~count:200 arb_row (fun row ->
+      let approx = R.row_size row and actual = String.length (R.encode_row row) in
+      abs (approx - actual) <= 2 + Array.length row)
+
+let () =
+  Alcotest.run "record"
+    [ ("roundtrip", roundtrip_cases);
+      ("comparison", comparison_cases);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_compare_reflexive; prop_compare_antisym; prop_row_size_bounds ]
+      ) ]

@@ -1,0 +1,62 @@
+(* Qq rewriting tests (paper §3): AS OF injection and current_snapshot()
+   substitution, including the quote/comment pitfalls. *)
+
+module Rw = Rql.Rewrite
+
+let rewrite sql sid = Rw.rewrite sql ~sid
+
+let tests =
+  [ Alcotest.test_case "paper example" `Quick (fun () ->
+        Alcotest.(check string) "rewritten"
+          "SELECT AS OF 5 DISTINCT 5 FROM LoggedIn WHERE l_userid = 'UserB'"
+          (rewrite "SELECT DISTINCT current_snapshot() FROM LoggedIn WHERE l_userid = 'UserB'" 5));
+    Alcotest.test_case "as of injected after first select" `Quick (fun () ->
+        Alcotest.(check string) "simple" "SELECT AS OF 3 * FROM t" (rewrite "SELECT * FROM t" 3));
+    Alcotest.test_case "case-insensitive select" `Quick (fun () ->
+        Alcotest.(check string) "lower" "select AS OF 2 x FROM t" (rewrite "select x FROM t" 2));
+    Alcotest.test_case "select inside string literal untouched" `Quick (fun () ->
+        Alcotest.(check string) "string"
+          "SELECT AS OF 1 'select x' FROM t"
+          (rewrite "SELECT 'select x' FROM t" 1));
+    Alcotest.test_case "current_snapshot inside string untouched" `Quick (fun () ->
+        Alcotest.(check string) "string"
+          "SELECT AS OF 1 'current_snapshot()' FROM t"
+          (rewrite "SELECT 'current_snapshot()' FROM t" 1));
+    Alcotest.test_case "select inside comment untouched" `Quick (fun () ->
+        Alcotest.(check string) "comment"
+          "/* select */ SELECT AS OF 4 x FROM t"
+          (rewrite "/* select */ SELECT x FROM t" 4));
+    Alcotest.test_case "multiple current_snapshot occurrences" `Quick (fun () ->
+        Alcotest.(check string) "both"
+          "SELECT AS OF 9 9, 9 FROM t"
+          (rewrite "SELECT current_snapshot(), current_snapshot() FROM t" 9));
+    Alcotest.test_case "current_snapshot with inner whitespace" `Quick (fun () ->
+        Alcotest.(check string) "spaces"
+          "SELECT AS OF 7 7 FROM t"
+          (rewrite "SELECT current_snapshot ( ) FROM t" 7));
+    Alcotest.test_case "identifier containing the word is untouched" `Quick (fun () ->
+        Alcotest.(check string) "prefix"
+          "SELECT AS OF 1 current_snapshot_count FROM t"
+          (rewrite "SELECT current_snapshot_count FROM t" 1));
+    Alcotest.test_case "escaped quotes in strings" `Quick (fun () ->
+        Alcotest.(check string) "escape"
+          "SELECT AS OF 2 x FROM t WHERE s = 'it''s select'"
+          (rewrite "SELECT x FROM t WHERE s = 'it''s select'" 2));
+    Alcotest.test_case "non-select rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (rewrite "DELETE FROM t" 1);
+             false
+           with Rw.Error _ -> true));
+    Alcotest.test_case "rewritten query parses and runs" `Quick (fun () ->
+        let db = Sqldb.Engine.create () in
+        ignore (Sqldb.Engine.exec db "CREATE TABLE t (x INTEGER)");
+        ignore (Sqldb.Engine.exec db "INSERT INTO t VALUES (1)");
+        let sid =
+          Option.get (Sqldb.Engine.exec db "COMMIT WITH SNAPSHOT").Sqldb.Engine.snapshot
+        in
+        let q = rewrite "SELECT current_snapshot() AS sid FROM t" sid in
+        let res = Sqldb.Engine.exec db q in
+        Alcotest.(check int) "one row" 1 (List.length res.Sqldb.Engine.rows)) ]
+
+let () = Alcotest.run "rewrite" [ ("rewrite", tests) ]

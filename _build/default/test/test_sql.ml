@@ -1,0 +1,345 @@
+(* End-to-end SQL engine tests: DDL, DML, scans, index usage, joins,
+   aggregation, ordering, DISTINCT, LIMIT, transactions, and a
+   differential property against an in-memory relational model. *)
+
+module R = Storage.Record
+module E = Sqldb.Engine
+
+let value = Alcotest.testable R.pp_value R.equal_value
+let row = Alcotest.(list value)
+
+let rows_of res = List.map Array.to_list res.E.rows
+
+let fresh () = E.create ~snapshots:false ()
+
+let setup_people db =
+  ignore (E.exec db "CREATE TABLE people (id INTEGER, name TEXT, age INTEGER, city TEXT)");
+  ignore
+    (E.exec db
+       "INSERT INTO people VALUES (1,'alice',30,'paris'), (2,'bob',25,'london'), \
+        (3,'carol',35,'paris'), (4,'dave',25,'berlin'), (5,'eve',NULL,'paris')")
+
+let basic =
+  [ Alcotest.test_case "create, insert, select" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        let res = E.exec db "SELECT name FROM people WHERE age > 26 ORDER BY name" in
+        Alcotest.(check (list row)) "names"
+          [ [ R.Text "alice" ]; [ R.Text "carol" ] ]
+          (rows_of res));
+    Alcotest.test_case "select expression columns and aliases" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        let res = E.exec db "SELECT id * 10 AS tens FROM people WHERE id <= 2 ORDER BY id" in
+        Alcotest.(check (array string)) "header" [| "tens" |] res.E.columns;
+        Alcotest.(check (list row)) "values" [ [ R.Int 10 ]; [ R.Int 20 ] ] (rows_of res));
+    Alcotest.test_case "null comparisons exclude rows" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        Alcotest.(check int) "age > 0 excludes null age" 4
+          (E.int_scalar db "SELECT COUNT(*) FROM people WHERE age > 0"));
+    Alcotest.test_case "update" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        let res = E.exec db "UPDATE people SET age = age + 1 WHERE city = 'paris'" in
+        Alcotest.(check int) "affected (null age row too)" 3 res.E.rows_affected;
+        Alcotest.(check value) "alice is 31" (R.Int 31)
+          (E.scalar db "SELECT age FROM people WHERE name = 'alice'");
+        Alcotest.(check value) "eve still null" R.Null
+          (E.scalar db "SELECT age FROM people WHERE name = 'eve'"));
+    Alcotest.test_case "delete" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        let res = E.exec db "DELETE FROM people WHERE age = 25" in
+        Alcotest.(check int) "affected" 2 res.E.rows_affected;
+        Alcotest.(check int) "remaining" 3 (E.int_scalar db "SELECT COUNT(*) FROM people"));
+    Alcotest.test_case "insert partial columns fills nulls" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        ignore (E.exec db "INSERT INTO people (id, name) VALUES (9, 'zoe')");
+        Alcotest.(check value) "city null" R.Null
+          (E.scalar db "SELECT city FROM people WHERE id = 9"));
+    Alcotest.test_case "insert from select" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        ignore (E.exec db "CREATE TABLE parisians (id INTEGER, name TEXT)");
+        let res =
+          E.exec db "INSERT INTO parisians SELECT id, name FROM people WHERE city = 'paris'"
+        in
+        Alcotest.(check int) "inserted" 3 res.E.rows_affected);
+    Alcotest.test_case "create table as select" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        ignore (E.exec db "CREATE TABLE older AS SELECT name, age FROM people WHERE age >= 30");
+        Alcotest.(check int) "rows" 2 (E.int_scalar db "SELECT COUNT(*) FROM older");
+        let res = E.exec db "SELECT * FROM older LIMIT 1" in
+        Alcotest.(check (array string)) "header" [| "name"; "age" |] res.E.columns);
+    Alcotest.test_case "drop table" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        ignore (E.exec db "DROP TABLE people");
+        Alcotest.(check bool) "gone" true
+          (try
+             ignore (E.exec db "SELECT * FROM people");
+             false
+           with E.Error _ -> true));
+    Alcotest.test_case "duplicate table rejected, IF NOT EXISTS tolerated" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        Alcotest.(check bool) "dup raises" true
+          (try
+             ignore (E.exec db "CREATE TABLE people (x INTEGER)");
+             false
+           with E.Error _ -> true);
+        ignore (E.exec db "CREATE TABLE IF NOT EXISTS people (x INTEGER)")) ]
+
+let aggregation =
+  [ Alcotest.test_case "group by with count and avg" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        let res =
+          E.exec db
+            "SELECT city, COUNT(*) AS n, AVG(age) AS a FROM people GROUP BY city ORDER BY city"
+        in
+        Alcotest.(check (list row)) "groups"
+          [ [ R.Text "berlin"; R.Int 1; R.Real 25. ];
+            [ R.Text "london"; R.Int 1; R.Real 25. ];
+            [ R.Text "paris"; R.Int 3; R.Real 32.5 ] ]
+          (rows_of res));
+    Alcotest.test_case "aggregates ignore nulls" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        Alcotest.(check value) "count(age)" (R.Int 4) (E.scalar db "SELECT COUNT(age) FROM people");
+        Alcotest.(check value) "count(*)" (R.Int 5) (E.scalar db "SELECT COUNT(*) FROM people"));
+    Alcotest.test_case "aggregate over empty input" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        let res = E.exec db "SELECT COUNT(*), SUM(age), MIN(age) FROM people WHERE id > 100" in
+        Alcotest.(check (list row)) "one row" [ [ R.Int 0; R.Null; R.Null ] ] (rows_of res));
+    Alcotest.test_case "group by empty input yields no groups" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        let res = E.exec db "SELECT city, COUNT(*) FROM people WHERE id > 100 GROUP BY city" in
+        Alcotest.(check int) "no rows" 0 (List.length res.E.rows));
+    Alcotest.test_case "having filters groups" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        let res =
+          E.exec db "SELECT city FROM people GROUP BY city HAVING COUNT(*) > 1 ORDER BY city"
+        in
+        Alcotest.(check (list row)) "paris only" [ [ R.Text "paris" ] ] (rows_of res));
+    Alcotest.test_case "count distinct" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        Alcotest.(check value) "distinct ages" (R.Int 3)
+          (E.scalar db "SELECT COUNT(DISTINCT age) FROM people"));
+    Alcotest.test_case "sum distinct" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        Alcotest.(check value) "sum distinct ages" (R.Int 90)
+          (E.scalar db "SELECT SUM(DISTINCT age) FROM people")) ]
+
+let joins =
+  [ Alcotest.test_case "equi join via WHERE (comma form)" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        ignore (E.exec db "CREATE TABLE cities (cname TEXT, country TEXT)");
+        ignore
+          (E.exec db
+             "INSERT INTO cities VALUES ('paris','fr'), ('london','uk'), ('berlin','de')");
+        let res =
+          E.exec db
+            "SELECT name, country FROM people, cities WHERE city = cname AND age >= 30 ORDER \
+             BY name"
+        in
+        Alcotest.(check (list row)) "joined"
+          [ [ R.Text "alice"; R.Text "fr" ]; [ R.Text "carol"; R.Text "fr" ] ]
+          (rows_of res));
+    Alcotest.test_case "JOIN ... ON form" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        ignore (E.exec db "CREATE TABLE cities (cname TEXT, country TEXT)");
+        ignore (E.exec db "INSERT INTO cities VALUES ('paris','fr')");
+        Alcotest.(check int) "count" 3
+          (E.int_scalar db
+             "SELECT COUNT(*) FROM people JOIN cities ON people.city = cities.cname"));
+    Alcotest.test_case "self join with aliases" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        (* bob (25) and dave (25); NULL ages never match *)
+        Alcotest.(check int) "same-age pairs" 1
+          (E.int_scalar db
+             "SELECT COUNT(*) FROM people a, people b WHERE a.age = b.age AND a.id < b.id"));
+    Alcotest.test_case "cross join" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        ignore (E.exec db "CREATE TABLE two (x INTEGER)");
+        ignore (E.exec db "INSERT INTO two VALUES (1), (2)");
+        Alcotest.(check int) "product" 10 (E.int_scalar db "SELECT COUNT(*) FROM people, two"));
+    Alcotest.test_case "three-way join" `Quick (fun () ->
+        let db = fresh () in
+        ignore (E.exec db "CREATE TABLE a (x INTEGER)");
+        ignore (E.exec db "CREATE TABLE b (x INTEGER, y INTEGER)");
+        ignore (E.exec db "CREATE TABLE c (y INTEGER)");
+        ignore (E.exec db "INSERT INTO a VALUES (1), (2)");
+        ignore (E.exec db "INSERT INTO b VALUES (1, 10), (2, 20), (3, 30)");
+        ignore (E.exec db "INSERT INTO c VALUES (10), (30)");
+        Alcotest.(check int) "chain" 1
+          (E.int_scalar db "SELECT COUNT(*) FROM a, b, c WHERE a.x = b.x AND b.y = c.y")) ]
+
+let indexes =
+  [ Alcotest.test_case "index scan matches seq scan results" `Quick (fun () ->
+        let db = fresh () in
+        ignore (E.exec db "CREATE TABLE nums (n INTEGER, s TEXT)");
+        for i = 1 to 500 do
+          ignore (E.exec db (Printf.sprintf "INSERT INTO nums VALUES (%d, 'v%d')" (i mod 97) i))
+        done;
+        let before = E.exec db "SELECT s FROM nums WHERE n = 13 ORDER BY s" in
+        ignore (E.exec db "CREATE INDEX idx_n ON nums (n)");
+        let after = E.exec db "SELECT s FROM nums WHERE n = 13 ORDER BY s" in
+        Alcotest.(check (list row)) "same result" (rows_of before) (rows_of after);
+        let before_r = E.exec db "SELECT s FROM nums WHERE n > 90 ORDER BY s" in
+        let after_r = E.exec db "SELECT s FROM nums WHERE n > 90 ORDER BY s" in
+        Alcotest.(check (list row)) "range same" (rows_of before_r) (rows_of after_r));
+    Alcotest.test_case "index maintained by DML" `Quick (fun () ->
+        let db = fresh () in
+        ignore (E.exec db "CREATE TABLE t (k INTEGER, v TEXT)");
+        ignore (E.exec db "CREATE INDEX ik ON t (k)");
+        ignore (E.exec db "INSERT INTO t VALUES (1,'a'), (2,'b'), (3,'c')");
+        ignore (E.exec db "UPDATE t SET k = 10 WHERE v = 'b'");
+        ignore (E.exec db "DELETE FROM t WHERE v = 'c'");
+        Alcotest.(check int) "k=10 via index" 1 (E.int_scalar db "SELECT COUNT(*) FROM t WHERE k = 10");
+        Alcotest.(check int) "k=2 gone" 0 (E.int_scalar db "SELECT COUNT(*) FROM t WHERE k = 2");
+        Alcotest.(check int) "k=3 deleted" 0 (E.int_scalar db "SELECT COUNT(*) FROM t WHERE k = 3"));
+    Alcotest.test_case "drop index keeps data" `Quick (fun () ->
+        let db = fresh () in
+        ignore (E.exec db "CREATE TABLE t (k INTEGER)");
+        ignore (E.exec db "CREATE INDEX ik ON t (k)");
+        ignore (E.exec db "INSERT INTO t VALUES (5)");
+        ignore (E.exec db "DROP INDEX ik");
+        Alcotest.(check int) "still there" 1 (E.int_scalar db "SELECT COUNT(*) FROM t WHERE k = 5")) ]
+
+let ordering =
+  [ Alcotest.test_case "order by multiple keys with desc" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        let res = E.exec db "SELECT name FROM people ORDER BY city ASC, age DESC, name" in
+        Alcotest.(check (list row)) "order"
+          [ [ R.Text "dave" ]; [ R.Text "bob" ]; [ R.Text "carol" ]; [ R.Text "alice" ];
+            [ R.Text "eve" ] ]
+          (rows_of res));
+    Alcotest.test_case "nulls sort first ascending" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        let res = E.exec db "SELECT name FROM people ORDER BY age, name LIMIT 1" in
+        Alcotest.(check (list row)) "eve first" [ [ R.Text "eve" ] ] (rows_of res));
+    Alcotest.test_case "order by output position" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        let res = E.exec db "SELECT name, age FROM people WHERE age IS NOT NULL ORDER BY 2 DESC LIMIT 1" in
+        Alcotest.(check (list row)) "oldest" [ [ R.Text "carol"; R.Int 35 ] ] (rows_of res));
+    Alcotest.test_case "limit and offset" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        let res = E.exec db "SELECT id FROM people ORDER BY id LIMIT 2 OFFSET 1" in
+        Alcotest.(check (list row)) "window" [ [ R.Int 2 ]; [ R.Int 3 ] ] (rows_of res));
+    Alcotest.test_case "limit without order stops the scan early" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        let res = E.exec db "SELECT id FROM people LIMIT 3" in
+        Alcotest.(check int) "three" 3 (List.length res.E.rows));
+    Alcotest.test_case "distinct" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        let res = E.exec db "SELECT DISTINCT city FROM people ORDER BY city" in
+        Alcotest.(check (list row)) "cities"
+          [ [ R.Text "berlin" ]; [ R.Text "london" ]; [ R.Text "paris" ] ]
+          (rows_of res)) ]
+
+let transactions =
+  [ Alcotest.test_case "rollback undoes changes" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        ignore (E.exec db "BEGIN");
+        ignore (E.exec db "DELETE FROM people");
+        Alcotest.(check int) "empty inside txn" 0 (E.int_scalar db "SELECT COUNT(*) FROM people");
+        ignore (E.exec db "ROLLBACK");
+        Alcotest.(check int) "restored" 5 (E.int_scalar db "SELECT COUNT(*) FROM people"));
+    Alcotest.test_case "commit persists changes" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        ignore (E.exec db "BEGIN");
+        ignore (E.exec db "INSERT INTO people (id, name) VALUES (6, 'frank')");
+        ignore (E.exec db "COMMIT");
+        Alcotest.(check int) "persisted" 6 (E.int_scalar db "SELECT COUNT(*) FROM people"));
+    Alcotest.test_case "ddl inside transaction rolls back" `Quick (fun () ->
+        let db = fresh () in
+        ignore (E.exec db "BEGIN");
+        ignore (E.exec db "CREATE TABLE temp_t (x INTEGER)");
+        ignore (E.exec db "ROLLBACK");
+        Alcotest.(check bool) "table gone" true
+          (try
+             ignore (E.exec db "SELECT * FROM temp_t");
+             false
+           with E.Error _ -> true));
+    Alcotest.test_case "exec_rows streams with header" `Quick (fun () ->
+        let db = fresh () in
+        setup_people db;
+        let seen = ref [] in
+        E.exec_rows db "SELECT name FROM people WHERE city = 'paris' ORDER BY name"
+          ~f:(fun header r ->
+            Alcotest.(check (array string)) "header" [| "name" |] header;
+            seen := R.value_to_string r.(0) :: !seen);
+        Alcotest.(check (list string)) "rows" [ "alice"; "carol"; "eve" ] (List.rev !seen)) ]
+
+(* Differential property: random single-table queries vs a list model. *)
+let prop_filter_matches_model =
+  QCheck.Test.make ~name:"WHERE filtering matches list model" ~count:60
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 0 60) (pair (int_bound 20) (int_bound 5)))
+              (int_bound 20))
+    (fun (rows, threshold) ->
+      let db = fresh () in
+      ignore (E.exec db "CREATE TABLE m (a INTEGER, b INTEGER)");
+      List.iter
+        (fun (a, b) -> ignore (E.exec db (Printf.sprintf "INSERT INTO m VALUES (%d, %d)" a b)))
+        rows;
+      let expected =
+        List.length (List.filter (fun (a, b) -> a > threshold && b < 3) rows)
+      in
+      E.int_scalar db
+        (Printf.sprintf "SELECT COUNT(*) FROM m WHERE a > %d AND b < 3" threshold)
+      = expected)
+
+let prop_groupby_matches_model =
+  QCheck.Test.make ~name:"GROUP BY sums match model" ~count:40
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 60) (pair (int_bound 5) (int_bound 100)))
+    (fun rows ->
+      let db = fresh () in
+      ignore (E.exec db "CREATE TABLE m (g INTEGER, v INTEGER)");
+      List.iter
+        (fun (g, v) -> ignore (E.exec db (Printf.sprintf "INSERT INTO m VALUES (%d, %d)" g v)))
+        rows;
+      let model = Hashtbl.create 8 in
+      List.iter
+        (fun (g, v) -> Hashtbl.replace model g (v + Option.value (Hashtbl.find_opt model g) ~default:0))
+        rows;
+      let res = E.exec db "SELECT g, SUM(v) FROM m GROUP BY g" in
+      List.length res.E.rows = Hashtbl.length model
+      && List.for_all
+           (fun r ->
+             match (r.(0), r.(1)) with
+             | R.Int g, R.Int s -> Hashtbl.find_opt model g = Some s
+             | _ -> false)
+           res.E.rows)
+
+let () =
+  Alcotest.run "sql"
+    [ ("basic", basic);
+      ("aggregation", aggregation);
+      ("joins", joins);
+      ("indexes", indexes);
+      ("ordering", ordering);
+      ("transactions", transactions);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_filter_matches_model; prop_groupby_matches_model ] ) ]

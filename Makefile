@@ -1,0 +1,24 @@
+.PHONY: all build test check bench shell clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The one-stop gate: everything compiles (including tests and benches)
+# and the full suite passes.
+check:
+	dune build @all
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+shell:
+	dune exec bin/rql_shell.exe
+
+clean:
+	dune clean

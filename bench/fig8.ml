@@ -20,9 +20,9 @@ let run () =
       ~qs:(Queries.qs_range ~start ~len:interval)
       ~qq:Queries.qq_io ~table:"bench_f8" ~fn:"avg"
   in
-  let old_run = run_range 1 in
-  let r50 = run_range (history - 50) in
-  let r25 = run_range (history - 25) in
+  let old_run = Util.record ~experiment:"fig8" ~label:"old" (run_range 1) in
+  let r50 = Util.record ~experiment:"fig8" ~label:"Slast-50" (run_range (history - 50)) in
+  let r25 = Util.record ~experiment:"fig8" ~label:"Slast-25" (run_range (history - 25)) in
   Util.print_breakdown_header ();
   let cold, hot = Util.cold_hot old_run in
   Util.print_breakdown "old snapshot, cold iteration" cold;

@@ -43,7 +43,11 @@ let skip_micro =
   let doc = "Skip the bechamel micro-benchmark suite." in
   Arg.(value & flag & info [ "skip-micro" ] ~doc)
 
-let main full only skip_micro =
+let json_path =
+  let doc = "Write recorded runs and the metrics registry as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+
+let main full only skip_micro json_path =
   if full then Params.current := Params.full;
   let selected =
     match only with
@@ -59,10 +63,11 @@ let main full only skip_micro =
   if selected = None then print_table1 ();
   List.iter (fun (id, _, run) -> if wanted id then run ()) experiments;
   if (not skip_micro) && wanted "micro" then Micro.run ();
+  (match json_path with Some path -> Util.write_json path | None -> ());
   Printf.printf "\nall experiments done in %.1fs\n" (Unix.gettimeofday () -. t0)
 
 let cmd =
   let doc = "reproduce the RQL paper's performance evaluation" in
-  Cmd.v (Cmd.info "rql-bench" ~doc) Term.(const main $ full $ only $ skip_micro)
+  Cmd.v (Cmd.info "rql-bench" ~doc) Term.(const main $ full $ only $ skip_micro $ json_path)
 
 let () = exit (Cmd.eval cmd)

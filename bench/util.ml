@@ -51,3 +51,28 @@ let hot_iterations (run : IS.run) =
 let mb bytes = float_of_int bytes /. 1e6
 
 let expectation text = Printf.printf "expected shape: %s\n" text
+
+(* --- machine-readable run recording (bench --json PATH) ---------------- *)
+
+let recorded : (string * string * IS.run) list ref = ref []
+
+(* Tag a run for the JSON report and pass it through, so call sites can
+   wrap an existing binding without restructuring. *)
+let record ~experiment ~label (run : IS.run) =
+  recorded := (experiment, label, run) :: !recorded;
+  run
+
+let write_json path =
+  let runs =
+    List.rev_map
+      (fun (experiment, label, run) -> IS.json_of_run ~experiment ~label run)
+      !recorded
+  in
+  let doc =
+    Obs.Json.Obj [ ("runs", Obs.Json.List runs); ("metrics", Obs.Metrics.to_json ()) ]
+  in
+  match Obs.Json.write_file path doc with
+  | () -> Printf.printf "\nwrote %d recorded runs to %s\n" (List.length runs) path
+  | exception Sys_error msg ->
+    (* don't lose a whole bench run to a bad output path *)
+    Printf.eprintf "could not write --json output: %s\n" msg

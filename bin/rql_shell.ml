@@ -14,8 +14,14 @@
      .snapshots          list SnapIds
      .tables [@meta]     list tables
      .stats              storage/Retro counters
+     .metrics            full Obs metrics registry (counters + histograms)
+     .profile on|off     enable/disable span tracing
+     .trace dump PATH    write collected spans as Chrome trace JSON
      .help               this text
-     .quit               exit *)
+     .quit               exit
+
+   EXPLAIN PROFILE <select> runs the statement with tracing forced on
+   and prints the span tree plus counter deltas. *)
 
 module R = Storage.Record
 module E = Sqldb.Engine
@@ -48,7 +54,9 @@ let run_line ctx_ref line =
   else if line = ".quit" || line = ".exit" then raise Exit
   else if line = ".help" then
     print_endline
-      ".snapshot [name] | .snapshots | .tables [@meta] | .stats | .integrity | .save PATH | .open PATH | .quit\n\
+      ".snapshot [name] | .snapshots | .tables [@meta] | .stats | .metrics | .integrity | .save PATH | .open PATH | .quit\n\
+       .profile on|off — enable/disable span tracing; .trace dump PATH — write Chrome trace JSON\n\
+       EXPLAIN PROFILE <select> — run with tracing and print span tree + counter deltas\n\
        SQL goes to the data database; prefix with @meta for the SnapIds/result database.\n\
        RQL mechanisms are UDFs on @meta, e.g.:\n\
        @meta SELECT CollateData(snap_id, 'SELECT ... current_snapshot() ...', 'T') FROM SnapIds;"
@@ -70,6 +78,29 @@ let run_line ctx_ref line =
         (float_of_int (Retro.pagelog_size_bytes retro) /. 1e6)
         (Retro.maplog_length retro)
     | None -> ()
+  end
+  else if line = ".metrics" then Fmt.pr "%a@." Obs.Metrics.pp ()
+  else if line = ".profile on" then begin
+    Obs.Trace.set_enabled true;
+    print_endline "profiling on (spans are being recorded; .trace dump PATH to export)"
+  end
+  else if line = ".profile off" then begin
+    Obs.Trace.set_enabled false;
+    print_endline "profiling off"
+  end
+  else if line = ".profile" then
+    Printf.printf "profiling is %s (%d spans recorded)\n"
+      (if Obs.Trace.is_enabled () then "on" else "off")
+      (List.length (Obs.Trace.spans ()))
+  else if String.length line >= 11 && String.sub line 0 11 = ".trace dump" then begin
+    let path = String.trim (String.sub line 11 (String.length line - 11)) in
+    if path = "" then print_endline "usage: .trace dump PATH"
+    else begin
+      Rql.flush_traces ctx;
+      Obs.Trace.dump ~path;
+      Printf.printf "wrote %d spans to %s (load in chrome://tracing or Perfetto)\n"
+        (List.length (Obs.Trace.spans ())) path
+    end
   end
   else if String.length line >= 9 && String.sub line 0 9 = ".snapshot" then begin
     let name = String.trim (String.sub line 9 (String.length line - 9)) in

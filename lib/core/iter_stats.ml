@@ -78,3 +78,100 @@ let breakdown_of iterations =
     iterations
 
 let breakdown_total b = b.b_io +. b.b_spt +. b.b_index +. b.b_query +. b.b_udf
+
+(* --- JSON export --------------------------------------------------------- *)
+
+(* Structured form of the per-iteration breakdown: what `bench --json`
+   writes.  [total_s] repeats the component sum so consumers need not
+   recompute it; the numbers are exactly the ones the printed tables
+   show. *)
+let json_of_iteration (it : iteration) : Obs.Json.t =
+  Obs.Json.Obj
+    [ ("snap_id", Obs.Json.Int it.snap_id);
+      ("cold", Obs.Json.Bool it.cold);
+      ("pagelog_reads", Obs.Json.Int it.pagelog_reads);
+      ("db_reads", Obs.Json.Int it.db_reads);
+      ("cache_hits", Obs.Json.Int it.cache_hits);
+      ("cache_misses", Obs.Json.Int it.cache_misses);
+      ("io_s", Obs.Json.Float it.io_s);
+      ("spt_build_s", Obs.Json.Float it.spt_build_s);
+      ("spt_entries", Obs.Json.Int it.spt_entries);
+      ("index_build_s", Obs.Json.Float it.index_build_s);
+      ("query_eval_s", Obs.Json.Float it.query_eval_s);
+      ("udf_s", Obs.Json.Float it.udf_s);
+      ("udf_rows", Obs.Json.Int it.udf_rows);
+      ("udf_inserts", Obs.Json.Int it.udf_inserts);
+      ("udf_updates", Obs.Json.Int it.udf_updates);
+      ("total_s", Obs.Json.Float (iteration_total it)) ]
+
+let json_of_breakdown (b : breakdown) : Obs.Json.t =
+  Obs.Json.Obj
+    [ ("io_s", Obs.Json.Float b.b_io);
+      ("spt_build_s", Obs.Json.Float b.b_spt);
+      ("index_build_s", Obs.Json.Float b.b_index);
+      ("query_eval_s", Obs.Json.Float b.b_query);
+      ("udf_s", Obs.Json.Float b.b_udf);
+      ("total_s", Obs.Json.Float (breakdown_total b)) ]
+
+let json_of_run ?experiment ?label (run : run) : Obs.Json.t =
+  let tag k v = match v with Some s -> [ (k, Obs.Json.Str s) ] | None -> [] in
+  Obs.Json.Obj
+    (tag "experiment" experiment
+    @ tag "label" label
+    @ [ ("mechanism", Obs.Json.Str run.mechanism);
+        ("qq", Obs.Json.Str run.qq);
+        ("result_rows", Obs.Json.Int run.result_rows);
+        ("result_bytes", Obs.Json.Int run.result_bytes);
+        ("finalize_s", Obs.Json.Float run.finalize_s);
+        ("total_s", Obs.Json.Float (total_s run));
+        ("breakdown", json_of_breakdown (breakdown_of run.iterations));
+        ("iterations", Obs.Json.List (List.map json_of_iteration run.iterations)) ])
+
+(* --- modeled trace emission ----------------------------------------------- *)
+
+(* Lay the run's cost attribution out on the modeled trace track
+   (tid 2): run -> iteration -> {io, spt_build, index_build, query_eval,
+   udf}, durations from the attributed breakdown rather than the host
+   clock (I/O time is the simulated-device model), tiled sequentially so
+   the spans nest exactly.  [start_s] anchors the modeled track at the
+   run's real start so the wall-clock track lines up roughly. *)
+let emit_trace ~start_s (run : run) =
+  if Obs.Trace.is_enabled () then begin
+    let tid = Obs.Trace.tid_modeled in
+    let us0 = Obs.Trace.us_of_s start_s in
+    let run_id =
+      Obs.Trace.emit ~tid ~parent:(-1) ~name:"rql.run"
+        ~attrs:
+          [ ("mechanism", Obs.Trace.Str run.mechanism);
+            ("qq", Obs.Trace.Str run.qq);
+            ("result_rows", Obs.Trace.Int run.result_rows) ]
+        ~ts_us:us0
+        ~dur_us:(total_s run *. 1e6)
+        ()
+    in
+    let cursor = ref us0 in
+    List.iter
+      (fun it ->
+        let it_us = iteration_total it *. 1e6 in
+        let it_id =
+          Obs.Trace.emit ~tid ~parent:run_id ~name:"rql.iteration"
+            ~attrs:
+              [ ("snap_id", Obs.Trace.Int it.snap_id);
+                ("cold", Obs.Trace.Bool it.cold);
+                ("pagelog_reads", Obs.Trace.Int it.pagelog_reads) ]
+            ~ts_us:!cursor ~dur_us:it_us ()
+        in
+        let sub = ref !cursor in
+        let component name s attrs =
+          ignore
+            (Obs.Trace.emit ~tid ~parent:it_id ~name ~attrs ~ts_us:!sub ~dur_us:(s *. 1e6) ());
+          sub := !sub +. (s *. 1e6)
+        in
+        component "io" it.io_s [ ("pagelog_reads", Obs.Trace.Int it.pagelog_reads) ];
+        component "spt_build" it.spt_build_s [ ("entries", Obs.Trace.Int it.spt_entries) ];
+        component "index_build" it.index_build_s [];
+        component "query_eval" it.query_eval_s [];
+        component "udf" it.udf_s [ ("rows", Obs.Trace.Int it.udf_rows) ];
+        cursor := !cursor +. it_us)
+      run.iterations
+  end

@@ -52,6 +52,7 @@ type run_state = {
   table : string;
   data : Sq.Db.t;
   meta : Sq.Db.t;
+  t_start : float; (* wall-clock run start; anchors the modeled trace track *)
   mutable iterations : Iter_stats.iteration list; (* reversed *)
   mutable first_done : bool;
   mutable prev_sid : int;
@@ -377,6 +378,7 @@ let make_run ~kind ~data ~meta ~qq ~table =
     table;
     data;
     meta;
+    t_start = now ();
     iterations = [];
     first_done = false;
     prev_sid = -1;
@@ -400,7 +402,7 @@ let make_run ~kind ~data ~meta ~qq ~table =
 
 (* One RQL iteration over snapshot [sid].  [cold] empties the snapshot
    page cache first (used by the all-cold baseline runs in §5.1). *)
-let step (rs : run_state) ~sid ~cold =
+let step_body (rs : run_state) ~sid ~cold =
   (match Sq.Db.(rs.data.retro) with
   | Some retro when cold -> Retro.clear_cache retro
   | _ -> ());
@@ -466,7 +468,17 @@ let step (rs : run_state) ~sid ~cold =
       udf_inserts = rs.cur_inserts;
       udf_updates = rs.cur_updates }
   in
+  Obs.Trace.set_attrs
+    [ ("cold", Obs.Trace.Bool it.Iter_stats.cold);
+      ("pagelog_reads", Obs.Trace.Int it.Iter_stats.pagelog_reads);
+      ("udf_rows", Obs.Trace.Int it.Iter_stats.udf_rows);
+      ("modeled_io_s", Obs.Trace.Float it.Iter_stats.io_s) ];
   rs.iterations <- it :: rs.iterations
+
+let step (rs : run_state) ~sid ~cold =
+  Obs.Trace.with_span ~name:"rql.iteration"
+    ~attrs:[ ("snap_id", Obs.Trace.Int sid) ]
+    (fun () -> step_body rs ~sid ~cold)
 
 (* Result-table footprint (rows and approximate bytes). *)
 let result_metrics (rs : run_state) =
@@ -483,12 +495,17 @@ let result_metrics (rs : run_state) =
 
 let finish (rs : run_state) : Iter_stats.run =
   let result_rows, result_bytes = result_metrics rs in
-  { Iter_stats.mechanism = mech_name rs.kind;
-    qq = rs.qq;
-    iterations = List.rev rs.iterations;
-    result_rows;
-    result_bytes;
-    finalize_s = rs.finalize_s }
+  let run =
+    { Iter_stats.mechanism = mech_name rs.kind;
+      qq = rs.qq;
+      iterations = List.rev rs.iterations;
+      result_rows;
+      result_bytes;
+      finalize_s = rs.finalize_s }
+  in
+  (* Modeled-attribution track: only worth emitting when tracing is on. *)
+  if Obs.Trace.is_enabled () then Iter_stats.emit_trace ~start_s:rs.t_start run;
+  run
 
 (* --- snapshot management ---------------------------------------------- *)
 
@@ -536,9 +553,14 @@ let run_mechanism ?(all_cold = false) ctx kind ~qs ~qq ~table =
   (match Sq.Db.(ctx.data.retro) with
   | Some retro -> Retro.clear_cache retro (* paper: cache is cold at RQL query start *)
   | None -> ());
-  let rs = make_run ~kind ~data:ctx.data ~meta:ctx.meta ~qq ~table in
-  List.iter (fun sid -> step rs ~sid ~cold:all_cold) sids;
-  finish rs
+  Obs.Trace.with_span ~name:"rql.run"
+    ~attrs:
+      [ ("mechanism", Obs.Trace.Str (mech_name kind));
+        ("snapshots", Obs.Trace.Int (List.length sids)) ]
+    (fun () ->
+      let rs = make_run ~kind ~data:ctx.data ~meta:ctx.meta ~qq ~table in
+      List.iter (fun sid -> step rs ~sid ~cold:all_cold) sids;
+      finish rs)
 
 let collate_data ?all_cold ctx ~qs ~qq ~table =
   run_mechanism ?all_cold ctx Collate ~qs ~qq ~table
@@ -591,6 +613,23 @@ let udf_step ctx kind ~qq ~table ~sid =
       rs
   in
   step rs ~sid ~cold:false
+
+(* Emit the modeled-attribution trace for every active SQL-form run
+   without retiring it.  The SQL form has no end-of-run signal, so the
+   shell calls this right before a trace dump; API-form runs emit in
+   [finish] instead. *)
+let flush_traces (ctx : ctx) =
+  if Obs.Trace.is_enabled () then
+    Hashtbl.iter
+      (fun _ rs ->
+        Iter_stats.emit_trace ~start_s:rs.t_start
+          { Iter_stats.mechanism = mech_name rs.kind;
+            qq = rs.qq;
+            iterations = List.rev rs.iterations;
+            result_rows = 0;
+            result_bytes = 0;
+            finalize_s = rs.finalize_s })
+      ctx.runs
 
 (* Retrieve (and retire) the statistics of the most recent SQL-form run
    that produced result table [table]. *)

@@ -1,0 +1,256 @@
+(* Minimal JSON values, serializer and parser.
+
+   The observability layer exports machine-readable artifacts — Chrome
+   trace_event files, metric dumps, bench breakdowns — and the test
+   suite needs to check their well-formedness, so both directions live
+   here rather than pulling in an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- serialization --------------------------------------------------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Floats must stay valid JSON: no nan/inf literals, always a parseable
+   number. *)
+let float_str f =
+  if Float.is_nan f then "null"
+  else if f = Float.infinity then "1e308"
+  else if f = Float.neg_infinity then "-1e308"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_str f)
+  | Str s -> escape buf s
+  | List l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf v)
+      l;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape buf k;
+        Buffer.add_char buf ':';
+        to_buffer buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+let write_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      to_buffer buf v;
+      Buffer.output_buffer oc buf;
+      output_char oc '\n')
+
+(* --- accessors -------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list_opt = function List l -> Some l | _ -> None
+
+let number_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+(* --- parsing ---------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek_char st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let fail st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect_char st c =
+  match peek_char st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let parse_literal st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string_raw st =
+  expect_char st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+      st.pos <- st.pos + 1;
+      match peek_char st with
+      | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1; go ()
+      | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1; go ()
+      | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1; go ()
+      | Some 'b' -> Buffer.add_char buf '\b'; st.pos <- st.pos + 1; go ()
+      | Some 'f' -> Buffer.add_char buf '\012'; st.pos <- st.pos + 1; go ()
+      | Some '/' -> Buffer.add_char buf '/'; st.pos <- st.pos + 1; go ()
+      | Some '"' -> Buffer.add_char buf '"'; st.pos <- st.pos + 1; go ()
+      | Some '\\' -> Buffer.add_char buf '\\'; st.pos <- st.pos + 1; go ()
+      | Some 'u' ->
+        if st.pos + 5 > String.length st.src then fail st "bad \\u escape";
+        let hex = String.sub st.src (st.pos + 1) 4 in
+        let code =
+          try int_of_string ("0x" ^ hex) with _ -> fail st "bad \\u escape"
+        in
+        (* keep it simple: escape back to UTF-8 for the BMP *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+        end;
+        st.pos <- st.pos + 5;
+        go ()
+      | _ -> fail st "bad escape")
+    | Some c ->
+      Buffer.add_char buf c;
+      st.pos <- st.pos + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while st.pos < String.length st.src && is_num_char st.src.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail st (Printf.sprintf "bad number %S" s))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek_char st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> parse_literal st "null" Null
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some '"' -> Str (parse_string_raw st)
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek_char st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      List []
+    end
+    else begin
+      let rec go acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek_char st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          go (v :: acc)
+        | Some ']' ->
+          st.pos <- st.pos + 1;
+          List.rev (v :: acc)
+        | _ -> fail st "expected ',' or ']'"
+      in
+      List (go [])
+    end
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek_char st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec go acc =
+        skip_ws st;
+        let k = parse_string_raw st in
+        skip_ws st;
+        expect_char st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek_char st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          go ((k, v) :: acc)
+        | Some '}' ->
+          st.pos <- st.pos + 1;
+          List.rev ((k, v) :: acc)
+        | _ -> fail st "expected ',' or '}'"
+      in
+      Obj (go [])
+    end
+  | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos <> String.length s then Error "trailing garbage"
+    else Ok v
+  | exception Parse_error msg -> Error msg

@@ -53,7 +53,7 @@ let on_commit t (events : Storage.Pager.commit_event list) =
             let off = Pagelog.append t.pagelog before in
             Maplog.append t.maplog { Maplog.pid = ev.pid; pl_off = off };
             set_saved_epoch t ev.pid epoch;
-            Storage.Stats.global.cow_archived <- Storage.Stats.global.cow_archived + 1
+            Obs.Metrics.Counter.incr Storage.Stats.c_cow_archived
           end)
       events
 
@@ -80,7 +80,19 @@ let snapshot_count t = Maplog.snapshot_count t.maplog
 
 let snapshot_ts t snap_id = (Maplog.boundary t.maplog snap_id).Maplog.ts
 
-let build_spt t snap_id = Spt.build t.maplog snap_id
+(* Wrapped in a trace span: SPT construction is one of the paper's
+   attributed cost components, and the span lets EXPLAIN PROFILE and
+   trace dumps show it nested under the statement / RQL iteration. *)
+let build_spt t snap_id =
+  Obs.Trace.with_span ~name:"spt_build"
+    ~attrs:[ ("snap_id", Obs.Trace.Int snap_id) ]
+    (fun () ->
+      let scanned0 = Obs.Metrics.Counter.get Storage.Stats.c_maplog_scanned in
+      let spt = Spt.build t.maplog snap_id in
+      Obs.Trace.set_attrs
+        [ ("maplog_scanned",
+           Obs.Trace.Int (Obs.Metrics.Counter.get Storage.Stats.c_maplog_scanned - scanned0)) ];
+      spt)
 
 (* Toggle the Skippy skip index on the Maplog (on by default); the
    ablation benchmark compares SPT-build costs with and without it. *)
@@ -96,10 +108,10 @@ let read_page t (spt : Spt.t) pid =
   | Some off -> (
     match Storage.Lru.find t.snap_cache off with
     | Some page ->
-      Storage.Stats.global.snap_cache_hits <- Storage.Stats.global.snap_cache_hits + 1;
+      Obs.Metrics.Counter.incr Storage.Stats.c_snap_cache_hits;
       page
     | None ->
-      Storage.Stats.global.snap_cache_misses <- Storage.Stats.global.snap_cache_misses + 1;
+      Obs.Metrics.Counter.incr Storage.Stats.c_snap_cache_misses;
       let page = Pagelog.read t.pagelog off in
       Storage.Lru.add t.snap_cache off page;
       page)

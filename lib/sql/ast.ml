@@ -78,6 +78,7 @@ type col_def = { col_name : string; col_type : string }
 type stmt =
   | Select of select
   | Explain of select
+  | Explain_profile of select (* EXPLAIN PROFILE: run and print span tree + counter deltas *)
   | Insert of {
       table : string;
       columns : string list option;

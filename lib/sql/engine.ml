@@ -118,6 +118,33 @@ let drop_index db ~name ~if_exists =
 
 (* --- statement dispatch ---------------------------------------------- *)
 
+let c_statements = Obs.Metrics.counter "sql.statements"
+let h_parse = Obs.Metrics.histogram "sql.parse_latency"
+let h_stmt = Obs.Metrics.histogram "sql.stmt_latency"
+
+let stmt_kind = function
+  | Select _ -> "select"
+  | Explain _ -> "explain"
+  | Explain_profile _ -> "explain_profile"
+  | Insert _ -> "insert"
+  | Delete _ -> "delete"
+  | Update _ -> "update"
+  | Create_table _ -> "create_table"
+  | Create_index _ -> "create_index"
+  | Drop_table _ -> "drop_table"
+  | Drop_index _ -> "drop_index"
+  | Begin_txn -> "begin"
+  | Commit _ -> "commit"
+  | Rollback -> "rollback"
+
+let parse_one sql =
+  Exec_stats.time_into (fun dt -> Obs.Metrics.Histogram.observe h_parse dt) (fun () ->
+      Parser.parse_one sql)
+
+let parse_many sql =
+  Exec_stats.time_into (fun dt -> Obs.Metrics.Histogram.observe h_parse dt) (fun () ->
+      Parser.parse_many sql)
+
 let run_insert db (i : stmt) =
   match i with
   | Insert { table; columns; values; from_select } ->
@@ -162,7 +189,7 @@ let run_insert db (i : stmt) =
     { empty_result with rows_affected = n }
   | _ -> assert false
 
-let run_stmt db (s : stmt) : result =
+let run_stmt_core db (s : stmt) : result =
   match s with
   | Select sel ->
     let env = Exec.env_of_select db sel in
@@ -174,6 +201,36 @@ let run_stmt db (s : stmt) : result =
     { empty_result with
       columns = [| "detail" |];
       rows = List.map (fun n -> [| R.Text n |]) notes }
+  | Explain_profile sel ->
+    (* Run the statement with tracing forced on, then report its span
+       tree and the registry counter deltas it caused. *)
+    let was = Obs.Trace.is_enabled () in
+    Obs.Trace.set_enabled true;
+    let m = Obs.Trace.mark () in
+    let before = Obs.Metrics.counters () in
+    let t0 = Unix.gettimeofday () in
+    let n_rows =
+      Fun.protect
+        ~finally:(fun () -> Obs.Trace.set_enabled was)
+        (fun () ->
+          Obs.Trace.with_span ~name:"statement" (fun () ->
+              let env = Exec.env_of_select db sel in
+              let _, rows = Exec.select_all env sel in
+              List.length rows))
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let after = Obs.Metrics.counters () in
+    let tree = Obs.Trace.render_tree (Obs.Trace.spans_since m) in
+    let deltas = Obs.Metrics.diff_counters ~before ~after in
+    let lines =
+      (Printf.sprintf "%d row%s in %.3f ms" n_rows (if n_rows = 1 then "" else "s") (dt *. 1e3)
+      :: tree)
+      @ ("-- counter deltas --"
+        :: List.map (fun (k, v) -> Printf.sprintf "%-36s %+d" k v) deltas)
+    in
+    { empty_result with
+      columns = [| "profile" |];
+      rows = List.map (fun l -> [| R.Text l |]) lines }
   | Insert _ -> run_insert db s
   | Delete { table; where } ->
     let env = Exec.current_env db in
@@ -234,6 +291,17 @@ let run_stmt db (s : stmt) : result =
     Db.rollback db;
     empty_result
 
+(* Every statement is counted, its end-to-end latency observed, and —
+   when tracing is on — wrapped in a [sql.stmt] span. *)
+let run_stmt db (s : stmt) : result =
+  Obs.Metrics.Counter.incr c_statements;
+  Exec_stats.time_into
+    (fun dt -> Obs.Metrics.Histogram.observe h_stmt dt)
+    (fun () ->
+      Obs.Trace.with_span ~name:"sql.stmt"
+        ~attrs:[ ("kind", Obs.Trace.Str (stmt_kind s)) ]
+        (fun () -> run_stmt_core db s))
+
 let wrap_errors f =
   try f () with
   | Lexer.Error m -> raise (Error ("SQL lexer: " ^ m))
@@ -244,19 +312,19 @@ let wrap_errors f =
   | Invalid_argument m -> raise (Error m)
 
 (* Execute a single SQL statement. *)
-let exec db sql : result = wrap_errors (fun () -> run_stmt db (Parser.parse_one sql))
+let exec db sql : result = wrap_errors (fun () -> run_stmt db (parse_one sql))
 
 (* Execute a script of semicolon-separated statements; returns the last
    statement's result. *)
 let exec_script db sql : result =
   wrap_errors (fun () ->
-      List.fold_left (fun _ s -> run_stmt db s) empty_result (Parser.parse_many sql))
+      List.fold_left (fun _ s -> run_stmt db s) empty_result (parse_many sql))
 
 (* sqlite3_exec analogue: stream result rows of a SELECT through [f].
    Non-SELECT statements execute normally and invoke [f] zero times. *)
 let exec_rows db sql ~(f : string array -> R.row -> unit) : unit =
   wrap_errors (fun () ->
-      match Parser.parse_one sql with
+      match parse_one sql with
       | Select sel ->
         let env = Exec.env_of_select db sel in
         let header, run = Exec.select_stream env sel in

@@ -34,9 +34,7 @@ let snapshot_env db sid =
   let retro = Db.retro_exn db in
   if sid < 1 || sid > Retro.snapshot_count retro then
     error "AS OF %d: no such snapshot" sid;
-  let spt, dt = Exec_stats.timed (fun () -> Retro.build_spt retro sid) in
-  Exec_stats.global.spt_build_s <- Exec_stats.global.spt_build_s +. dt;
-  Exec_stats.global.spt_builds <- Exec_stats.global.spt_builds + 1;
+  let spt = Exec_stats.time_spt (fun () -> Retro.build_spt retro sid) in
   let read = Retro.read_ctx retro spt in
   { db; read; cat = Catalog.load read; as_of = Some sid }
 
@@ -94,8 +92,13 @@ let heap_of env (tbl : Catalog.table) =
   | None -> Db.heap_handle env.db tbl.theap
   | Some _ -> Storage.Heap.open_existing tbl.theap
 
+let c_rows_scanned = Obs.Metrics.counter "sql.rows_scanned"
+let c_rows_returned = Obs.Metrics.counter "sql.rows_returned"
+
 let scan_heap env tbl ~f =
-  Storage.Heap.iter env.read (heap_of env tbl) ~f:(fun rid data -> f rid (R.decode_row data))
+  Storage.Heap.iter env.read (heap_of env tbl) ~f:(fun rid data ->
+      Obs.Metrics.Counter.incr c_rows_scanned;
+      f rid (R.decode_row data))
 
 let fetch_row env (tbl : Catalog.table) rid =
   match Storage.Heap.get env.read (heap_of env tbl) rid with
@@ -328,9 +331,7 @@ let build_from env (sel : select) =
                   | Some l -> l := row :: !l
                   | None -> Hashtbl.add tbl_hash k (ref [ row ]))
         in
-        let (), dt = Exec_stats.timed build in
-        Exec_stats.global.index_build_s <- Exec_stats.global.index_build_s +. dt;
-        Exec_stats.global.index_builds <- Exec_stats.global.index_builds + 1;
+        Exec_stats.time_index build;
         let emit' f =
           emit (fun lrow ->
               let candidates =
@@ -468,9 +469,7 @@ let build_from env (sel : select) =
                     | Some l -> l := row :: !l
                     | None -> Hashtbl.add tbl_hash k (ref [ row ]))
             in
-            let (), dt = Exec_stats.timed build in
-            Exec_stats.global.index_build_s <- Exec_stats.global.index_build_s +. dt;
-            Exec_stats.global.index_builds <- Exec_stats.global.index_builds + 1;
+            Exec_stats.time_index build;
             emit (fun lrow ->
                 match Hashtbl.find_opt tbl_hash (left_key_of lrow) with
                 | Some l -> List.iter (fun rrow -> f (Array.append lrow rrow)) !l
@@ -676,7 +675,14 @@ and preprocess env (sel : select) : select =
 (* Run a SELECT and push result rows to [f]. *)
 and select_stream env (sel : select) : string array * ((R.row -> unit) -> unit) =
   let sel = preprocess env sel in
-  if sel.union_with = [] then select_stream_core env sel else select_compound env sel
+  let header, run =
+    if sel.union_with = [] then select_stream_core env sel else select_compound env sel
+  in
+  ( header,
+    fun f ->
+      run (fun row ->
+          Obs.Metrics.Counter.incr c_rows_returned;
+          f row) )
 
 (* UNION / UNION ALL, left-associative as in SQLite: each non-ALL member
    deduplicates everything accumulated so far. *)

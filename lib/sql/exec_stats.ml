@@ -1,7 +1,19 @@
 (* Executor-side timing attribution.  The paper's per-iteration cost
    breakdown (Figs 8-13) splits time into I/O, SPT build, index creation
    and query evaluation; the executor accumulates the SPT-build and
-   index-creation components here and the RQL layer reads the deltas. *)
+   index-creation components and the RQL layer reads the deltas.
+
+   The accumulators live in the Obs.Metrics registry (gauges for the
+   elapsed seconds, counters for the event counts, plus log-scale
+   latency histograms); this module is the compatibility shim over them,
+   mirroring Storage.Stats. *)
+
+let g_spt_build_s = Obs.Metrics.gauge "sql.spt_build_s"
+let g_index_build_s = Obs.Metrics.gauge "sql.index_build_s"
+let c_spt_builds = Obs.Metrics.counter "sql.spt_builds"
+let c_index_builds = Obs.Metrics.counter "sql.index_builds"
+let h_spt_build = Obs.Metrics.histogram "sql.spt_build_latency"
+let h_index_build = Obs.Metrics.histogram "sql.index_build_latency"
 
 type t = {
   mutable spt_build_s : float;     (* snapshot page table construction *)
@@ -10,15 +22,33 @@ type t = {
   mutable index_builds : int;
 }
 
-let global = { spt_build_s = 0.; index_build_s = 0.; spt_builds = 0; index_builds = 0 }
+let make () = { spt_build_s = 0.; index_build_s = 0.; spt_builds = 0; index_builds = 0 }
+
+let snapshot () =
+  { spt_build_s = Obs.Metrics.Gauge.get g_spt_build_s;
+    index_build_s = Obs.Metrics.Gauge.get g_index_build_s;
+    spt_builds = Obs.Metrics.Counter.get c_spt_builds;
+    index_builds = Obs.Metrics.Counter.get c_index_builds }
+
+(* Legacy global handle: [copy global] materializes the registry,
+   [reset global] zeroes it (see Storage.Stats for the pattern). *)
+let global = make ()
 
 let reset t =
-  t.spt_build_s <- 0.;
-  t.index_build_s <- 0.;
-  t.spt_builds <- 0;
-  t.index_builds <- 0
+  if t == global then begin
+    Obs.Metrics.Gauge.set g_spt_build_s 0.;
+    Obs.Metrics.Gauge.set g_index_build_s 0.;
+    Obs.Metrics.Counter.set c_spt_builds 0;
+    Obs.Metrics.Counter.set c_index_builds 0
+  end
+  else begin
+    t.spt_build_s <- 0.;
+    t.index_build_s <- 0.;
+    t.spt_builds <- 0;
+    t.index_builds <- 0
+  end
 
-let copy t = { t with spt_build_s = t.spt_build_s }
+let copy t = if t == global then snapshot () else { t with spt_build_s = t.spt_build_s }
 
 let diff a b =
   { spt_build_s = a.spt_build_s -. b.spt_build_s;
@@ -32,3 +62,37 @@ let timed f =
   let t0 = now () in
   let r = f () in
   (r, now () -. t0)
+
+(* Run [f], crediting its elapsed time to [record] even when [f] raises
+   (the old [timed]-based accounting lost the partial elapsed time of a
+   failing build, skewing deltas for the surviving iterations). *)
+let time_into record f =
+  let t0 = now () in
+  match f () with
+  | r ->
+    record (now () -. t0);
+    r
+  | exception e ->
+    record (now () -. t0);
+    raise e
+
+(* Account an SPT construction: seconds gauge + count + latency
+   histogram, raise-safe. *)
+let time_spt f =
+  time_into
+    (fun dt ->
+      Obs.Metrics.Gauge.add g_spt_build_s dt;
+      Obs.Metrics.Counter.incr c_spt_builds;
+      Obs.Metrics.Histogram.observe h_spt_build dt)
+    f
+
+(* Account an automatic (covering) index construction; also emits a
+   trace span so index builds show up in EXPLAIN PROFILE / trace dumps. *)
+let time_index f =
+  Obs.Trace.with_span ~name:"index_build" (fun () ->
+      time_into
+        (fun dt ->
+          Obs.Metrics.Gauge.add g_index_build_s dt;
+          Obs.Metrics.Counter.incr c_index_builds;
+          Obs.Metrics.Histogram.observe h_index_build dt)
+        f)

@@ -1,7 +1,8 @@
 (** Executor-side timing attribution: the SPT-build and (automatic)
     index-creation components of the paper's per-iteration cost
-    breakdown (Figs 8-13), accumulated globally and read as deltas by
-    the RQL layer. *)
+    breakdown (Figs 8-13), accumulated in the {!Obs.Metrics} registry
+    and read as deltas by the RQL layer through this compatibility
+    shim. *)
 
 type t = {
   mutable spt_build_s : float;
@@ -10,6 +11,13 @@ type t = {
   mutable index_builds : int;
 }
 
+val make : unit -> t
+
+(** Materialize the live registry accumulators. *)
+val snapshot : unit -> t
+
+(** Legacy global handle: [copy global] materializes the registry,
+    [reset global] zeroes it. *)
 val global : t
 
 val reset : t -> unit
@@ -20,5 +28,19 @@ val diff : t -> t -> t
 
 val now : unit -> float
 
-(** Run [f], returning its result and elapsed wall-clock seconds. *)
+(** Run [f], returning its result and elapsed wall-clock seconds.
+    Prefer {!time_spt} / {!time_index}: [timed] cannot account the
+    elapsed time when [f] raises. *)
 val timed : (unit -> 'a) -> 'a * float
+
+(** Run [f], crediting elapsed seconds to the callback even when [f]
+    raises (the exception is re-raised after accounting). *)
+val time_into : (float -> unit) -> (unit -> 'a) -> 'a
+
+(** Raise-safe accounting of an SPT construction (seconds, count,
+    latency histogram). *)
+val time_spt : (unit -> 'a) -> 'a
+
+(** Raise-safe accounting of an automatic-index construction; also
+    emits an [index_build] trace span. *)
+val time_index : (unit -> 'a) -> 'a

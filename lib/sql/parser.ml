@@ -490,9 +490,12 @@ and parse_stmt st =
   if is_kw st "SELECT" then Select (parse_select st)
   else if is_kw st "EXPLAIN" then begin
     advance st;
-    ignore (accept_kw st "QUERY");
-    ignore (accept_kw st "PLAN");
-    Explain (parse_select st)
+    if accept_kw st "PROFILE" then Explain_profile (parse_select st)
+    else begin
+      ignore (accept_kw st "QUERY");
+      ignore (accept_kw st "PLAN");
+      Explain (parse_select st)
+    end
   end
   else if accept_kw st "INSERT" then begin
     expect_kw st "INTO";

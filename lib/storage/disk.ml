@@ -28,13 +28,13 @@ let append t (b : Bytes.t) =
   grow t;
   t.blocks.(t.n_blocks) <- Bytes.copy b;
   t.n_blocks <- t.n_blocks + 1;
-  Stats.global.pagelog_writes <- Stats.global.pagelog_writes + 1;
+  Obs.Metrics.Counter.incr Stats.c_pagelog_writes;
   t.n_blocks - 1
 
 let read t i =
   if i < 0 || i >= t.n_blocks then
     invalid_arg (Printf.sprintf "Disk.read %s: block %d/%d" t.name i t.n_blocks);
-  Stats.global.pagelog_reads <- Stats.global.pagelog_reads + 1;
+  Obs.Metrics.Counter.incr Stats.c_pagelog_reads;
   t.blocks.(i)
 
 (* Total archive size in bytes (Pagelog growth experiments). *)

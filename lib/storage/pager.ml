@@ -42,7 +42,7 @@ let grow t wanted =
 let read_committed t pid =
   if pid < 0 || pid >= t.n_pages then
     invalid_arg (Printf.sprintf "Pager.read_committed: page %d/%d" pid t.n_pages);
-  Stats.global.db_page_reads <- Stats.global.db_page_reads + 1;
+  Obs.Metrics.Counter.incr Stats.c_db_page_reads;
   match t.pages.(pid) with
   | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Pager.read_committed: free page %d" pid)
@@ -62,7 +62,7 @@ let reserve t =
     let pid = t.n_pages in
     grow t pid;
     t.n_pages <- t.n_pages + 1;
-    Stats.global.pages_allocated <- Stats.global.pages_allocated + 1;
+    Obs.Metrics.Counter.incr Stats.c_pages_allocated;
     (pid, None)
 
 (* Return a reserved id that was never committed (transaction abort). *)
@@ -72,7 +72,7 @@ let install t pid (bytes : Bytes.t) =
   grow t pid;
   if pid >= t.n_pages then t.n_pages <- pid + 1;
   t.pages.(pid) <- Some bytes;
-  Stats.global.db_page_writes <- Stats.global.db_page_writes + 1
+  Obs.Metrics.Counter.incr Stats.c_db_page_writes
 
 let release t pid = t.free_list <- pid :: t.free_list
 

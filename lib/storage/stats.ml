@@ -1,8 +1,32 @@
 (* Global cost accounting for the storage manager and the Retro snapshot
-   layer.  The benchmarks in bench/ explain RQL performance as the paper
-   does: by attributing work to I/O (simulated device), SPT construction,
-   query evaluation and UDF processing.  Counters here are the raw
-   material for that attribution. *)
+   layer.
+
+   Counter state lives in the Obs.Metrics registry (one named counter
+   per field below); this module is a compatibility shim that exposes
+   the registry under the historical record-of-ints API the benchmarks
+   and the RQL layer were written against.  Reading [global] through
+   {!copy} (or {!snapshot}) materializes the registry counters into a
+   plain record; {!diff} then attributes counter deltas to a code
+   region exactly as before. *)
+
+module C = Obs.Metrics.Counter
+
+(* The registry-backed counters.  Instrumentation points in disk.ml,
+   pager.ml, txn.ml and lib/retro increment these directly: a pre-looked-
+   up counter increment is a single mutable-field write, so the hot
+   paths cost the same as the old struct fields. *)
+let c_db_page_reads = Obs.Metrics.counter "storage.db_page_reads"
+let c_db_page_writes = Obs.Metrics.counter "storage.db_page_writes"
+let c_pagelog_reads = Obs.Metrics.counter "storage.pagelog_reads"
+let c_pagelog_writes = Obs.Metrics.counter "storage.pagelog_writes"
+let c_maplog_appends = Obs.Metrics.counter "retro.maplog_appends"
+let c_maplog_scanned = Obs.Metrics.counter "retro.maplog_scanned"
+let c_snap_cache_hits = Obs.Metrics.counter "retro.snap_cache_hits"
+let c_snap_cache_misses = Obs.Metrics.counter "retro.snap_cache_misses"
+let c_pages_allocated = Obs.Metrics.counter "storage.pages_allocated"
+let c_txn_commits = Obs.Metrics.counter "storage.txn_commits"
+let c_txn_aborts = Obs.Metrics.counter "storage.txn_aborts"
+let c_cow_archived = Obs.Metrics.counter "retro.cow_archived"
 
 type t = {
   mutable db_page_reads : int;      (* current-state pages, memory resident *)
@@ -34,26 +58,60 @@ let make () = {
   cow_archived = 0;
 }
 
-(* The single global instance.  The engine is single-process; a global
-   keeps interposition points cheap and mirrors how the paper's system
-   accounts costs system-wide. *)
+(* Materialize the live registry counters. *)
+let snapshot () = {
+  db_page_reads = C.get c_db_page_reads;
+  db_page_writes = C.get c_db_page_writes;
+  pagelog_reads = C.get c_pagelog_reads;
+  pagelog_writes = C.get c_pagelog_writes;
+  maplog_appends = C.get c_maplog_appends;
+  maplog_scanned = C.get c_maplog_scanned;
+  snap_cache_hits = C.get c_snap_cache_hits;
+  snap_cache_misses = C.get c_snap_cache_misses;
+  pages_allocated = C.get c_pages_allocated;
+  txn_commits = C.get c_txn_commits;
+  txn_aborts = C.get c_txn_aborts;
+  cow_archived = C.get c_cow_archived;
+}
+
+(* The legacy global handle.  The record itself no longer accumulates;
+   it marks (by physical identity) "the live system-wide counters", and
+   {!copy}/{!reset} on it read or reset the registry.  Pre-existing
+   consumers all go through copy/diff, so they see exactly the values
+   they used to. *)
 let global = make ()
 
 let reset t =
-  t.db_page_reads <- 0;
-  t.db_page_writes <- 0;
-  t.pagelog_reads <- 0;
-  t.pagelog_writes <- 0;
-  t.maplog_appends <- 0;
-  t.maplog_scanned <- 0;
-  t.snap_cache_hits <- 0;
-  t.snap_cache_misses <- 0;
-  t.pages_allocated <- 0;
-  t.txn_commits <- 0;
-  t.txn_aborts <- 0;
-  t.cow_archived <- 0
+  if t == global then begin
+    C.set c_db_page_reads 0;
+    C.set c_db_page_writes 0;
+    C.set c_pagelog_reads 0;
+    C.set c_pagelog_writes 0;
+    C.set c_maplog_appends 0;
+    C.set c_maplog_scanned 0;
+    C.set c_snap_cache_hits 0;
+    C.set c_snap_cache_misses 0;
+    C.set c_pages_allocated 0;
+    C.set c_txn_commits 0;
+    C.set c_txn_aborts 0;
+    C.set c_cow_archived 0
+  end
+  else begin
+    t.db_page_reads <- 0;
+    t.db_page_writes <- 0;
+    t.pagelog_reads <- 0;
+    t.pagelog_writes <- 0;
+    t.maplog_appends <- 0;
+    t.maplog_scanned <- 0;
+    t.snap_cache_hits <- 0;
+    t.snap_cache_misses <- 0;
+    t.pages_allocated <- 0;
+    t.txn_commits <- 0;
+    t.txn_aborts <- 0;
+    t.cow_archived <- 0
+  end
 
-let copy t = { t with db_page_reads = t.db_page_reads }
+let copy t = if t == global then snapshot () else { t with db_page_reads = t.db_page_reads }
 
 (* a - b, fieldwise: used to attribute counter deltas to a code region. *)
 let diff a b = {
@@ -89,6 +147,7 @@ module Cost_model = struct
 end
 
 let pp ppf t =
+  let t = if t == global then snapshot () else t in
   Fmt.pf ppf
     "@[<v>db_page_reads=%d db_page_writes=%d@ pagelog_reads=%d \
      pagelog_writes=%d@ maplog_appends=%d maplog_scanned=%d@ \

@@ -1,6 +1,24 @@
 (** Global cost accounting for the storage manager and the Retro
     layer: the raw material for the per-iteration cost attribution
-    (I/O / SPT build / query evaluation / UDF) used by the benchmarks. *)
+    (I/O / SPT build / query evaluation / UDF) used by the benchmarks.
+
+    Counter state lives in the {!Obs.Metrics} registry; this module is
+    a compatibility shim exposing it under the historical record API.
+    Instrumentation points increment the [c_*] counters directly. *)
+
+(** Registry-backed counters (one per record field below). *)
+val c_db_page_reads : Obs.Metrics.Counter.t
+val c_db_page_writes : Obs.Metrics.Counter.t
+val c_pagelog_reads : Obs.Metrics.Counter.t
+val c_pagelog_writes : Obs.Metrics.Counter.t
+val c_maplog_appends : Obs.Metrics.Counter.t
+val c_maplog_scanned : Obs.Metrics.Counter.t
+val c_snap_cache_hits : Obs.Metrics.Counter.t
+val c_snap_cache_misses : Obs.Metrics.Counter.t
+val c_pages_allocated : Obs.Metrics.Counter.t
+val c_txn_commits : Obs.Metrics.Counter.t
+val c_txn_aborts : Obs.Metrics.Counter.t
+val c_cow_archived : Obs.Metrics.Counter.t
 
 type t = {
   mutable db_page_reads : int;      (** current-state pages (memory resident) *)
@@ -19,7 +37,12 @@ type t = {
 
 val make : unit -> t
 
-(** The single global instance (the engine is single-process). *)
+(** Materialize the live registry counters into a plain record. *)
+val snapshot : unit -> t
+
+(** The legacy global handle: [copy global] materializes the live
+    registry counters, [reset global] zeroes them.  The engine is
+    single-process. *)
 val global : t
 
 val reset : t -> unit

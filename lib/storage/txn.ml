@@ -76,13 +76,13 @@ let commit t =
   Hashtbl.iter (fun pid e -> Pager.install t.pager pid e.after) t.writes;
   List.iter (fun pid -> Pager.release t.pager pid) t.freed;
   t.state <- Committed;
-  Stats.global.txn_commits <- Stats.global.txn_commits + 1
+  Obs.Metrics.Counter.incr Stats.c_txn_commits
 
 let abort t =
   check_active t;
   List.iter (fun pid -> Pager.unreserve t.pager pid) t.reserved;
   t.state <- Aborted;
-  Stats.global.txn_aborts <- Stats.global.txn_aborts + 1
+  Obs.Metrics.Counter.incr Stats.c_txn_aborts
 
 let is_active t = t.state = Active
 

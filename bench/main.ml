@@ -47,8 +47,17 @@ let json_path =
   let doc = "Write recorded runs and the metrics registry as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
 
-let main full only skip_micro json_path =
+let prom_path =
+  let doc = "Write the final metrics registry in Prometheus text exposition format to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"PATH" ~doc)
+
+let sample_every =
+  let doc = "Sample the metrics registry into the time-series ring every $(docv) SQL statements (0 = only the final sample)." in
+  Arg.(value & opt int 1000 & info [ "sample-every" ] ~docv:"N" ~doc)
+
+let main full only skip_micro json_path prom_path sample_every =
   if full then Params.current := Params.full;
+  Obs.Timeseries.set_interval sample_every;
   let selected =
     match only with
     | None -> None
@@ -64,10 +73,17 @@ let main full only skip_micro json_path =
   List.iter (fun (id, _, run) -> if wanted id then run ()) experiments;
   if (not skip_micro) && wanted "micro" then Micro.run ();
   (match json_path with Some path -> Util.write_json path | None -> ());
+  (match prom_path with
+  | Some path ->
+    Obs.Metrics.write_prometheus ~path;
+    Printf.printf "wrote Prometheus exposition to %s\n" path
+  | None -> ());
   Printf.printf "\nall experiments done in %.1fs\n" (Unix.gettimeofday () -. t0)
 
 let cmd =
   let doc = "reproduce the RQL paper's performance evaluation" in
-  Cmd.v (Cmd.info "rql-bench" ~doc) Term.(const main $ full $ only $ skip_micro $ json_path)
+  Cmd.v
+    (Cmd.info "rql-bench" ~doc)
+    Term.(const main $ full $ only $ skip_micro $ json_path $ prom_path $ sample_every)
 
 let () = exit (Cmd.eval cmd)

@@ -68,8 +68,14 @@ let write_json path =
       (fun (experiment, label, run) -> IS.json_of_run ~experiment ~label run)
       !recorded
   in
+  (* Always close the trajectory with a final sample, so even a run with
+     automatic sampling off carries at least one time-series point. *)
+  ignore (Obs.Timeseries.sample_now ());
   let doc =
-    Obs.Json.Obj [ ("runs", Obs.Json.List runs); ("metrics", Obs.Metrics.to_json ()) ]
+    Obs.Json.Obj
+      [ ("runs", Obs.Json.List runs);
+        ("metrics", Obs.Metrics.to_json ());
+        ("timeseries", Obs.Timeseries.to_json ()) ]
   in
   match Obs.Json.write_file path doc with
   | () -> Printf.printf "\nwrote %d recorded runs to %s\n" (List.length runs) path

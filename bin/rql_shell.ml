@@ -4,24 +4,16 @@
    snapshottable data database; lines prefixed with "@meta" run against
    the non-snapshottable database that holds SnapIds and result tables
    (where the RQL UDFs are registered).  Dot-commands manage snapshots
-   and inspection.
+   and inspection; the single [commands] table below is both the
+   dispatcher and the .help text, so the two cannot drift apart.
 
      dune exec bin/rql_shell.exe            empty database
      dune exec bin/rql_shell.exe -- --tpch 0.002 --snapshots 5
 
-   Commands:
-     .snapshot [name]    COMMIT WITH SNAPSHOT + record in SnapIds
-     .snapshots          list SnapIds
-     .tables [@meta]     list tables
-     .stats              storage/Retro counters
-     .metrics            full Obs metrics registry (counters + histograms)
-     .profile on|off     enable/disable span tracing
-     .trace dump PATH    write collected spans as Chrome trace JSON
-     .help               this text
-     .quit               exit
-
-   EXPLAIN PROFILE <select> runs the statement with tracing forced on
-   and prints the span tree plus counter deltas. *)
+   Introspection is also available in SQL: the sys_ virtual tables
+   (sys_metrics, sys_snapshots, ...) and ANALYZE ARCHIVE work in any
+   SELECT context, and EXPLAIN PROFILE <select> runs a statement with
+   tracing forced on and prints the span tree plus counter deltas. *)
 
 module R = Storage.Record
 module E = Sqldb.Engine
@@ -43,83 +35,158 @@ let print_result (res : E.result) =
     if res.E.rows_affected > 0 then Printf.printf "(%d rows affected)\n" res.E.rows_affected
   end
 
+(* Catalog tables plus the sys_ virtual tables (always queryable). *)
 let list_tables db =
   let cat = Sqldb.Db.catalog db in
-  List.iter print_endline (List.sort compare (Sqldb.Catalog.table_names cat))
+  List.iter print_endline (List.sort compare (Sqldb.Catalog.table_names cat));
+  List.iter print_endline (Sqldb.Systables.names ())
 
-let run_line ctx_ref line =
-  let ctx : Rql.ctx = !ctx_ref in
-  let line = String.trim line in
-  if line = "" then ()
-  else if line = ".quit" || line = ".exit" then raise Exit
-  else if line = ".help" then
-    print_endline
-      ".snapshot [name] | .snapshots | .tables [@meta] | .stats | .metrics | .integrity | .save PATH | .open PATH | .quit\n\
-       .profile on|off — enable/disable span tracing; .trace dump PATH — write Chrome trace JSON\n\
-       EXPLAIN PROFILE <select> — run with tracing and print span tree + counter deltas\n\
-       SQL goes to the data database; prefix with @meta for the SnapIds/result database.\n\
-       RQL mechanisms are UDFs on @meta, e.g.:\n\
-       @meta SELECT CollateData(snap_id, 'SELECT ... current_snapshot() ...', 'T') FROM SnapIds;"
-  else if line = ".snapshots" then print_result (E.exec ctx.Rql.meta "SELECT * FROM SnapIds")
-  else if line = ".tables" then list_tables ctx.Rql.data
-  else if line = ".tables @meta" then list_tables ctx.Rql.meta
-  else if line = ".integrity" then begin
-    match Sqldb.Integrity.check ctx.Rql.data @ Sqldb.Integrity.check ctx.Rql.meta with
-    | [] -> print_endline "ok"
-    | problems -> List.iter (fun p -> print_endline ("PROBLEM: " ^ p)) problems
-  end
-  else if line = ".stats" then begin
-    Fmt.pr "%a@." Storage.Stats.pp Storage.Stats.global;
-    match Sqldb.Db.(ctx.Rql.data.retro) with
-    | Some retro ->
-      Printf.printf "snapshots=%d pagelog=%d pages (%.1f MB) maplog=%d entries\n"
-        (Retro.snapshot_count retro)
-        (Retro.Pagelog.length retro.Retro.pagelog)
-        (float_of_int (Retro.pagelog_size_bytes retro) /. 1e6)
-        (Retro.maplog_length retro)
-    | None -> ()
-  end
-  else if line = ".metrics" then Fmt.pr "%a@." Obs.Metrics.pp ()
-  else if line = ".profile on" then begin
+(* --- dot-command table ------------------------------------------------- *)
+
+type command = {
+  cname : string; (* the dot-word; dispatch is an exact match on it *)
+  cargs : string; (* argument synopsis, for .help only *)
+  chelp : string;
+  crun : ctx_ref:Rql.ctx ref -> args:string -> unit;
+}
+
+(* Filled below; a forward reference so .help can render the table it
+   lives in. *)
+let commands : command list ref = ref []
+
+let print_help () =
+  List.iter
+    (fun c ->
+      Printf.printf "  %-24s %s\n"
+        (if c.cargs = "" then c.cname else c.cname ^ " " ^ c.cargs)
+        c.chelp)
+    !commands;
+  print_endline
+    "\n\
+     SQL goes to the data database; prefix with @meta for the SnapIds/result database.\n\
+     Introspection in SQL: SELECT ... FROM sys_metrics | sys_histograms | sys_spans |\n\
+     sys_snapshots | sys_cache | sys_tables | sys_timeseries; ANALYZE ARCHIVE;\n\
+     EXPLAIN PROFILE <select> — run with tracing and print span tree + counter deltas.\n\
+     RQL mechanisms are UDFs on @meta, e.g.:\n\
+     @meta SELECT CollateData(snap_id, 'SELECT ... current_snapshot() ...', 'T') FROM SnapIds;"
+
+let run_stats (ctx : Rql.ctx) =
+  Fmt.pr "%a@." Storage.Stats.pp Storage.Stats.global;
+  match Sqldb.Db.(ctx.Rql.data.retro) with
+  | Some retro ->
+    Printf.printf "snapshots=%d pagelog=%d pages (%.1f MB) maplog=%d entries\n"
+      (Retro.snapshot_count retro)
+      (Retro.Pagelog.length retro.Retro.pagelog)
+      (float_of_int (Retro.pagelog_size_bytes retro) /. 1e6)
+      (Retro.maplog_length retro)
+  | None -> ()
+
+let run_metrics args =
+  match String.split_on_char ' ' (String.trim args) |> List.filter (( <> ) "") with
+  | [] -> Fmt.pr "%a@." Obs.Metrics.pp ()
+  | [ "prom" ] -> print_string (Obs.Metrics.to_prometheus ())
+  | [ "prom"; path ] ->
+    Obs.Metrics.write_prometheus ~path;
+    Printf.printf "wrote Prometheus exposition to %s\n" path
+  | _ -> print_endline "usage: .metrics [prom [PATH]]"
+
+let run_profile args =
+  match String.trim args with
+  | "on" ->
     Obs.Trace.set_enabled true;
     print_endline "profiling on (spans are being recorded; .trace dump PATH to export)"
-  end
-  else if line = ".profile off" then begin
+  | "off" ->
     Obs.Trace.set_enabled false;
     print_endline "profiling off"
-  end
-  else if line = ".profile" then
+  | "" ->
     Printf.printf "profiling is %s (%d spans recorded)\n"
       (if Obs.Trace.is_enabled () then "on" else "off")
       (List.length (Obs.Trace.spans ()))
-  else if String.length line >= 11 && String.sub line 0 11 = ".trace dump" then begin
-    let path = String.trim (String.sub line 11 (String.length line - 11)) in
-    if path = "" then print_endline "usage: .trace dump PATH"
-    else begin
-      Rql.flush_traces ctx;
-      Obs.Trace.dump ~path;
-      Printf.printf "wrote %d spans to %s (load in chrome://tracing or Perfetto)\n"
-        (List.length (Obs.Trace.spans ())) path
-    end
-  end
-  else if String.length line >= 9 && String.sub line 0 9 = ".snapshot" then begin
-    let name = String.trim (String.sub line 9 (String.length line - 9)) in
-    let sid = Rql.declare_snapshot ~name ctx in
-    Printf.printf "declared snapshot %d%s\n" sid (if name = "" then "" else " (" ^ name ^ ")")
-  end
-  else if String.length line >= 6 && String.sub line 0 5 = ".save" then begin
-    let path = String.trim (String.sub line 5 (String.length line - 5)) in
-    Rql.save ctx ~path;
-    Printf.printf "saved to %s\n" path
-  end
-  else if String.length line >= 6 && String.sub line 0 5 = ".open" then begin
-    let path = String.trim (String.sub line 5 (String.length line - 5)) in
-    ctx_ref := Rql.load ~path;
-    Printf.printf "opened %s\n" path
+  | _ -> print_endline "usage: .profile [on|off]"
+
+let run_trace ctx args =
+  match String.split_on_char ' ' (String.trim args) |> List.filter (( <> ) "") with
+  | "dump" :: path :: _ ->
+    Rql.flush_traces ctx;
+    Obs.Trace.dump ~path;
+    Printf.printf "wrote %d spans to %s (load in chrome://tracing or Perfetto)\n"
+      (List.length (Obs.Trace.spans ())) path
+  | _ -> print_endline "usage: .trace dump PATH"
+
+let () =
+  let quit ~ctx_ref:_ ~args:_ = raise Exit in
+  commands :=
+    [ { cname = ".snapshot"; cargs = "[name]";
+        chelp = "COMMIT WITH SNAPSHOT + record in SnapIds";
+        crun =
+          (fun ~ctx_ref ~args ->
+            let name = String.trim args in
+            let sid = Rql.declare_snapshot ~name !ctx_ref in
+            Printf.printf "declared snapshot %d%s\n" sid
+              (if name = "" then "" else " (" ^ name ^ ")")) };
+      { cname = ".snapshots"; cargs = ""; chelp = "list SnapIds";
+        crun =
+          (fun ~ctx_ref ~args:_ ->
+            print_result (E.exec !ctx_ref.Rql.meta "SELECT * FROM SnapIds")) };
+      { cname = ".tables"; cargs = "[@meta]";
+        chelp = "list tables (catalog + sys_ virtual tables)";
+        crun =
+          (fun ~ctx_ref ~args ->
+            match String.trim args with
+            | "" -> list_tables !ctx_ref.Rql.data
+            | "@meta" -> list_tables !ctx_ref.Rql.meta
+            | _ -> print_endline "usage: .tables [@meta]") };
+      { cname = ".stats"; cargs = ""; chelp = "storage/Retro counters";
+        crun = (fun ~ctx_ref ~args:_ -> run_stats !ctx_ref) };
+      { cname = ".metrics"; cargs = "[prom [PATH]]";
+        chelp = "metrics registry; prom = Prometheus text exposition (to stdout or PATH)";
+        crun = (fun ~ctx_ref:_ ~args -> run_metrics args) };
+      { cname = ".integrity"; cargs = ""; chelp = "run the on-disk integrity checker";
+        crun =
+          (fun ~ctx_ref ~args:_ ->
+            match
+              Sqldb.Integrity.check !ctx_ref.Rql.data @ Sqldb.Integrity.check !ctx_ref.Rql.meta
+            with
+            | [] -> print_endline "ok"
+            | problems -> List.iter (fun p -> print_endline ("PROBLEM: " ^ p)) problems) };
+      { cname = ".profile"; cargs = "[on|off]"; chelp = "enable/disable span tracing";
+        crun = (fun ~ctx_ref:_ ~args -> run_profile args) };
+      { cname = ".trace"; cargs = "dump PATH"; chelp = "write collected spans as Chrome trace JSON";
+        crun = (fun ~ctx_ref ~args -> run_trace !ctx_ref args) };
+      { cname = ".save"; cargs = "PATH"; chelp = "save both databases to a backup file";
+        crun =
+          (fun ~ctx_ref ~args ->
+            let path = String.trim args in
+            Rql.save !ctx_ref ~path;
+            Printf.printf "saved to %s\n" path) };
+      { cname = ".open"; cargs = "PATH"; chelp = "replace the session with a saved backup";
+        crun =
+          (fun ~ctx_ref ~args ->
+            let path = String.trim args in
+            ctx_ref := Rql.load ~path;
+            Printf.printf "opened %s\n" path) };
+      { cname = ".help"; cargs = ""; chelp = "this text";
+        crun = (fun ~ctx_ref:_ ~args:_ -> print_help ()) };
+      { cname = ".quit"; cargs = ""; chelp = "exit"; crun = quit };
+      { cname = ".exit"; cargs = ""; chelp = "exit"; crun = quit } ]
+
+let run_line ctx_ref line =
+  let line = String.trim line in
+  if line = "" then ()
+  else if line.[0] = '.' then begin
+    let word, args =
+      match String.index_opt line ' ' with
+      | Some i -> (String.sub line 0 i, String.sub line i (String.length line - i))
+      | None -> (line, "")
+    in
+    match List.find_opt (fun c -> c.cname = word) !commands with
+    | Some c -> c.crun ~ctx_ref ~args
+    | None -> Printf.printf "unknown command %s (.help for the list)\n" word
   end
   else if String.length line >= 5 && String.sub line 0 5 = "@meta" then
-    print_result (E.exec_script ctx.Rql.meta (String.sub line 5 (String.length line - 5)))
-  else print_result (E.exec_script ctx.Rql.data line)
+    print_result
+      (E.exec_script !ctx_ref.Rql.meta (String.sub line 5 (String.length line - 5)))
+  else print_result (E.exec_script !ctx_ref.Rql.data line)
 
 let repl ctx =
   let ctx_ref = ref ctx in

@@ -60,6 +60,10 @@ module Histogram = struct
     if v < 1e-7 then 0
     else
       let i = int_of_float (Float.floor (float_of_int per_decade *. (Float.log10 v -. lo_exp))) in
+      (* log10 rounding can put a value exactly on the first bound (1e-7)
+         a hair below it; such a value is >= 1e-7, so it belongs in the
+         first real bucket, not the underflow slot. *)
+      let i = max 0 i in
       if i >= n_buckets then n_buckets + 1 else i + 1
 
   let observe t v =
@@ -108,6 +112,22 @@ module Histogram = struct
        with Exit -> ());
       Float.min t.vmax (Float.max t.vmin !est)
     end
+
+  (* Cumulative counts at decade upper bounds, Prometheus-style: the
+     entry for bound b counts observations <= b; the underflow slot
+     folds into the first bound and only the overflow slot lies beyond
+     the last.  Always monotone non-decreasing. *)
+  let cumulative_buckets t =
+    let out = ref [] in
+    let acc = ref t.buckets.(0) in
+    for d = 0 to decades - 1 do
+      for j = 1 to per_decade do
+        acc := !acc + t.buckets.((d * per_decade) + j)
+      done;
+      let bound = Float.pow 10. (lo_exp +. float_of_int (d + 1)) in
+      out := (bound, !acc) :: !out
+    done;
+    List.rev !out
 
   let reset t =
     Array.fill t.buckets 0 (Array.length t.buckets) 0;
@@ -203,6 +223,58 @@ let metric_to_json = function
         ("p99", Json.Float (Histogram.quantile h 0.99)) ]
 
 let to_json () = Json.Obj (List.map (fun (k, m) -> (k, metric_to_json m)) (sorted_items ()))
+
+(* --- Prometheus text exposition ---------------------------------------- *)
+
+(* Registry names are dotted ("sql.stmt_latency"); Prometheus names are
+   [a-zA-Z_:][a-zA-Z0-9_:]*.  Dots (and any other illegal character)
+   become underscores, and everything is prefixed "rql_". *)
+let prom_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  "rql_" ^ Bytes.to_string b
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+(* The registry in Prometheus text exposition format: counters and
+   gauges as single samples, histograms with cumulative [_bucket]
+   series at decade bounds plus [_sum]/[_count]. *)
+let to_prometheus () =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, m) ->
+      let pn = prom_name name in
+      match m with
+      | M_counter c ->
+        line "# TYPE %s counter" pn;
+        line "%s %d" pn (Counter.get c)
+      | M_gauge g ->
+        line "# TYPE %s gauge" pn;
+        line "%s %s" pn (prom_float (Gauge.get g))
+      | M_histogram h ->
+        line "# TYPE %s histogram" pn;
+        List.iter
+          (fun (bound, cum) -> line "%s_bucket{le=\"%s\"} %d" pn (prom_float bound) cum)
+          (Histogram.cumulative_buckets h);
+        line "%s_bucket{le=\"+Inf\"} %d" pn (Histogram.count h);
+        line "%s_sum %s" pn (prom_float (Histogram.sum h));
+        line "%s_count %d" pn (Histogram.count h))
+    (sorted_items ());
+  Buffer.contents buf
+
+let write_prometheus ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc (to_prometheus ()))
 
 let pp ppf () =
   List.iter

@@ -163,6 +163,20 @@ let scan_from t snap_id ~f =
 
 let length t = t.n_entries
 
+let entry t i =
+  if i < 0 || i >= t.n_entries then
+    invalid_arg (Printf.sprintf "Maplog.entry: index %d out of bounds" i);
+  t.entries.(i)
+
+let skippy_enabled t = t.skippy
+
+(* Skip-index footprint: (memoized L1 segments, memoized L2 segments,
+   total digest entries held).  Digests are built lazily by scans, so
+   these numbers reflect actual SPT-build traffic, not log size. *)
+let skippy_stats t =
+  let sum tbl = Hashtbl.fold (fun _ d acc -> acc + Array.length d) tbl 0 in
+  (Hashtbl.length t.l1, Hashtbl.length t.l2, sum t.l1 + sum t.l2)
+
 (* Portable image (for backup/restore); skip digests are rebuilt on
    demand after restore. *)
 type image = { img_entries : entry array; img_boundaries : boundary array }

@@ -45,6 +45,16 @@ val scan_from : t -> int -> f:(int -> int -> unit) -> int
 (** Total mappings appended. *)
 val length : t -> int
 
+(** Raw log entry at position [i] (archive analysis).
+    @raise Invalid_argument out of bounds. *)
+val entry : t -> int -> entry
+
+val skippy_enabled : t -> bool
+
+(** Skip-index footprint: (memoized L1 segments, memoized L2 segments,
+    total digest entries held).  Digests are built lazily by scans. *)
+val skippy_stats : t -> int * int * int
+
 (** {1 Backup} *)
 
 type image = { img_entries : entry array; img_boundaries : boundary array }

@@ -23,6 +23,11 @@ type t = {
   mutable saved_epoch : int array; (* per page: last epoch whose pre-state is archived *)
   snap_cache : Bytes.t Storage.Lru.t; (* keyed by pagelog offset *)
   mutable clock : unit -> float; (* timestamp source for SnapIds entries *)
+  mutable last_spt : (int * int) option;
+      (* (snap_id, maplog length) of the most recently built SPT; a
+         record only — build_spt never reuses it — so introspection can
+         report whether a snapshot's SPT is current without perturbing
+         the measured build costs. *)
 }
 
 let default_cache_pages = 1 lsl 16
@@ -65,7 +70,8 @@ let attach ?(cache_pages = default_cache_pages) pager =
       pager;
       saved_epoch = Array.make 256 0;
       snap_cache = Storage.Lru.create cache_pages;
-      clock = Unix.gettimeofday }
+      clock = Unix.gettimeofday;
+      last_spt = None }
   in
   pager.Storage.Pager.pre_commit_hook <- on_commit t;
   t
@@ -92,7 +98,16 @@ let build_spt t snap_id =
       Obs.Trace.set_attrs
         [ ("maplog_scanned",
            Obs.Trace.Int (Obs.Metrics.Counter.get Storage.Stats.c_maplog_scanned - scanned0)) ];
+      t.last_spt <- Some (snap_id, Maplog.length t.maplog);
       spt)
+
+(* Whether the most recently built SPT belongs to [snap_id] and is still
+   current (no mappings appended since the build).  Reported by
+   sys_snapshots. *)
+let spt_cached t snap_id =
+  match t.last_spt with
+  | Some (sid, len) -> sid = snap_id && len = Maplog.length t.maplog
+  | None -> false
 
 (* Toggle the Skippy skip index on the Maplog (on by default); the
    ablation benchmark compares SPT-build costs with and without it. *)
@@ -127,8 +142,146 @@ let clear_cache t = Storage.Lru.clear t.snap_cache
 
 let set_cache_pages t n = Storage.Lru.set_capacity t.snap_cache n
 
+(* Per-instance snapshot-cache statistics; also refreshes the
+   corresponding gauges in the metrics registry so Prometheus scrapes
+   and sys_metrics see current occupancy. *)
+let g_cache_capacity = Obs.Metrics.gauge "retro.snap_cache.capacity"
+let g_cache_occupancy = Obs.Metrics.gauge "retro.snap_cache.occupancy"
+let g_cache_evictions = Obs.Metrics.gauge "retro.snap_cache.evictions"
+
+let cache_stats t =
+  let s = Storage.Lru.stat_record t.snap_cache in
+  Obs.Metrics.Gauge.set g_cache_capacity (float_of_int s.Storage.Lru.s_capacity);
+  Obs.Metrics.Gauge.set g_cache_occupancy (float_of_int s.Storage.Lru.s_occupancy);
+  Obs.Metrics.Gauge.set g_cache_evictions (float_of_int s.Storage.Lru.s_evictions);
+  s
+
 let pagelog_size_bytes t = Pagelog.size_bytes t.pagelog
 let maplog_length t = Maplog.length t.maplog
+
+(* --- archive health analysis (ANALYZE ARCHIVE, sys_snapshots) ----------- *)
+
+(* Per-snapshot view of the archive: its Maplog boundary, the size of
+   its SPT, and the delta (pages archived during its epoch, i.e. between
+   its declaration and the next one). *)
+type snapshot_info = {
+  si_id : int;
+  si_ts : float;
+  si_boundary : int;      (* maplog position at declaration *)
+  si_db_pages : int;      (* database size (pages) at declaration *)
+  si_pages_mapped : int;  (* |SPT|: distinct mapped pages in the suffix *)
+  si_delta_entries : int; (* mappings appended during this snapshot's epoch *)
+  si_delta_pages : int;   (* distinct pages among them *)
+  si_delta_bytes : int;   (* pre-state bytes archived during the epoch *)
+}
+
+type analysis = {
+  an_snapshots : snapshot_info array; (* index = snapshot id - 1 *)
+  an_maplog_entries : int;
+  an_pagelog_pages : int;
+  an_pagelog_bytes : int;
+  an_db_pages : int;
+  an_distinct_pages : int;            (* pages with at least one archived pre-state *)
+  an_chain_max : int;                 (* longest page version chain *)
+  an_chain_mean : float;              (* mean chain length over archived pages *)
+  an_space_amplification : float;     (* archived copies per distinct archived page *)
+  an_skippy_enabled : bool;
+  an_skippy_l1 : int;                 (* memoized L1 segment digests *)
+  an_skippy_l2 : int;
+  an_skippy_entries : int;            (* total digest entries held *)
+}
+
+(* Scan the Maplog once (plus one backward pass for SPT sizes) and
+   aggregate the archive's health picture.  Costs O(entries +
+   snapshots * distinct pages); independent of the Pagelog contents, so
+   it never touches the simulated SSD. *)
+let analyze t =
+  let n = Maplog.length t.maplog in
+  let count = Maplog.snapshot_count t.maplog in
+  (* page version-chain lengths over the whole log *)
+  let chains : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  for i = 0 to n - 1 do
+    let e = Maplog.entry t.maplog i in
+    Hashtbl.replace chains e.Maplog.pid
+      (1 + Option.value (Hashtbl.find_opt chains e.Maplog.pid) ~default:0)
+  done;
+  let distinct = Hashtbl.length chains in
+  let chain_max = Hashtbl.fold (fun _ c acc -> max c acc) chains 0 in
+  let chain_mean = if distinct = 0 then 0. else float_of_int n /. float_of_int distinct in
+  (* per-snapshot SPT sizes: walk the log backwards, accumulating the
+     distinct-pid set; at each boundary the set is exactly the suffix's
+     first-occurrence domain *)
+  let pages_mapped = Array.make (count + 1) 0 in
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let idx = ref (n - 1) in
+  for s = count downto 1 do
+    let b = Maplog.boundary t.maplog s in
+    while !idx >= b.Maplog.pos do
+      Hashtbl.replace seen (Maplog.entry t.maplog !idx).Maplog.pid ();
+      decr idx
+    done;
+    pages_mapped.(s) <-
+      Hashtbl.fold (fun pid () acc -> if pid < b.Maplog.db_pages then acc + 1 else acc) seen 0
+  done;
+  let snapshots =
+    Array.init count (fun i ->
+        let s = i + 1 in
+        let b = Maplog.boundary t.maplog s in
+        let next = if s = count then n else (Maplog.boundary t.maplog (s + 1)).Maplog.pos in
+        let delta : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+        for j = b.Maplog.pos to next - 1 do
+          Hashtbl.replace delta (Maplog.entry t.maplog j).Maplog.pid ()
+        done;
+        { si_id = s;
+          si_ts = b.Maplog.ts;
+          si_boundary = b.Maplog.pos;
+          si_db_pages = b.Maplog.db_pages;
+          si_pages_mapped = pages_mapped.(s);
+          si_delta_entries = next - b.Maplog.pos;
+          si_delta_pages = Hashtbl.length delta;
+          si_delta_bytes = (next - b.Maplog.pos) * Storage.Page.size })
+  in
+  let l1, l2, skippy_entries = Maplog.skippy_stats t.maplog in
+  { an_snapshots = snapshots;
+    an_maplog_entries = n;
+    an_pagelog_pages = Pagelog.length t.pagelog;
+    an_pagelog_bytes = Pagelog.size_bytes t.pagelog;
+    an_db_pages = Storage.Pager.n_pages t.pager;
+    an_distinct_pages = distinct;
+    an_chain_max = chain_max;
+    an_chain_mean = chain_mean;
+    an_space_amplification =
+      (if distinct = 0 then 0. else float_of_int n /. float_of_int distinct);
+    an_skippy_enabled = Maplog.skippy_enabled t.maplog;
+    an_skippy_l1 = l1;
+    an_skippy_l2 = l2;
+    an_skippy_entries = skippy_entries }
+
+(* Human-readable ANALYZE ARCHIVE report. *)
+let render_analysis (a : analysis) : string list =
+  let mb b = float_of_int b /. 1e6 in
+  [ Printf.sprintf "snapshots: %d" (Array.length a.an_snapshots);
+    Printf.sprintf "maplog entries: %d" a.an_maplog_entries;
+    Printf.sprintf "pagelog: %d pages, %d bytes (%.2f MB)" a.an_pagelog_pages
+      a.an_pagelog_bytes (mb a.an_pagelog_bytes);
+    Printf.sprintf "current database: %d pages (%.2f MB)" a.an_db_pages
+      (mb (a.an_db_pages * Storage.Page.size));
+    Printf.sprintf "archived pages: %d distinct, chain length mean %.2f max %d"
+      a.an_distinct_pages a.an_chain_mean a.an_chain_max;
+    Printf.sprintf "space amplification: %.2f archived copies per archived page"
+      a.an_space_amplification;
+    Printf.sprintf "skippy: %s, %d L1 + %d L2 segment digests, %d digest entries"
+      (if a.an_skippy_enabled then "on" else "off")
+      a.an_skippy_l1 a.an_skippy_l2 a.an_skippy_entries ]
+  @ (Array.to_list a.an_snapshots
+    |> List.map (fun si ->
+           Printf.sprintf
+             "snapshot %d: boundary=%d db_pages=%d spt=%d delta=%d pages (%.2f MB)%s"
+             si.si_id si.si_boundary si.si_db_pages si.si_pages_mapped si.si_delta_pages
+             (mb si.si_delta_bytes)
+             (if si.si_delta_entries <> si.si_delta_pages then
+                Printf.sprintf " entries=%d" si.si_delta_entries
+              else "")))
 
 (* --- backup/restore ----------------------------------------------------- *)
 
@@ -153,7 +306,8 @@ let import ?(cache_pages = default_cache_pages) pager img =
       pager;
       saved_epoch = Array.copy img.img_saved_epoch;
       snap_cache = Storage.Lru.create cache_pages;
-      clock = Unix.gettimeofday }
+      clock = Unix.gettimeofday;
+      last_spt = None }
   in
   pager.Storage.Pager.pre_commit_hook <- on_commit t;
   t

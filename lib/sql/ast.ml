@@ -104,3 +104,4 @@ type stmt =
   | Begin_txn
   | Commit of { with_snapshot : bool }
   | Rollback
+  | Analyze_archive (* ANALYZE ARCHIVE: snapshot-archive health report *)

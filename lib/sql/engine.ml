@@ -40,7 +40,19 @@ let sanitize_cols cols =
       (name, ty))
     cols
 
+(* The sys_ namespace belongs to the virtual system tables; reserving
+   the whole prefix keeps future additions from colliding with user
+   tables created under older versions. *)
+let check_not_reserved name =
+  let l = String.lowercase_ascii name in
+  if String.length l >= 4 && String.sub l 0 4 = "sys_" then
+    error "%s: the sys_ prefix is reserved for system tables" name
+
+let check_not_virtual name =
+  if Systables.is_virtual_name name then error "%s is a read-only system table" name
+
 let create_table db ~name ~cols ~if_not_exists =
+  check_not_reserved name;
   let cat = Db.catalog db in
   match Catalog.find_table cat name with
   | Some _ ->
@@ -136,6 +148,7 @@ let stmt_kind = function
   | Begin_txn -> "begin"
   | Commit _ -> "commit"
   | Rollback -> "rollback"
+  | Analyze_archive -> "analyze_archive"
 
 let parse_one sql =
   Exec_stats.time_into (fun dt -> Obs.Metrics.Histogram.observe h_parse dt) (fun () ->
@@ -148,6 +161,7 @@ let parse_many sql =
 let run_insert db (i : stmt) =
   match i with
   | Insert { table; columns; values; from_select } ->
+    check_not_virtual table;
     let env = Exec.current_env db in
     let tbl =
       match Catalog.find_table env.Exec.cat table with
@@ -233,6 +247,7 @@ let run_stmt_core db (s : stmt) : result =
       rows = List.map (fun l -> [| R.Text l |]) lines }
   | Insert _ -> run_insert db s
   | Delete { table; where } ->
+    check_not_virtual table;
     let env = Exec.current_env db in
     let tbl =
       match Catalog.find_table env.Exec.cat table with
@@ -243,6 +258,7 @@ let run_stmt_core db (s : stmt) : result =
     let n = Db.with_write_txn db (fun txn -> Exec.delete_rows env txn tbl rows) in
     { empty_result with rows_affected = n }
   | Update { table; sets; where } ->
+    check_not_virtual table;
     let env = Exec.current_env db in
     let tbl =
       match Catalog.find_table env.Exec.cat table with
@@ -290,11 +306,20 @@ let run_stmt_core db (s : stmt) : result =
   | Rollback ->
     Db.rollback db;
     empty_result
+  | Analyze_archive ->
+    (* Archive health report (also the producer behind sys_snapshots);
+       rendered as rows so every client — shell, exec_rows, RQL — can
+       consume it like any other result set. *)
+    let a = Retro.analyze (Db.retro_exn db) in
+    { empty_result with
+      columns = [| "analyze" |];
+      rows = List.map (fun l -> [| R.Text l |]) (Retro.render_analysis a) }
 
 (* Every statement is counted, its end-to-end latency observed, and —
    when tracing is on — wrapped in a [sql.stmt] span. *)
 let run_stmt db (s : stmt) : result =
   Obs.Metrics.Counter.incr c_statements;
+  Obs.Timeseries.tick ();
   Exec_stats.time_into
     (fun dt -> Obs.Metrics.Histogram.observe h_stmt dt)
     (fun () ->

@@ -100,6 +100,22 @@ let scan_heap env tbl ~f =
       Obs.Metrics.Counter.incr c_rows_scanned;
       f rid (R.decode_row data))
 
+let is_virtual (tbl : Catalog.table) = tbl.theap < 0
+
+(* Scan dispatcher: virtual system tables materialize their rows from
+   live engine state (rid -1: they have no storage, and no DML path
+   accepts them); real tables stream from the heap.  Virtual tables
+   also never have indexes, so every index-based access path passes
+   them by without a check. *)
+let scan_rows env (tbl : Catalog.table) ~f =
+  if is_virtual tbl then
+    List.iter
+      (fun row ->
+        Obs.Metrics.Counter.incr c_rows_scanned;
+        f (-1) row)
+      (Systables.rows env.db tbl)
+  else scan_heap env tbl ~f
+
 let fetch_row env (tbl : Catalog.table) rid =
   match Storage.Heap.get env.read (heap_of env tbl) rid with
   | Some data -> Some (R.decode_row data)
@@ -204,7 +220,12 @@ let build_from env (sel : select) =
     let lookup_table (tr : table_ref) =
       match Catalog.find_table env.cat tr.tbl_name with
       | Some t -> t
-      | None -> error "no such table: %s" tr.tbl_name
+      | None -> (
+        (* catalog miss: sys_* virtual tables, resolved the same under
+           AS OF (they reflect current process state, not history) *)
+        match Systables.lookup tr.tbl_name with
+        | Some t -> t
+        | None -> error "no such table: %s" tr.tbl_name)
     in
     let alias_of (tr : table_ref) =
       String.lowercase_ascii (Option.value tr.tbl_alias ~default:tr.tbl_name)
@@ -255,7 +276,9 @@ let build_from env (sel : select) =
     (match access0 with
     | Some (idx, _) ->
       plan_note "SEARCH %s USING INDEX %s" st0.tbl.Catalog.tname idx.Catalog.iname
-    | None -> plan_note "SCAN %s" st0.tbl.Catalog.tname);
+    | None ->
+      plan_note "SCAN %s%s" st0.tbl.Catalog.tname
+        (if is_virtual st0.tbl then " (virtual)" else ""));
     let emit0 f =
       match access0 with
       | Some (idx, bnds) ->
@@ -263,7 +286,7 @@ let build_from env (sel : select) =
             match fetch_row env t0 rid with
             | Some row -> if filter_row0 row then f row
             | None -> ())
-      | None -> scan_heap env t0 ~f:(fun _rid row -> if filter_row0 row then f row)
+      | None -> scan_rows env t0 ~f:(fun _rid row -> if filter_row0 row then f row)
     in
     (* fold joins *)
     let add_join (tables, emit) (j : join_clause) =
@@ -322,7 +345,7 @@ let build_from env (sel : select) =
         let tbl_hash : (string, R.row list ref) Hashtbl.t = Hashtbl.create 256 in
         let all_inner = ref [] in
         let build () =
-          scan_heap env t ~f:(fun _rid row ->
+          scan_rows env t ~f:(fun _rid row ->
               if keep_inner row then
                 if equi = [] then all_inner := row :: !all_inner
                 else
@@ -418,7 +441,7 @@ let build_from env (sel : select) =
         | [] ->
           (* cross/theta join: materialize the (filtered) inner table *)
           let inner = ref [] in
-          scan_heap env t ~f:(fun _rid row -> if filter_row row then inner := row :: !inner);
+          scan_rows env t ~f:(fun _rid row -> if filter_row row then inner := row :: !inner);
           let inner = Array.of_list (List.rev !inner) in
           emit (fun lrow -> Array.iter (fun rrow -> f (Array.append lrow rrow)) inner)
         | _ ->
@@ -462,7 +485,7 @@ let build_from env (sel : select) =
                covering-index analogue); built once per statement. *)
             let tbl_hash : (string, R.row list ref) Hashtbl.t = Hashtbl.create 1024 in
             let build () =
-              scan_heap env t ~f:(fun _rid row ->
+              scan_rows env t ~f:(fun _rid row ->
                   if filter_row row then
                     let k = right_key_of row in
                     match Hashtbl.find_opt tbl_hash k with

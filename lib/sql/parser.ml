@@ -682,6 +682,10 @@ and parse_stmt st =
     Commit { with_snapshot }
   end
   else if accept_kw st "ROLLBACK" then Rollback
+  else if accept_kw st "ANALYZE" then begin
+    expect_kw st "ARCHIVE";
+    Analyze_archive
+  end
   else error "unexpected token %s at start of statement" (Lexer.token_to_string (peek st))
 
 (* Parse a single statement; trailing semicolon optional. *)

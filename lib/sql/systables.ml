@@ -1,0 +1,177 @@
+(* Read-only virtual system tables (the sys_ namespace).
+
+   Each sys_ table materializes live engine state as rows on demand:
+   the metrics registry, the trace ring, the snapshot archive, cache
+   statistics and the physical size of every relation.  They carry no
+   heap pages — the catalog entry handed to the planner uses the
+   [virtual_heap] sentinel and the executor routes scans here instead
+   of to Storage.Heap — so they are visible to the full query surface
+   (joins, aggregates, RQL UDFs, AS OF-rewritten retrospective
+   queries) while remaining pure observers: reading them never
+   perturbs the counters they report, beyond the statement accounting
+   every query pays.
+
+   Virtual tables always reflect the *current* process state; an AS OF
+   environment resolves them identically (there is nothing historical
+   to read — the archive itself is the history). *)
+
+module R = Storage.Record
+
+(* Sentinel heap id marking a catalog entry as virtual; no real table
+   can have it (page ids are non-negative). *)
+let virtual_heap = -1
+
+type vtable = {
+  vname : string;
+  vcols : (string * string) array;      (* name, declared type *)
+  vrows : Db.t -> R.row list;
+}
+
+(* --- row producers ----------------------------------------------------- *)
+
+let metrics_rows _db =
+  List.map
+    (fun (name, m) ->
+      match m with
+      | Obs.Metrics.M_counter c ->
+        [| R.Text name; R.Text "counter"; R.Int (Obs.Metrics.Counter.get c) |]
+      | Obs.Metrics.M_gauge g ->
+        [| R.Text name; R.Text "gauge"; R.Real (Obs.Metrics.Gauge.get g) |]
+      | Obs.Metrics.M_histogram h ->
+        [| R.Text name; R.Text "histogram"; R.Int (Obs.Metrics.Histogram.count h) |])
+    (Obs.Metrics.sorted_items ())
+
+let histogram_rows _db =
+  List.filter_map
+    (fun (name, m) ->
+      match m with
+      | Obs.Metrics.M_histogram h ->
+        let module H = Obs.Metrics.Histogram in
+        Some
+          [| R.Text name; R.Int (H.count h); R.Real (H.mean h);
+             R.Real (H.quantile h 0.5); R.Real (H.quantile h 0.95);
+             R.Real (H.quantile h 0.99); R.Real (H.min_value h);
+             R.Real (H.max_value h) |]
+      | _ -> None)
+    (Obs.Metrics.sorted_items ())
+
+let span_rows _db =
+  List.map
+    (fun (sp : Obs.Trace.span) ->
+      [| R.Int sp.Obs.Trace.seq; R.Int sp.Obs.Trace.id; R.Int sp.Obs.Trace.parent;
+         R.Int sp.Obs.Trace.tid; R.Text sp.Obs.Trace.name;
+         R.Real sp.Obs.Trace.ts_us; R.Real sp.Obs.Trace.dur_us |])
+    (Obs.Trace.spans ())
+
+let snapshot_rows db =
+  match db.Db.retro with
+  | None -> []
+  | Some retro ->
+    let a = Retro.analyze retro in
+    Array.to_list a.Retro.an_snapshots
+    |> List.map (fun (si : Retro.snapshot_info) ->
+           [| R.Int si.Retro.si_id; R.Real si.Retro.si_ts; R.Int si.Retro.si_boundary;
+              R.Int si.Retro.si_db_pages; R.Int si.Retro.si_pages_mapped;
+              R.Int si.Retro.si_delta_entries; R.Int si.Retro.si_delta_pages;
+              R.Int si.Retro.si_delta_bytes;
+              R.Int (if Retro.spt_cached retro si.Retro.si_id then 1 else 0) |])
+
+let cache_rows db =
+  match db.Db.retro with
+  | None -> []
+  | Some retro ->
+    let s = Retro.cache_stats retro in
+    [ [| R.Text "retro.snap_cache"; R.Int s.Storage.Lru.s_capacity;
+         R.Int s.Storage.Lru.s_occupancy; R.Int s.Storage.Lru.s_hits;
+         R.Int s.Storage.Lru.s_misses; R.Int s.Storage.Lru.s_evictions |] ]
+
+(* Physical footprint of every cataloged relation, through the current
+   read context (inside a transaction this sees uncommitted DDL). *)
+let table_rows db =
+  let read = Db.read_current db in
+  let cat = Db.catalog db in
+  let out = ref [] in
+  Catalog.iter_tables cat ~f:(fun t ->
+      let h = Storage.Heap.open_existing t.Catalog.theap in
+      out :=
+        [| R.Text t.Catalog.tname; R.Text "table"; R.Int t.Catalog.theap;
+           R.Int (Storage.Heap.page_count read h); R.Int (Storage.Heap.count read h) |]
+        :: !out);
+  Catalog.iter_indexes cat ~f:(fun i ->
+      let b = Storage.Btree.open_existing i.Catalog.iroot in
+      out :=
+        [| R.Text i.Catalog.iname; R.Text "index"; R.Int i.Catalog.iroot;
+           R.Int (Storage.Btree.page_count read b); R.Int (Storage.Btree.count read b) |]
+        :: !out);
+  List.sort compare !out
+
+(* Long format: one row per (sample, metric), so SQL can slice a single
+   metric's trajectory with WHERE name = '...'. *)
+let timeseries_rows _db =
+  List.concat_map
+    (fun (s : Obs.Timeseries.sample) ->
+      List.map
+        (fun (name, v) ->
+          [| R.Int s.Obs.Timeseries.seq; R.Real s.Obs.Timeseries.ts; R.Text name; R.Real v |])
+        s.Obs.Timeseries.values)
+    (Obs.Timeseries.samples ())
+
+(* --- registry ---------------------------------------------------------- *)
+
+let all : vtable list =
+  [ { vname = "sys_metrics";
+      vcols = [| ("name", "TEXT"); ("kind", "TEXT"); ("value", "REAL") |];
+      vrows = metrics_rows };
+    { vname = "sys_histograms";
+      vcols =
+        [| ("name", "TEXT"); ("count", "INTEGER"); ("mean", "REAL"); ("p50", "REAL");
+           ("p95", "REAL"); ("p99", "REAL"); ("min", "REAL"); ("max", "REAL") |];
+      vrows = histogram_rows };
+    { vname = "sys_spans";
+      vcols =
+        [| ("seq", "INTEGER"); ("id", "INTEGER"); ("parent", "INTEGER");
+           ("tid", "INTEGER"); ("name", "TEXT"); ("ts_us", "REAL"); ("dur_us", "REAL") |];
+      vrows = span_rows };
+    { vname = "sys_snapshots";
+      vcols =
+        [| ("snap_id", "INTEGER"); ("declared_ts", "REAL"); ("maplog_boundary", "INTEGER");
+           ("db_pages", "INTEGER"); ("pages_mapped", "INTEGER");
+           ("delta_entries", "INTEGER"); ("delta_pages", "INTEGER");
+           ("delta_bytes", "INTEGER"); ("spt_cached", "INTEGER") |];
+      vrows = snapshot_rows };
+    { vname = "sys_cache";
+      vcols =
+        [| ("name", "TEXT"); ("capacity", "INTEGER"); ("occupancy", "INTEGER");
+           ("hits", "INTEGER"); ("misses", "INTEGER"); ("evictions", "INTEGER") |];
+      vrows = cache_rows };
+    { vname = "sys_tables";
+      vcols =
+        [| ("name", "TEXT"); ("kind", "TEXT"); ("root", "INTEGER");
+           ("pages", "INTEGER"); ("rows", "INTEGER") |];
+      vrows = table_rows };
+    { vname = "sys_timeseries";
+      vcols = [| ("seq", "INTEGER"); ("ts", "REAL"); ("name", "TEXT"); ("value", "REAL") |];
+      vrows = timeseries_rows } ]
+
+let find name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun vt -> vt.vname = name) all
+
+let names () = List.map (fun vt -> vt.vname) all
+
+let is_virtual_name name = find name <> None
+
+(* The planner-facing catalog entry: same shape as a real table, with
+   the sentinel heap.  Virtual tables never have indexes, so every
+   index-based access path naturally passes them by. *)
+let table_of (vt : vtable) : Catalog.table =
+  { Catalog.tname = vt.vname; tcols = vt.vcols; theap = virtual_heap }
+
+let lookup name = Option.map table_of (find name)
+
+(* Rows for a virtual catalog entry (the executor's scan dispatcher). *)
+let rows db (tbl : Catalog.table) : R.row list =
+  match find tbl.Catalog.tname with
+  | Some vt -> vt.vrows db
+  | None ->
+    invalid_arg (Printf.sprintf "Systables.rows: %s is not a system table" tbl.Catalog.tname)

@@ -23,11 +23,13 @@ type 'a t = {
   mutable tail : 'a node option; (* least recently used *)
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let create capacity =
   if capacity < 1 then invalid_arg "Lru.create: capacity must be positive";
-  { capacity; tbl = Hashtbl.create 256; head = None; tail = None; hits = 0; misses = 0 }
+  { capacity; tbl = Hashtbl.create 256; head = None; tail = None; hits = 0; misses = 0;
+    evictions = 0 }
 
 let length t = Hashtbl.length t.tbl
 
@@ -63,7 +65,8 @@ let evict_lru t =
   | None -> ()
   | Some n ->
     unlink t n;
-    Hashtbl.remove t.tbl n.key
+    Hashtbl.remove t.tbl n.key;
+    t.evictions <- t.evictions + 1
 
 let add t key value =
   (match Hashtbl.find_opt t.tbl key with
@@ -91,6 +94,23 @@ let set_capacity t capacity =
 
 let stats t = (t.hits, t.misses)
 
+(* Per-instance view for the introspection layer (sys_cache). *)
+type stat_record = {
+  s_capacity : int;
+  s_occupancy : int;
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+}
+
+let stat_record t =
+  { s_capacity = t.capacity;
+    s_occupancy = Hashtbl.length t.tbl;
+    s_hits = t.hits;
+    s_misses = t.misses;
+    s_evictions = t.evictions }
+
 let reset_stats t =
   t.hits <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.evictions <- 0

@@ -26,4 +26,17 @@ val set_capacity : 'a t -> int -> unit
 (** (hits, misses) accumulated by {!find}. *)
 val stats : 'a t -> int * int
 
+(** Per-instance statistics for the introspection layer (sys_cache). *)
+type stat_record = {
+  s_capacity : int;
+  s_occupancy : int;
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+}
+
+val stat_record : 'a t -> stat_record
+
+(** Zero the hit/miss/eviction counters (capacity and contents are
+    untouched). *)
 val reset_stats : 'a t -> unit

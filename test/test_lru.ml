@@ -50,7 +50,28 @@ let basic =
         ignore (L.find c 1);
         ignore (L.find c 2);
         let hits, misses = L.stats c in
-        Alcotest.(check (pair int int)) "stats" (1, 1) (hits, misses)) ]
+        Alcotest.(check (pair int int)) "stats" (1, 1) (hits, misses));
+    Alcotest.test_case "stat_record counts evictions and occupancy" `Quick (fun () ->
+        let c = L.create 2 in
+        L.add c 1 "a";
+        L.add c 2 "b";
+        L.add c 3 "c";
+        L.add c 4 "d";
+        ignore (L.find c 4);
+        ignore (L.find c 99);
+        let s = L.stat_record c in
+        Alcotest.(check int) "capacity" 2 s.L.s_capacity;
+        Alcotest.(check int) "occupancy" 2 s.L.s_occupancy;
+        Alcotest.(check int) "evictions" 2 s.L.s_evictions;
+        Alcotest.(check int) "hits" 1 s.L.s_hits;
+        Alcotest.(check int) "misses" 1 s.L.s_misses;
+        (* shrinking the capacity also evicts *)
+        L.set_capacity c 1;
+        Alcotest.(check int) "shrink evicts" 3 (L.stat_record c).L.s_evictions;
+        L.reset_stats c;
+        let s = L.stat_record c in
+        Alcotest.(check (list int)) "reset clears counters" [ 0; 0; 0 ]
+          [ s.L.s_hits; s.L.s_misses; s.L.s_evictions ]) ]
 
 (* Model check: contents always equal the most recent [capacity] distinct
    touched keys. *)

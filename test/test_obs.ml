@@ -67,7 +67,107 @@ let histogram =
         M.Histogram.reset h;
         Alcotest.(check int) "count" 0 (M.Histogram.count h);
         Alcotest.(check (float 0.)) "mean" 0. (M.Histogram.mean h);
-        Alcotest.(check (float 0.)) "p99" 0. (M.Histogram.quantile h 0.99)) ]
+        Alcotest.(check (float 0.)) "p99" 0. (M.Histogram.quantile h 0.99));
+    Alcotest.test_case "value exactly on the first bound is not underflow" `Quick (fun () ->
+        (* log10 rounding can place 1e-7 a hair below the first bucket
+           bound; it must land in the first real bucket, so cumulative
+           bucket counts include it at the 1e-6 bound. *)
+        let h = M.histogram "test.h_bound" in
+        M.Histogram.reset h;
+        M.Histogram.observe h 1e-7;
+        (match M.Histogram.cumulative_buckets h with
+        | (b1, c1) :: _ ->
+          Alcotest.(check (float 1e-18)) "first bound" 1e-6 b1;
+          Alcotest.(check int) "counted at first bound" 1 c1
+        | [] -> Alcotest.fail "no buckets");
+        Alcotest.(check (float 1e-12)) "quantile clamps to the observation" 1e-7
+          (M.Histogram.quantile h 0.5));
+    Alcotest.test_case "single underflow observation is exact at every quantile" `Quick
+      (fun () ->
+        let h = M.histogram "test.h_under" in
+        M.Histogram.reset h;
+        M.Histogram.observe h 1e-9;
+        List.iter
+          (fun q ->
+            Alcotest.(check (float 1e-15))
+              (Printf.sprintf "q=%g" q)
+              1e-9 (M.Histogram.quantile h q))
+          [ 0.; 0.5; 0.99; 1. ]) ]
+
+(* Parse the Prometheus text exposition back line by line and check the
+   format contract: every line is a comment or "name[{labels}] value",
+   every histogram carries _bucket/_sum/_count, and cumulative bucket
+   counts are monotone with le="+Inf" equal to _count. *)
+let prometheus =
+  [ Alcotest.test_case "exposition format shape" `Quick (fun () ->
+        let h = M.histogram "test.prom_h" in
+        M.Histogram.reset h;
+        List.iter (M.Histogram.observe h) [ 1e-8; 0.002; 0.004; 0.5; 5e4 ];
+        let text = M.to_prometheus () in
+        let lines = String.split_on_char '\n' text |> List.filter (( <> ) "") in
+        Alcotest.(check bool) "non-empty" true (lines <> []);
+        let sample_re line =
+          (* name{labels} value | name value *)
+          match String.index_opt line ' ' with
+          | None -> false
+          | Some _ -> (
+            let parts = String.split_on_char ' ' line in
+            match List.rev parts with
+            | v :: _ -> Float.is_finite (float_of_string v) || v = "0"
+            | [] -> false)
+        in
+        List.iter
+          (fun line ->
+            if String.length line > 0 && line.[0] <> '#' then
+              Alcotest.(check bool) ("parseable: " ^ line) true (sample_re line))
+          lines;
+        (* every histogram in the registry exposes the triple *)
+        List.iter
+          (fun (name, m) ->
+            match m with
+            | M.M_histogram _ ->
+              let mangled =
+                "rql_"
+                ^ String.map (fun c -> if c = '.' || c = '-' then '_' else c) name
+              in
+              List.iter
+                (fun suffix ->
+                  Alcotest.(check bool) (mangled ^ suffix) true
+                    (List.exists
+                       (fun l ->
+                         String.length l > String.length (mangled ^ suffix)
+                         && String.sub l 0 (String.length (mangled ^ suffix))
+                            = mangled ^ suffix)
+                       lines))
+                [ "_bucket{le=\""; "_sum "; "_count " ]
+            | _ -> ())
+          (M.sorted_items ());
+        (* the test histogram's buckets are cumulative and end at count *)
+        let bucket_counts =
+          List.filter_map
+            (fun l ->
+              let prefix = "rql_test_prom_h_bucket{le=\"" in
+              if String.length l > String.length prefix
+                 && String.sub l 0 (String.length prefix) = prefix
+              then
+                match String.rindex_opt l ' ' with
+                | Some i ->
+                  Some (int_of_string (String.sub l (i + 1) (String.length l - i - 1)))
+                | None -> None
+              else None)
+            lines
+        in
+        Alcotest.(check int) "10 decade bounds + +Inf" 11 (List.length bucket_counts);
+        let rec monotone = function
+          | a :: b :: rest -> a <= b && monotone (b :: rest)
+          | _ -> true
+        in
+        Alcotest.(check bool) "cumulative monotone" true (monotone bucket_counts);
+        Alcotest.(check int) "+Inf bucket = count" (M.Histogram.count h)
+          (List.nth bucket_counts (List.length bucket_counts - 1));
+        (* the underflow observation is included from the first bound up *)
+        Alcotest.(check bool) "underflow folded into first bound" true
+          (List.hd bucket_counts >= 1)) ]
 
 let spans =
   [ Alcotest.test_case "nesting links children to parents" `Quick (fun () ->
@@ -292,9 +392,48 @@ let rql_hierarchy =
             | Ok _ -> ()
             | Error msg -> Alcotest.failf "chrome export: %s" msg)) ]
 
+let timeseries =
+  [ Alcotest.test_case "ring samples on the configured interval" `Quick (fun () ->
+        let module TS = Obs.Timeseries in
+        TS.clear ();
+        TS.set_interval 2;
+        Fun.protect
+          ~finally:(fun () -> TS.set_interval 0)
+          (fun () ->
+            let c = M.counter "test.ts_counter" in
+            M.Counter.set c 5;
+            for _ = 1 to 6 do
+              TS.tick ()
+            done;
+            let samples = TS.samples () in
+            Alcotest.(check int) "one sample per 2 ticks" 3 (List.length samples);
+            (* sequence numbers are monotone and values carry the registry *)
+            let seqs = List.map (fun s -> s.TS.seq) samples in
+            Alcotest.(check (list int)) "monotone seq" [ 0; 1; 2 ] seqs;
+            List.iter
+              (fun s ->
+                Alcotest.(check (option (float 0.))) "counter value captured" (Some 5.)
+                  (List.assoc_opt "test.ts_counter" s.TS.values))
+              samples));
+    Alcotest.test_case "bounded ring keeps the newest samples" `Quick (fun () ->
+        let module TS = Obs.Timeseries in
+        TS.set_capacity 4;
+        Fun.protect
+          ~finally:(fun () -> TS.set_capacity 512)
+          (fun () ->
+            for _ = 1 to 10 do
+              ignore (TS.sample_now ())
+            done;
+            let samples = TS.samples () in
+            Alcotest.(check int) "capacity bound" 4 (List.length samples);
+            Alcotest.(check (list int)) "newest survive" [ 6; 7; 8; 9 ]
+              (List.map (fun s -> s.TS.seq) samples))) ]
+
 let () =
   Alcotest.run "obs"
     [ ("histogram", histogram);
+      ("prometheus", prometheus);
+      ("timeseries", timeseries);
       ("spans", spans);
       ("counters", counters);
       ("chrome-json", chrome_json);

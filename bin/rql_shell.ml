@@ -65,8 +65,10 @@ let print_help () =
     "\n\
      SQL goes to the data database; prefix with @meta for the SnapIds/result database.\n\
      Introspection in SQL: SELECT ... FROM sys_metrics | sys_histograms | sys_spans |\n\
-     sys_snapshots | sys_cache | sys_tables | sys_timeseries; ANALYZE ARCHIVE;\n\
-     EXPLAIN PROFILE <select> — run with tracing and print span tree + counter deltas.\n\
+     sys_snapshots | sys_cache | sys_tables | sys_timeseries | sys_plans; ANALYZE ARCHIVE;\n\
+     EXPLAIN [QUERY PLAN] <select> — show the compiled physical plan (access paths,\n\
+     join strategies, temp b-trees); EXPLAIN PROFILE <select> — run with tracing and\n\
+     print span tree + counter deltas.\n\
      RQL mechanisms are UDFs on @meta, e.g.:\n\
      @meta SELECT CollateData(snap_id, 'SELECT ... current_snapshot() ...', 'T') FROM SnapIds;"
 
@@ -141,6 +143,16 @@ let () =
       { cname = ".metrics"; cargs = "[prom [PATH]]";
         chelp = "metrics registry; prom = Prometheus text exposition (to stdout or PATH)";
         crun = (fun ~ctx_ref:_ ~args -> run_metrics args) };
+      { cname = ".plans"; cargs = "[@meta]";
+        chelp = "plan-cache statistics (sys_plans) of the data or @meta database";
+        crun =
+          (fun ~ctx_ref ~args ->
+            let db =
+              match String.trim args with
+              | "@meta" -> !ctx_ref.Rql.meta
+              | _ -> !ctx_ref.Rql.data
+            in
+            print_result (E.exec db "SELECT * FROM sys_plans")) };
       { cname = ".integrity"; cargs = ""; chelp = "run the on-disk integrity checker";
         crun =
           (fun ~ctx_ref ~args:_ ->

@@ -61,8 +61,11 @@ let ident_spans sql word =
       let start = !i in
       while !i < n && is_ident_char sql.[!i] do incr i done;
       let len = !i - start in
-      if len = wl && String.lowercase_ascii (String.sub sql start len) = word then
-        spans := (start, len) :: !spans
+      (* a dot-qualified name (t.current_snapshot) is a different
+         identifier: substituting inside it would corrupt the query *)
+      let qualified = start > 0 && sql.[start - 1] = '.' in
+      if (not qualified) && len = wl && String.lowercase_ascii (String.sub sql start len) = word
+      then spans := (start, len) :: !spans
     end
     else incr i
   done;
@@ -118,3 +121,19 @@ let inject_as_of sql ~sid =
    becomes
      SELECT AS OF 5 DISTINCT 5 FROM LoggedIn *)
 let rewrite sql ~sid = inject_as_of (substitute_current_snapshot sql ~sid) ~sid
+
+(* AST-level binding for the prepared path: the parsed Qq becomes a
+   parameterized statement — every current_snapshot() call (or bare
+   identifier use) becomes parameter 0, and AS OF ? is attached to the
+   outermost select — so the loop binds the snapshot id per iteration
+   instead of re-rewriting and re-parsing text. *)
+let parameterize (sel : Sqldb.Ast.select) : Sqldb.Ast.select =
+  let open Sqldb.Ast in
+  let is_cs name = String.lowercase_ascii name = "current_snapshot" in
+  let subst = function
+    | Call (name, []) when is_cs name -> Param 0
+    | Col (None, name) when is_cs name -> Param 0
+    | e -> e
+  in
+  let sel = Sqldb.Expr.map_select subst sel in
+  { sel with as_of = Some (Param 0) }

@@ -23,3 +23,10 @@ val inject_as_of : string -> sid:int -> string
     ["SELECT DISTINCT current_snapshot() FROM LoggedIn"] becomes
     ["SELECT AS OF 5 DISTINCT 5 FROM LoggedIn"]. *)
 val rewrite : string -> sid:int -> string
+
+(** AST-level binding for the prepared path: replace every
+    [current_snapshot()] call (or bare identifier use) with parameter 0
+    and attach [AS OF ?] to the outermost select, so the loop body binds
+    the snapshot id per iteration instead of re-rewriting and re-parsing
+    the Qq text. *)
+val parameterize : Sqldb.Ast.select -> Sqldb.Ast.select

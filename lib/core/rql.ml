@@ -46,12 +46,22 @@ let mech_name = function
   | Agg_table _ -> "AggregateDataInTable"
   | Intervals -> "CollateDataIntoIntervals"
 
+(* Prepared-Qq state of a run: the Qq is parsed and parameterized once
+   (first iteration) and the compiled plan is then reused across the
+   snapshot loop; if the AST path cannot represent the Qq we fall back
+   to the legacy per-iteration textual rewrite. *)
+type prep_state =
+  | Prep_pending
+  | Prep_ready of Sq.Engine.prepared
+  | Prep_fallback
+
 type run_state = {
   kind : mech_kind;
   qq : string;
   table : string;
   data : Sq.Db.t;
   meta : Sq.Db.t;
+  mutable prepared : prep_state;
   t_start : float; (* wall-clock run start; anchors the modeled trace track *)
   mutable iterations : Iter_stats.iteration list; (* reversed *)
   mutable first_done : bool;
@@ -93,6 +103,29 @@ let stream_select db sql =
     let env = Sq.Exec.env_of_select db sel in
     Sq.Exec.select_stream env sel
   | _ -> error "Qq must be a SELECT statement"
+
+(* Parse and parameterize the Qq once per run, preparing it against the
+   data database under a stable plan-cache key; iterations then bind the
+   snapshot id as parameter 0.  Any failure on this path (beyond Qq not
+   being a SELECT, which is a user error either way) falls back to the
+   per-iteration textual rewrite so no previously-working Qq regresses. *)
+let qq_prepared (rs : run_state) =
+  match rs.prepared with
+  | Prep_ready p -> Some p
+  | Prep_fallback -> None
+  | Prep_pending -> (
+    try
+      match Sq.Engine.parse rs.qq with
+      | Sq.Ast.Select sel ->
+        let p = Sq.Engine.prepare_select rs.data ~key:("rql-qq:" ^ rs.qq) (Rewrite.parameterize sel) in
+        rs.prepared <- Prep_ready p;
+        Some p
+      | _ -> error "Qq must be a SELECT statement"
+    with
+    | Error _ as e -> raise e
+    | _ ->
+      rs.prepared <- Prep_fallback;
+      None)
 
 let meta_env (rs : run_state) =
   match rs.env_meta with
@@ -378,6 +411,7 @@ let make_run ~kind ~data ~meta ~qq ~table =
     table;
     data;
     meta;
+    prepared = Prep_pending;
     t_start = now ();
     iterations = [];
     first_done = false;
@@ -420,8 +454,11 @@ let step_body (rs : run_state) ~sid ~cold =
   rs.cur_rows <- 0;
   rs.cur_inserts <- 0;
   rs.cur_updates <- 0;
-  let rewritten = Rewrite.rewrite rs.qq ~sid in
-  let header, run_rows = stream_select rs.data rewritten in
+  let header, run_rows =
+    match qq_prepared rs with
+    | Some p -> Sq.Engine.prepared_stream ~params:[| R.Int sid |] p
+    | None -> stream_select rs.data (Rewrite.rewrite rs.qq ~sid)
+  in
   if first then udf_timed (fun () -> init_run rs header);
   (match rs.kind with
   | Agg_var _ ->

@@ -33,6 +33,7 @@ type expr =
   | In_select of { subject : expr; sub : select; negated : bool }
   | Exists of { sub : select; negated : bool }
   | Aggref of int                 (* resolved aggregate slot (internal) *)
+  | Param of int                  (* positional parameter (? placeholder), 0-based *)
   | In_set of {                   (* internal: materialized IN (SELECT ...) *)
       subject : expr;
       set : (string, unit) Hashtbl.t;

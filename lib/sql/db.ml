@@ -21,6 +21,13 @@ type t = {
   mutable txn : Storage.Txn.t option;         (* explicit BEGIN..COMMIT *)
   mutable catalog_cache : Catalog.t option;   (* current-state catalog *)
   heap_handles : (int, Storage.Heap.t) Hashtbl.t; (* first page -> handle *)
+  (* Prepared-plan cache, keyed by statement text.  [generation] counts
+     schema changes; a cached plan whose generation differs is stale. *)
+  plan_cache : (string, Plan.cached) Hashtbl.t;
+  mutable generation : int;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable plan_invalidations : int;
 }
 
 (* Assemble a handle from restored parts (Backup). *)
@@ -30,19 +37,17 @@ let of_parts ~pager ~retro =
     funcs = Hashtbl.create 16;
     txn = None;
     catalog_cache = None;
-    heap_handles = Hashtbl.create 16 }
+    heap_handles = Hashtbl.create 16;
+    plan_cache = Hashtbl.create 32;
+    generation = 0;
+    plan_hits = 0;
+    plan_misses = 0;
+    plan_invalidations = 0 }
 
 let create ?(snapshots = true) () =
   let pager = Storage.Pager.create () in
   let retro = if snapshots then Some (Retro.attach pager) else None in
-  let db =
-    { pager;
-      retro;
-      funcs = Hashtbl.create 16;
-      txn = None;
-      catalog_cache = None;
-      heap_handles = Hashtbl.create 16 }
-  in
+  let db = of_parts ~pager ~retro in
   Storage.Txn.with_txn pager (fun txn -> Catalog.bootstrap txn);
   db
 
@@ -69,6 +74,13 @@ let read_current t : Storage.Pager.read =
   | _ -> Storage.Pager.read t.pager
 
 let invalidate_catalog t = t.catalog_cache <- None
+
+(* The schema changed (DDL or rollback of possible DDL): drop the
+   catalog cache and advance the plan-cache generation so every cached
+   plan re-plans on next use. *)
+let schema_changed t =
+  t.catalog_cache <- None;
+  t.generation <- t.generation + 1
 
 let catalog t =
   match t.txn with
@@ -132,6 +144,6 @@ let rollback t =
     Storage.Txn.abort txn;
     t.txn <- None
   | _ -> error "no transaction is open");
-  invalidate_catalog t
+  schema_changed t
 
 let in_txn t = match t.txn with Some txn -> Storage.Txn.is_active txn | None -> false

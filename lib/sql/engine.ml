@@ -71,7 +71,7 @@ let create_table db ~name ~cols ~if_not_exists =
           Catalog.add_table txn tbl;
           tbl)
     in
-    Db.invalidate_catalog db;
+    Db.schema_changed db;
     Some tbl
 
 let create_index db ~name ~table ~columns ~if_not_exists =
@@ -98,7 +98,7 @@ let create_index db ~name ~table ~columns ~if_not_exists =
           ~f:(fun rid data ->
             let row = R.decode_row data in
             Storage.Btree.insert txn bt (Exec.index_key tbl idx row) rid));
-    Db.invalidate_catalog db
+    Db.schema_changed db
 
 let drop_table db ~name ~if_exists =
   let cat = Db.catalog db in
@@ -114,7 +114,7 @@ let drop_table db ~name ~if_exists =
         Storage.Heap.drop txn (Storage.Heap.open_existing tbl.Catalog.theap);
         ignore (Catalog.remove_table cat txn name));
     Db.drop_heap_handle db tbl.Catalog.theap;
-    Db.invalidate_catalog db;
+    Db.schema_changed db;
     1
 
 let drop_index db ~name ~if_exists =
@@ -125,7 +125,7 @@ let drop_index db ~name ~if_exists =
     Db.with_write_txn db (fun txn ->
         Storage.Btree.drop txn (Storage.Btree.open_existing idx.Catalog.iroot);
         ignore (Catalog.remove_index cat txn name));
-    Db.invalidate_catalog db;
+    Db.schema_changed db;
     1
 
 (* --- statement dispatch ---------------------------------------------- *)
@@ -133,6 +133,61 @@ let drop_index db ~name ~if_exists =
 let c_statements = Obs.Metrics.counter "sql.statements"
 let h_parse = Obs.Metrics.histogram "sql.parse_latency"
 let h_stmt = Obs.Metrics.histogram "sql.stmt_latency"
+let c_plan_hits = Obs.Metrics.counter "sql.plan_cache_hits"
+let c_plan_misses = Obs.Metrics.counter "sql.plan_cache_misses"
+let c_plan_invalidations = Obs.Metrics.counter "sql.plan_cache_invalidations"
+
+(* Keep a runaway statement generator (e.g. textual SQL with inlined
+   constants) from growing the cache without bound. *)
+let plan_cache_cap = 512
+
+(* Plan [sel] for execution against [env], through the per-handle plan
+   cache when [key] (normally the statement text) is given.  A cache
+   entry is valid while the handle's catalog generation is unchanged;
+   DDL and rollback advance the generation, so stale plans re-plan on
+   next use and are counted as invalidations. *)
+let plan_for db ?key (env : Exec.env) (sel : select) : Plan.t =
+  let build () = Planner.plan ~cat:env.Exec.cat ~fnctx:(Db.fn_ctx db) sel in
+  match key with
+  | None -> build ()
+  | Some key -> (
+    let store p =
+      if Hashtbl.length db.Db.plan_cache >= plan_cache_cap then Hashtbl.reset db.Db.plan_cache;
+      Hashtbl.replace db.Db.plan_cache key { Plan.cp_plan = p; cp_gen = db.Db.generation };
+      p
+    in
+    match Hashtbl.find_opt db.Db.plan_cache key with
+    | Some c when c.Plan.cp_gen = db.Db.generation ->
+      Obs.Metrics.Counter.incr c_plan_hits;
+      db.Db.plan_hits <- db.Db.plan_hits + 1;
+      c.Plan.cp_plan
+    | Some _ ->
+      Obs.Metrics.Counter.incr c_plan_invalidations;
+      db.Db.plan_invalidations <- db.Db.plan_invalidations + 1;
+      store (build ())
+    | None ->
+      Obs.Metrics.Counter.incr c_plan_misses;
+      db.Db.plan_misses <- db.Db.plan_misses + 1;
+      store (build ()))
+
+(* Plan (or fetch the cached plan), bind [params], and stream.  The
+   environment is resolved first — binding the AS OF expression alone —
+   so the same compiled plan executes against the current state or any
+   snapshot. *)
+let run_select db ?key ?(params = [||]) (sel : select) :
+    string array * ((R.row -> unit) -> unit) =
+  let env =
+    match sel.as_of with
+    | None -> Exec.current_env db
+    | Some e -> Exec.env_of_as_of db (Plan.bind_expr params e)
+  in
+  let plan = plan_for db ?key env sel in
+  Exec.stream_plan env (Plan.bind params plan)
+
+let collect (columns, run) =
+  let rows = ref [] in
+  run (fun r -> rows := r :: !rows);
+  { empty_result with columns; rows = List.rev !rows }
 
 let stmt_kind = function
   | Select _ -> "select"
@@ -203,18 +258,17 @@ let run_insert db (i : stmt) =
     { empty_result with rows_affected = n }
   | _ -> assert false
 
-let run_stmt_core db (s : stmt) : result =
+let run_stmt_core db ?key (s : stmt) : result =
   match s with
-  | Select sel ->
-    let env = Exec.env_of_select db sel in
-    let columns, rows = Exec.select_all env sel in
-    { empty_result with columns; rows }
+  | Select sel -> collect (run_select db ?key sel)
   | Explain sel ->
+    (* Render the real plan tree (the one execution would use), built
+       fresh against the statement's environment. *)
     let env = Exec.env_of_select db sel in
-    let notes = Exec.explain env sel in
+    let plan = Planner.plan ~cat:env.Exec.cat ~fnctx:(Db.fn_ctx db) sel in
     { empty_result with
       columns = [| "detail" |];
-      rows = List.map (fun n -> [| R.Text n |]) notes }
+      rows = List.map (fun n -> [| R.Text n |]) (Plan.render plan) }
   | Explain_profile sel ->
     (* Run the statement with tracing forced on, then report its span
        tree and the registry counter deltas it caused. *)
@@ -317,7 +371,7 @@ let run_stmt_core db (s : stmt) : result =
 
 (* Every statement is counted, its end-to-end latency observed, and —
    when tracing is on — wrapped in a [sql.stmt] span. *)
-let run_stmt db (s : stmt) : result =
+let run_stmt db ?key (s : stmt) : result =
   Obs.Metrics.Counter.incr c_statements;
   Obs.Timeseries.tick ();
   Exec_stats.time_into
@@ -325,19 +379,21 @@ let run_stmt db (s : stmt) : result =
     (fun () ->
       Obs.Trace.with_span ~name:"sql.stmt"
         ~attrs:[ ("kind", Obs.Trace.Str (stmt_kind s)) ]
-        (fun () -> run_stmt_core db s))
+        (fun () -> run_stmt_core db ?key s))
 
 let wrap_errors f =
   try f () with
   | Lexer.Error m -> raise (Error ("SQL lexer: " ^ m))
   | Parser.Error m -> raise (Error ("SQL parser: " ^ m))
   | Expr.Error m -> raise (Error m)
+  | Planner.Error m -> raise (Error m)
   | Exec.Error m -> raise (Error m)
   | Db.Error m -> raise (Error m)
   | Invalid_argument m -> raise (Error m)
 
-(* Execute a single SQL statement. *)
-let exec db sql : result = wrap_errors (fun () -> run_stmt db (parse_one sql))
+(* Execute a single SQL statement.  SELECTs are planned through the
+   plan cache keyed by the statement text. *)
+let exec db sql : result = wrap_errors (fun () -> run_stmt db ~key:sql (parse_one sql))
 
 (* Execute a script of semicolon-separated statements; returns the last
    statement's result. *)
@@ -351,10 +407,52 @@ let exec_rows db sql ~(f : string array -> R.row -> unit) : unit =
   wrap_errors (fun () ->
       match parse_one sql with
       | Select sel ->
-        let env = Exec.env_of_select db sel in
-        let header, run = Exec.select_stream env sel in
+        let header, run = run_select db ~key:sql sel in
         run (fun row -> f header row)
       | other -> ignore (run_stmt db other))
+
+(* --- prepared statements --------------------------------------------- *)
+
+(* A prepared statement: parsed once, planned on first execution, and
+   re-planned only when the schema generation moves.  Parameters ([?]
+   placeholders, 0-based [Param] slots) are bound per execution with
+   {!Plan.bind}, so one prepared statement can run against the current
+   database or — when its AS OF is a parameter — any snapshot. *)
+type prepared = {
+  pr_db : db;
+  pr_key : string; (* plan-cache key *)
+  pr_sel : select;
+}
+
+let prepare_select db ~key (sel : select) : prepared = { pr_db = db; pr_key = key; pr_sel = sel }
+
+let prepare db sql : prepared =
+  wrap_errors (fun () ->
+      match parse_one sql with
+      | Select sel -> prepare_select db ~key:sql sel
+      | _ -> error "only SELECT statements can be prepared")
+
+(* Stream a prepared statement's rows (no statement accounting). *)
+let prepared_stream ?(params = [||]) (p : prepared) :
+    string array * ((R.row -> unit) -> unit) =
+  wrap_errors (fun () -> run_select p.pr_db ~key:p.pr_key ~params p.pr_sel)
+
+(* Execute a prepared statement with full statement accounting, like
+   [exec] minus the parse. *)
+let exec_prepared ?(params = [||]) (p : prepared) : result =
+  wrap_errors (fun () ->
+      Obs.Metrics.Counter.incr c_statements;
+      Obs.Timeseries.tick ();
+      Exec_stats.time_into
+        (fun dt -> Obs.Metrics.Histogram.observe h_stmt dt)
+        (fun () ->
+          Obs.Trace.with_span ~name:"sql.stmt"
+            ~attrs:[ ("kind", Obs.Trace.Str "select") ]
+            (fun () -> collect (run_select p.pr_db ~key:p.pr_key ~params p.pr_sel))))
+
+(* Parse a single statement (timed into sql.parse_latency) without
+   executing it; used by callers that prepare from a larger text. *)
+let parse sql : stmt = wrap_errors (fun () -> parse_one sql)
 
 (* Convenience accessors used by tests and examples. *)
 let query db sql : R.row list = (exec db sql).rows

@@ -45,6 +45,39 @@ val exec_script : db -> string -> result
     [f] zero times. *)
 val exec_rows : db -> string -> f:(string array -> Storage.Record.row -> unit) -> unit
 
+(** {1 Prepared statements}
+
+    A prepared statement is parsed once; its physical plan is built on
+    first execution and reused until DDL (or a rollback) advances the
+    handle's schema generation, at which point it is transparently
+    re-planned.  [?] placeholders in the SQL become positional
+    parameters bound at execution time — including in the [AS OF]
+    position, so one prepared statement can run against any snapshot. *)
+
+type prepared
+
+(** Parse and prepare a single SELECT statement.
+    @raise Error on parse failure or for non-SELECT statements. *)
+val prepare : db -> string -> prepared
+
+(** Prepare an already-parsed SELECT under an explicit plan-cache
+    [key] (used by the RQL layer, which rewrites before preparing). *)
+val prepare_select : db -> key:string -> Ast.select -> prepared
+
+(** Execute with [params] bound to the [?] placeholders in order.
+    @raise Error if a referenced parameter has no binding. *)
+val exec_prepared : ?params:Storage.Record.value array -> prepared -> result
+
+(** Streaming variant of {!exec_prepared}: returns the header and a
+    row-push runner (no per-statement accounting). *)
+val prepared_stream :
+  ?params:Storage.Record.value array -> prepared ->
+  string array * ((Storage.Record.row -> unit) -> unit)
+
+(** Parse a single statement (timed into [sql.parse_latency]) without
+    executing it. *)
+val parse : string -> Ast.stmt
+
 (** {1 Programmatic DDL} (used by the RQL layer) *)
 
 (** Returns the created table, or [None] when it existed and

@@ -1,14 +1,16 @@
-(* Statement execution: planning and evaluation.
+(* Plan execution.
 
-   SELECT pipelines are built as push-style iterators.  Planning is
-   deliberately SQLite-flavoured:
-   - single-table predicates choose a native index when one matches the
-     leading index column, else a sequential heap scan;
-   - equi-joins probe a native index when the inner table has one on the
-     join column, and otherwise build an ephemeral hash index over the
-     inner table — the analogue of SQLite's automatic covering index,
-     whose construction cost the paper's Fig 9 isolates (timed into
-     Exec_stats.index_build_s). *)
+   Planning lives in Planner (producing typed Plan.t values); this
+   module evaluates plan values against an [env] — the current database
+   state or any snapshot environment — as push-style iterators.  Because
+   a plan contains no executor state and all value positions are
+   expressions, the same compiled plan can be executed repeatedly with
+   different parameter bindings and against different snapshots; only
+   uncorrelated subqueries are (re-)expanded per execution.
+
+   The ephemeral hash indexes built for equi-joins (SQLite's
+   automatic-index analogue, whose construction cost the paper's Fig 9
+   isolates) are timed into Exec_stats.index_build_s. *)
 
 module R = Storage.Record
 open Ast
@@ -38,52 +40,15 @@ let snapshot_env db sid =
   let read = Retro.read_ctx retro spt in
   { db; read; cat = Catalog.load read; as_of = Some sid }
 
+(* Environment for an evaluated AS OF expression (parameters must have
+   been bound). *)
+let env_of_as_of db (e : expr) =
+  match Expr.eval_const (Db.fn_ctx db) e with
+  | R.Int sid -> snapshot_env db sid
+  | v -> error "AS OF requires an integer snapshot id, got %s" (R.value_to_string v)
+
 let env_of_select db (sel : select) =
-  match sel.as_of with
-  | None -> current_env db
-  | Some e -> (
-    match Expr.eval_const (Db.fn_ctx db) e with
-    | R.Int sid -> snapshot_env db sid
-    | v -> error "AS OF requires an integer snapshot id, got %s" (R.value_to_string v))
-
-(* --- column resolution ------------------------------------------------ *)
-
-type src_table = {
-  alias : string;              (* lowercase *)
-  tbl : Catalog.table;
-  offset : int;                (* position of this table's first column in the combined row *)
-}
-
-let col_names (t : Catalog.table) =
-  Array.map (fun (n, _) -> String.lowercase_ascii n) t.tcols
-
-let find_col tables q n =
-  let n = String.lowercase_ascii n in
-  let matches =
-    List.concat_map
-      (fun st ->
-        match q with
-        | Some q when String.lowercase_ascii q <> st.alias -> []
-        | _ ->
-          let names = col_names st.tbl in
-          let hits = ref [] in
-          Array.iteri (fun i cn -> if cn = n then hits := (st.offset + i) :: !hits) names;
-          !hits)
-      tables
-  in
-  match matches with
-  | [ i ] -> i
-  | [] ->
-    error "no such column: %s%s" (match q with Some q -> q ^ "." | None -> "") n
-  | _ -> error "ambiguous column name: %s" n
-
-(* Rewrite Col nodes to positional Colidx against [tables]. *)
-let resolve tables e =
-  Expr.map (function Col (q, n) -> Colidx (find_col tables q n) | e -> e) e
-
-(* Try to resolve [e] against only [tables]; None if it references other
-   columns. *)
-let try_resolve tables e = try Some (resolve tables e) with Error _ -> None
+  match sel.as_of with None -> current_env db | Some e -> env_of_as_of db e
 
 (* --- source scans ------------------------------------------------------ *)
 
@@ -133,51 +98,8 @@ let col_pos (tbl : Catalog.table) name =
 let index_key (tbl : Catalog.table) (idx : Catalog.index) (row : R.row) : R.row =
   Array.of_list (List.map (fun c -> row.(col_pos tbl c)) idx.Catalog.icols)
 
-(* --- single-table access path ------------------------------------------ *)
-
-(* A sargable bound extracted from a conjunct on the leading column of an
-   index: (column position in table, operator, constant). *)
-type bound = Bnd_eq of R.value | Bnd_lt of R.value | Bnd_le of R.value | Bnd_gt of R.value | Bnd_ge of R.value
-
-let extract_bound (tbl_tables : src_table list) fnctx conj =
-  (* conj resolved against the single table *)
-  let const e =
-    match e with
-    | Lit v -> Some v
-    | _ -> ( try Some (Expr.eval_const fnctx e) with _ -> None)
-  in
-  let flip = function Lt -> Gt | Le -> Ge | Gt -> Lt | Ge -> Le | op -> op in
-  match try_resolve tbl_tables conj with
-  | None -> None
-  | Some r -> (
-    match r with
-    | Binop (((Eq | Lt | Le | Gt | Ge) as op), Colidx i, rhs) -> (
-      match const rhs with Some v when v <> R.Null -> Some (i, op, v) | _ -> None)
-    | Binop (((Eq | Lt | Le | Gt | Ge) as op), lhs, Colidx i) -> (
-      match const lhs with Some v when v <> R.Null -> Some (i, flip op, v) | _ -> None)
-    | _ -> None)
-
-(* Pick a native index for a single-table scan given resolved
-   single-table conjuncts; returns (index, bounds on leading column). *)
-let pick_index env (tbl : Catalog.table) bounds =
-  let indexes = Catalog.indexes_of_table env.cat tbl.tname in
-  let rec go = function
-    | [] -> None
-    | idx :: rest -> (
-      match idx.Catalog.icols with
-      | lead :: _ ->
-        let lead_pos = col_pos tbl lead in
-        let applicable = List.filter (fun (i, _, _) -> i = lead_pos) bounds in
-        if applicable = [] then go rest
-        else
-          (* prefer equality *)
-          let eqs = List.filter (fun (_, op, _) -> op = Eq) applicable in
-          Some (idx, (if eqs <> [] then eqs else applicable))
-      | [] -> go rest)
-  in
-  go indexes
-
-(* Iterate rids of [tbl] matching the leading-column bounds via [idx]. *)
+(* Iterate rids of [tbl] matching the (evaluated) leading-column bounds
+   via [idx]. *)
 let index_scan env (_tbl : Catalog.table) (idx : Catalog.index) bounds ~f =
   let bt = Storage.Btree.open_existing idx.Catalog.iroot in
   let lo = ref ([||], min_int) and hi = ref None in
@@ -200,321 +122,10 @@ let index_scan env (_tbl : Catalog.table) (idx : Catalog.index) bounds ~f =
   | Some hi -> Storage.Btree.range env.read bt ~lo:!lo ~hi ~f:(fun _k rid -> f rid; true)
   | None -> Storage.Btree.iter_from env.read bt ~lo:!lo ~f:(fun _k rid -> f rid; true)
 
-(* --- select pipeline ---------------------------------------------------- *)
-
-(* Access-path decisions recorded during pipeline construction, surfaced
-   by EXPLAIN (in the spirit of SQLite's EXPLAIN QUERY PLAN). *)
-let plan_log : string list ref = ref []
-let plan_note fmt = Printf.ksprintf (fun s -> plan_log := s :: !plan_log) fmt
-
-type conjunct = { mutable used : bool; cexpr : expr }
-
-(* Build the FROM pipeline: returns (tables in join order, emit) where
-   emit pushes combined rows (all tables' columns concatenated). *)
-let build_from env (sel : select) =
-  let fnctx = Db.fn_ctx env.db in
-  match sel.from with
-  | None ->
-    ([], fun f -> f [||])
-  | Some (first_ref, joins) ->
-    let lookup_table (tr : table_ref) =
-      match Catalog.find_table env.cat tr.tbl_name with
-      | Some t -> t
-      | None -> (
-        (* catalog miss: sys_* virtual tables, resolved the same under
-           AS OF (they reflect current process state, not history) *)
-        match Systables.lookup tr.tbl_name with
-        | Some t -> t
-        | None -> error "no such table: %s" tr.tbl_name)
-    in
-    let alias_of (tr : table_ref) =
-      String.lowercase_ascii (Option.value tr.tbl_alias ~default:tr.tbl_name)
-    in
-    (* conjunct pool: WHERE plus all ON conditions *)
-    let pool =
-      List.map
-        (fun e -> { used = false; cexpr = e })
-        (List.concat_map Expr.conjuncts
-           ((match sel.where with Some w -> [ w ] | None -> [])
-           @ List.filter_map
-               (fun j -> if j.join_kind = Join_inner then j.join_on else None)
-               joins))
-    in
-    let eval1 tables row e = Expr.eval fnctx ~row ~aggs:[||] (resolve tables e) in
-    ignore eval1;
-    (* first table *)
-    let t0 = lookup_table first_ref in
-    let st0 = { alias = alias_of first_ref; tbl = t0; offset = 0 } in
-    let local0 = [ { st0 with offset = 0 } ] in
-    (* single-table conjuncts for the first table *)
-    let bounds0 =
-      List.filter_map
-        (fun c ->
-          match extract_bound local0 fnctx c.cexpr with
-          | Some b when not c.used -> Some (c, b)
-          | _ -> None)
-        pool
-    in
-    let filters0 =
-      List.filter_map
-        (fun c ->
-          if c.used then None
-          else
-            match try_resolve local0 c.cexpr with
-            | Some r -> Some (c, r)
-            | None -> None)
-        pool
-    in
-    let access0 = pick_index env t0 (List.map (fun (_, b) -> b) bounds0) in
-    (* mark conjuncts consumed as filters (they are applied locally) *)
-    List.iter (fun (c, _) -> c.used <- true) filters0;
-    let filter_row0 row =
-      List.for_all
-        (fun (_, r) -> Expr.truth (Expr.eval fnctx ~row ~aggs:[||] r) = Some true)
-        filters0
-    in
-    (match access0 with
-    | Some (idx, _) ->
-      plan_note "SEARCH %s USING INDEX %s" st0.tbl.Catalog.tname idx.Catalog.iname
-    | None ->
-      plan_note "SCAN %s%s" st0.tbl.Catalog.tname
-        (if is_virtual st0.tbl then " (virtual)" else ""));
-    let emit0 f =
-      match access0 with
-      | Some (idx, bnds) ->
-        index_scan env t0 idx (List.map (fun (i, op, v) -> (i, op, v)) bnds) ~f:(fun rid ->
-            match fetch_row env t0 rid with
-            | Some row -> if filter_row0 row then f row
-            | None -> ())
-      | None -> scan_rows env t0 ~f:(fun _rid row -> if filter_row0 row then f row)
-    in
-    (* fold joins *)
-    let add_join (tables, emit) (j : join_clause) =
-      let t = lookup_table j.join_table in
-      let st = { alias = alias_of j.join_table; tbl = t;
-                 offset =
-                   List.fold_left (fun acc s -> acc + Array.length s.tbl.Catalog.tcols) 0 tables }
-      in
-      let local = [ { st with offset = 0 } ] in
-      let tables' = tables @ [ st ] in
-      if j.join_kind = Join_left then begin
-        (* LEFT JOIN: the ON conjuncts define the match; unmatched left
-           rows are padded with NULLs.  WHERE conjuncts touching this
-           table stay in the pool and filter after the join. *)
-        let conjs = Expr.conjuncts (Option.get j.join_on) in
-        let inner_filters, rest =
-          List.partition (fun c -> try_resolve local c <> None) conjs
-        in
-        let inner_filters = List.filter_map (try_resolve local) inner_filters in
-        let equi, residual_raw =
-          List.partition_map
-            (fun c ->
-              match c with
-              | Binop (Eq, a, b) -> (
-                match try_resolve tables a, try_resolve local b with
-                | Some la, Some rb -> Left (la, rb)
-                | _ -> (
-                  match try_resolve tables b, try_resolve local a with
-                  | Some lb, Some ra -> Left (lb, ra)
-                  | _ -> Right c))
-              | c -> Right c)
-            rest
-        in
-        let residual = List.map (resolve tables') residual_raw in
-        let keep_inner row =
-          List.for_all
-            (fun r -> Expr.truth (Expr.eval fnctx ~row ~aggs:[||] r) = Some true)
-            inner_filters
-        in
-        let n_inner = Array.length t.Catalog.tcols in
-        let nulls = Array.make n_inner R.Null in
-        (* materialize the (filtered) inner side, hashed when equi keys
-           exist — the automatic-index analogue, timed as index build *)
-        let right_key_of row =
-          R.encode_row
-            (Array.of_list
-               (List.map (fun (_, rb) -> Expr.eval fnctx ~row ~aggs:[||] rb) equi))
-        in
-        let left_key_of row =
-          R.encode_row
-            (Array.of_list
-               (List.map (fun (la, _) -> Expr.eval fnctx ~row ~aggs:[||] la) equi))
-        in
-        plan_note "LEFT JOIN %s%s" t.Catalog.tname
-          (if equi = [] then " (materialized scan)" else " USING AUTOMATIC HASH INDEX");
-        let tbl_hash : (string, R.row list ref) Hashtbl.t = Hashtbl.create 256 in
-        let all_inner = ref [] in
-        let build () =
-          scan_rows env t ~f:(fun _rid row ->
-              if keep_inner row then
-                if equi = [] then all_inner := row :: !all_inner
-                else
-                  let k = right_key_of row in
-                  match Hashtbl.find_opt tbl_hash k with
-                  | Some l -> l := row :: !l
-                  | None -> Hashtbl.add tbl_hash k (ref [ row ]))
-        in
-        Exec_stats.time_index build;
-        let emit' f =
-          emit (fun lrow ->
-              let candidates =
-                if equi = [] then List.rev !all_inner
-                else
-                  match Hashtbl.find_opt tbl_hash (left_key_of lrow) with
-                  | Some l -> List.rev !l
-                  | None -> []
-              in
-              let matched = ref false in
-              List.iter
-                (fun rrow ->
-                  let row = Array.append lrow rrow in
-                  if
-                    List.for_all
-                      (fun r -> Expr.truth (Expr.eval fnctx ~row ~aggs:[||] r) = Some true)
-                      residual
-                  then begin
-                    matched := true;
-                    f row
-                  end)
-                candidates;
-              if not !matched then f (Array.append lrow nulls))
-        in
-        (tables', emit')
-      end
-      else begin
-      (* single-table predicates for the new table *)
-      let filters =
-        List.filter_map
-          (fun c ->
-            if c.used then None
-            else
-              match try_resolve local c.cexpr with
-              | Some r ->
-                c.used <- true;
-                Some r
-              | None -> None)
-          pool
-      in
-      let filter_row row =
-        List.for_all (fun r -> Expr.truth (Expr.eval fnctx ~row ~aggs:[||] r) = Some true) filters
-      in
-      (* equi-join keys: conjunct  left_expr = right_col_expr *)
-      let equi =
-        List.filter_map
-          (fun c ->
-            if c.used then None
-            else
-              match c.cexpr with
-              | Binop (Eq, a, b) -> (
-                match try_resolve tables a, try_resolve local b with
-                | Some la, Some rb ->
-                  c.used <- true;
-                  Some (la, rb)
-                | _ -> (
-                  match try_resolve tables b, try_resolve local a with
-                  | Some lb, Some ra ->
-                    c.used <- true;
-                    Some (lb, ra)
-                  | _ -> None))
-              | _ -> None)
-          pool
-      in
-      (match equi with
-      | [] -> plan_note "SCAN %s (nested loop)" t.Catalog.tname
-      | _ -> (
-        match
-          (match List.map snd equi with
-          | [ Colidx i ] ->
-            let cname = fst t.Catalog.tcols.(i) in
-            List.find_opt
-              (fun idx ->
-                match idx.Catalog.icols with
-                | [ c ] -> String.lowercase_ascii c = String.lowercase_ascii cname
-                | _ -> false)
-              (Catalog.indexes_of_table env.cat t.Catalog.tname)
-          | _ -> None)
-        with
-        | Some idx -> plan_note "SEARCH %s USING INDEX %s (join)" t.Catalog.tname idx.Catalog.iname
-        | None -> plan_note "JOIN %s USING AUTOMATIC HASH INDEX" t.Catalog.tname));
-      let emit' f =
-        match equi with
-        | [] ->
-          (* cross/theta join: materialize the (filtered) inner table *)
-          let inner = ref [] in
-          scan_rows env t ~f:(fun _rid row -> if filter_row row then inner := row :: !inner);
-          let inner = Array.of_list (List.rev !inner) in
-          emit (fun lrow -> Array.iter (fun rrow -> f (Array.append lrow rrow)) inner)
-        | _ ->
-          let left_keys = List.map fst equi and right_keys = List.map snd equi in
-          let right_key_of row =
-            R.encode_row
-              (Array.of_list (List.map (fun e -> Expr.eval fnctx ~row ~aggs:[||] e) right_keys))
-          in
-          let left_key_of row =
-            R.encode_row
-              (Array.of_list (List.map (fun e -> Expr.eval fnctx ~row ~aggs:[||] e) left_keys))
-          in
-          (* native index probe if the inner side is a single indexed column *)
-          let native =
-            match right_keys with
-            | [ Colidx i ] -> (
-              let cname = fst t.Catalog.tcols.(i) in
-              let indexes = Catalog.indexes_of_table env.cat t.Catalog.tname in
-              List.find_opt
-                (fun idx ->
-                  match idx.Catalog.icols with
-                  | [ c ] -> String.lowercase_ascii c = String.lowercase_ascii cname
-                  | _ -> false)
-                indexes)
-            | _ -> None
-          in
-          (match native with
-          | Some idx ->
-            let bt = Storage.Btree.open_existing idx.Catalog.iroot in
-            emit (fun lrow ->
-                let kv =
-                  Array.of_list
-                    (List.map (fun e -> Expr.eval fnctx ~row:lrow ~aggs:[||] e) left_keys)
-                in
-                Storage.Btree.lookup env.read bt kv ~f:(fun rid ->
-                    match fetch_row env t rid with
-                    | Some rrow -> if filter_row rrow then f (Array.append lrow rrow)
-                    | None -> ()))
-          | None ->
-            (* automatic ephemeral index over the inner table (SQLite's
-               covering-index analogue); built once per statement. *)
-            let tbl_hash : (string, R.row list ref) Hashtbl.t = Hashtbl.create 1024 in
-            let build () =
-              scan_rows env t ~f:(fun _rid row ->
-                  if filter_row row then
-                    let k = right_key_of row in
-                    match Hashtbl.find_opt tbl_hash k with
-                    | Some l -> l := row :: !l
-                    | None -> Hashtbl.add tbl_hash k (ref [ row ]))
-            in
-            Exec_stats.time_index build;
-            emit (fun lrow ->
-                match Hashtbl.find_opt tbl_hash (left_key_of lrow) with
-                | Some l -> List.iter (fun rrow -> f (Array.append lrow rrow)) !l
-                | None -> ()))
-        in
-        (tables', emit')
-      end
-    in
-    let tables, emit = List.fold_left add_join ([ st0 ], emit0) joins in
-    (* residual conjuncts against the combined row *)
-    let residual =
-      List.filter_map (fun c -> if c.used then None else Some (resolve tables c.cexpr)) pool
-    in
-    let emit_final f =
-      emit (fun row ->
-          if
-            List.for_all
-              (fun r -> Expr.truth (Expr.eval fnctx ~row ~aggs:[||] r) = Some true)
-              residual
-          then f row)
-    in
-    (tables, emit_final)
+(* Evaluate the bound expressions of an index search (parameters are
+   already bound; values may come from constant function calls). *)
+let eval_bounds fnctx bounds =
+  List.map (fun (i, op, e) -> (i, op, Expr.eval_const fnctx e)) bounds
 
 (* --- aggregation -------------------------------------------------------- *)
 
@@ -590,55 +201,7 @@ let acc_final acc =
   | "min" | "max" -> acc.a_mm
   | fn -> error "unknown aggregate function %s" fn
 
-(* Replace Agg nodes with Aggref slots, collecting specs (deduplicated
-   structurally). *)
-let lift_aggs specs e =
-  Expr.map
-    (function
-      | Agg a ->
-        let rec find i = function
-          | [] ->
-            specs := !specs @ [ a ];
-            Aggref i
-          | s :: _ when s = a -> Aggref i
-          | _ :: rest -> find (i + 1) rest
-        in
-        find 0 !specs
-      | e -> e)
-    e
-
-(* --- SELECT entry point -------------------------------------------------- *)
-
-let expand_items tables (items : sel_item list) =
-  List.concat_map
-    (fun item ->
-      match item with
-      | Star ->
-        List.concat_map
-          (fun st ->
-            Array.to_list
-              (Array.mapi (fun i (n, _) -> (Colidx (st.offset + i), n)) st.tbl.Catalog.tcols))
-          tables
-      | Table_star a ->
-        let a = String.lowercase_ascii a in
-        let st =
-          match List.find_opt (fun st -> st.alias = a) tables with
-          | Some st -> st
-          | None -> error "no such table: %s" a
-        in
-        Array.to_list
-          (Array.mapi (fun i (n, _) -> (Colidx (st.offset + i), n)) st.tbl.Catalog.tcols)
-      | Sel_expr (e, alias) ->
-        let name =
-          match alias, e with
-          | Some a, _ -> a
-          | None, Col (_, n) -> n
-          | None, _ -> ""
-        in
-        [ (e, name) ])
-    items
-
-(* --- subquery expansion and compound selects ---------------------------- *)
+(* --- subquery expansion and plan evaluation ----------------------------- *)
 
 (* The environment a nested select runs in: its own AS OF if it has one,
    else the enclosing statement's (snapshot queries are statement-wide,
@@ -649,7 +212,10 @@ let rec member_env env (sub : select) =
 (* Replace (uncorrelated) subquery nodes by their values: scalar
    subqueries become literals, IN (SELECT ...) becomes a materialized
    set, EXISTS becomes a boolean.  Correlated references fail inside the
-   subquery's own resolution with a "no such column" error. *)
+   subquery's own resolution with a "no such column" error.  Expansion
+   happens per execution — nested selects are planned fresh against the
+   environment they run in, and the enclosing cached plan is never
+   mutated. *)
 and expand_sub env e =
   Expr.map
     (function
@@ -682,24 +248,21 @@ and expand_sub env e =
       | e -> e)
     e
 
-and preprocess env (sel : select) : select =
-  let ex e = expand_sub env e in
-  { sel with
-    items = List.map (function Sel_expr (e, a) -> Sel_expr (ex e, a) | i -> i) sel.items;
-    from =
-      Option.map
-        (fun (t, js) -> (t, List.map (fun j -> { j with join_on = Option.map ex j.join_on }) js))
-        sel.from;
-    where = Option.map ex sel.where;
-    group_by = List.map ex sel.group_by;
-    having = Option.map ex sel.having;
-    order_by = List.map (fun o -> { o with ord_expr = ex o.ord_expr }) sel.order_by }
-
-(* Run a SELECT and push result rows to [f]. *)
+(* Plan and run a SELECT against [env] (the unprepared path). *)
 and select_stream env (sel : select) : string array * ((R.row -> unit) -> unit) =
-  let sel = preprocess env sel in
+  stream_plan env (Planner.plan ~cat:env.cat ~fnctx:(Db.fn_ctx env.db) sel)
+
+and select_all env sel : string array * R.row list =
+  let header, run = select_stream env sel in
+  let rows = ref [] in
+  run (fun r -> rows := r :: !rows);
+  (header, List.rev !rows)
+
+(* Execute a compiled plan against [env].  Parameters must have been
+   bound with Plan.bind. *)
+and stream_plan env (p : Plan.t) : string array * ((R.row -> unit) -> unit) =
   let header, run =
-    if sel.union_with = [] then select_stream_core env sel else select_compound env sel
+    if p.Plan.p_members = [] then stream_core env p.Plan.p_core else stream_compound env p
   in
   ( header,
     fun f ->
@@ -708,10 +271,18 @@ and select_stream env (sel : select) : string array * ((R.row -> unit) -> unit) 
           f row) )
 
 (* UNION / UNION ALL, left-associative as in SQLite: each non-ALL member
-   deduplicates everything accumulated so far. *)
-and select_compound env (sel : select) =
-  let base = { sel with union_with = []; order_by = []; limit = None; offset = None } in
-  let header, first_rows = select_all env base in
+   deduplicates everything accumulated so far.  A member with its own
+   AS OF is re-planned against its snapshot catalog. *)
+and stream_compound env (p : Plan.t) =
+  let collect (header, run) =
+    let rows = ref [] in
+    run (fun r -> rows := r :: !rows);
+    (header, List.rev !rows)
+  in
+  let base =
+    { p with Plan.p_members = []; p_corder = []; p_climit = None; p_coffset = None }
+  in
+  let header, first_rows = collect (stream_plan env base) in
   let dedupe rows =
     let seen = Hashtbl.create 256 in
     List.filter
@@ -726,33 +297,25 @@ and select_compound env (sel : select) =
   in
   let rows =
     List.fold_left
-      (fun acc (all, member) ->
-        let menv = member_env env member in
-        let mh, mrows = select_all menv member in
+      (fun acc (all, (m : Plan.t)) ->
+        let menv, mplan =
+          match m.Plan.p_as_of with
+          | None -> (env, m)
+          | Some _ ->
+            let menv = env_of_select env.db m.Plan.p_src in
+            (menv, Planner.plan ~cat:menv.cat ~fnctx:(Db.fn_ctx env.db) m.Plan.p_src)
+        in
+        let mh, mrows = collect (stream_plan menv mplan) in
         if Array.length mh <> Array.length header then
           error "UNION members must return the same number of columns";
         let combined = acc @ mrows in
         if all then combined else dedupe combined)
-      first_rows sel.union_with
+      first_rows p.Plan.p_members
   in
-  (* compound ORDER BY / LIMIT reference output columns only *)
   let fnctx = Db.fn_ctx env.db in
-  let out_index (o : order_item) =
-    match o.ord_expr with
-    | Lit (R.Int k) when k >= 1 && k <= Array.length header -> k - 1
-    | Col (None, n) ->
-      let found = ref (-1) in
-      Array.iteri
-        (fun i h -> if String.lowercase_ascii h = String.lowercase_ascii n then found := i)
-        header;
-      if !found < 0 then error "no such output column in compound ORDER BY: %s" n;
-      !found
-    | _ -> error "compound ORDER BY must reference output columns by name or position"
-  in
   let rows =
-    if sel.order_by = [] then rows
-    else begin
-      let keys = List.map (fun o -> (out_index o, o.ord_desc)) sel.order_by in
+    if p.Plan.p_corder = [] then rows
+    else
       List.stable_sort
         (fun (a : R.row) b ->
           let rec go = function
@@ -761,9 +324,8 @@ and select_compound env (sel : select) =
               let c = R.compare_value a.(i) b.(i) in
               if c <> 0 then if desc then -c else c else go rest
           in
-          go keys)
+          go p.Plan.p_corder)
         rows
-    end
   in
   let limit =
     Option.map
@@ -771,10 +333,10 @@ and select_compound env (sel : select) =
         match Expr.eval_const fnctx e with
         | R.Int n -> n
         | v -> error "LIMIT requires an integer, got %s" (R.value_to_string v))
-      sel.limit
+      p.Plan.p_climit
   in
   let offset =
-    match sel.offset with
+    match p.Plan.p_coffset with
     | None -> 0
     | Some e -> (
       match Expr.eval_const fnctx e with
@@ -787,84 +349,140 @@ and select_compound env (sel : select) =
     match limit with
     | None -> taken
     | Some l ->
-      let rec take n l = if n <= 0 then [] else match l with [] -> [] | h :: t -> h :: take (n - 1) t in
+      let rec take n l =
+        if n <= 0 then [] else match l with [] -> [] | h :: t -> h :: take (n - 1) t
+      in
       take l taken
   in
   (header, fun f -> List.iter f rows)
 
-and select_all env sel : string array * R.row list =
-  let header, run = select_stream env sel in
-  let rows = ref [] in
-  run (fun r -> rows := r :: !rows);
-  (header, List.rev !rows)
-
-and select_stream_core env (sel : select) : string array * ((R.row -> unit) -> unit) =
+(* Evaluate one plan core: FROM pipeline, then projection, aggregation,
+   DISTINCT, ORDER BY and LIMIT. *)
+and stream_core env (c : Plan.core) : string array * ((R.row -> unit) -> unit) =
   let fnctx = Db.fn_ctx env.db in
-  let tables, emit = build_from env sel in
-  let items = expand_items tables sel.items in
-  (* name anonymous expression columns *)
-  let header =
-    Array.of_list
-      (List.mapi (fun i (_, n) -> if n = "" then Printf.sprintf "expr_%d" (i + 1) else n) items)
+  (* Expand uncorrelated subqueries against this execution's environment
+     (fresh copy of the core; the cached plan stays pristine). *)
+  let c = Plan.map_core (expand_sub env) c in
+  let feval row e = Expr.eval fnctx ~row ~aggs:[||] e in
+  let pass filters row = List.for_all (fun r -> Expr.truth (feval row r) = Some true) filters in
+  let emit =
+    match c.Plan.c_from with
+    | Plan.From_none -> fun f -> f [||]
+    | Plan.From_scan { first; joins; residual } ->
+      let t0 = first.Plan.sc_src.Plan.s_tbl in
+      let emit0 f =
+        match first.Plan.sc_access with
+        | Plan.Index_search { ix; bounds } ->
+          index_scan env t0 ix (eval_bounds fnctx bounds) ~f:(fun rid ->
+              match fetch_row env t0 rid with
+              | Some row -> if pass first.Plan.sc_filters row then f row
+              | None -> ())
+        | Plan.Seq_scan ->
+          scan_rows env t0 ~f:(fun _rid row -> if pass first.Plan.sc_filters row then f row)
+      in
+      let add_join emit (js : Plan.join_step) =
+        let t = js.Plan.j_src.Plan.s_tbl in
+        match js.Plan.j_plan with
+        | Plan.Left_hash { equi; inner_filters; residual } ->
+          let n_inner = Array.length t.Catalog.tcols in
+          let nulls = Array.make n_inner R.Null in
+          let right_key_of row =
+            R.encode_row (Array.of_list (List.map (fun (_, rb) -> feval row rb) equi))
+          in
+          let left_key_of row =
+            R.encode_row (Array.of_list (List.map (fun (la, _) -> feval row la) equi))
+          in
+          (* materialize the (filtered) inner side, hashed when equi keys
+             exist — the automatic-index analogue, timed as index build *)
+          let tbl_hash : (string, R.row list ref) Hashtbl.t = Hashtbl.create 256 in
+          let all_inner = ref [] in
+          let build () =
+            scan_rows env t ~f:(fun _rid row ->
+                if pass inner_filters row then
+                  if equi = [] then all_inner := row :: !all_inner
+                  else
+                    let k = right_key_of row in
+                    match Hashtbl.find_opt tbl_hash k with
+                    | Some l -> l := row :: !l
+                    | None -> Hashtbl.add tbl_hash k (ref [ row ]))
+          in
+          Exec_stats.time_index build;
+          fun f ->
+            emit (fun lrow ->
+                let candidates =
+                  if equi = [] then List.rev !all_inner
+                  else
+                    match Hashtbl.find_opt tbl_hash (left_key_of lrow) with
+                    | Some l -> List.rev !l
+                    | None -> []
+                in
+                let matched = ref false in
+                List.iter
+                  (fun rrow ->
+                    let row = Array.append lrow rrow in
+                    if pass residual row then begin
+                      matched := true;
+                      f row
+                    end)
+                  candidates;
+                if not !matched then f (Array.append lrow nulls))
+        | Plan.Nested_loop { filters } ->
+          (* cross/theta join: materialize the (filtered) inner table *)
+          let inner = ref [] in
+          scan_rows env t ~f:(fun _rid row -> if pass filters row then inner := row :: !inner);
+          let inner = Array.of_list (List.rev !inner) in
+          fun f -> emit (fun lrow -> Array.iter (fun rrow -> f (Array.append lrow rrow)) inner)
+        | Plan.Index_probe { ix; equi; filters } ->
+          let left_keys = List.map fst equi in
+          let bt = Storage.Btree.open_existing ix.Catalog.iroot in
+          fun f ->
+            emit (fun lrow ->
+                let kv = Array.of_list (List.map (fun e -> feval lrow e) left_keys) in
+                Storage.Btree.lookup env.read bt kv ~f:(fun rid ->
+                    match fetch_row env t rid with
+                    | Some rrow -> if pass filters rrow then f (Array.append lrow rrow)
+                    | None -> ()))
+        | Plan.Hash_join { equi; filters } ->
+          (* automatic ephemeral index over the inner table (SQLite's
+             covering-index analogue); built once per execution. *)
+          let left_keys = List.map fst equi and right_keys = List.map snd equi in
+          let right_key_of row =
+            R.encode_row (Array.of_list (List.map (feval row) right_keys))
+          in
+          let left_key_of row =
+            R.encode_row (Array.of_list (List.map (feval row) left_keys))
+          in
+          let tbl_hash : (string, R.row list ref) Hashtbl.t = Hashtbl.create 1024 in
+          let build () =
+            scan_rows env t ~f:(fun _rid row ->
+                if pass filters row then
+                  let k = right_key_of row in
+                  match Hashtbl.find_opt tbl_hash k with
+                  | Some l -> l := row :: !l
+                  | None -> Hashtbl.add tbl_hash k (ref [ row ]))
+          in
+          Exec_stats.time_index build;
+          fun f ->
+            emit (fun lrow ->
+                match Hashtbl.find_opt tbl_hash (left_key_of lrow) with
+                | Some l -> List.iter (fun rrow -> f (Array.append lrow rrow)) !l
+                | None -> ())
+      in
+      let emit = List.fold_left add_join emit0 joins in
+      fun f -> emit (fun row -> if pass residual row then f row)
   in
-  let raw_exprs = List.map fst items in
-  (* SQLite lets GROUP BY / HAVING / ORDER BY reference output aliases;
-     substitute the aliased expression when the name is not a FROM
-     column. *)
-  let alias_subst e =
-    Expr.map
-      (function
-        | Col (None, n) as c
-          when (try ignore (find_col tables None n); false with Error _ -> true) -> (
-          let n = String.lowercase_ascii n in
-          match
-            List.find_opt (fun (_, name) -> String.lowercase_ascii name = n) items
-          with
-          | Some (aliased, _) -> aliased
-          | None -> c)
-        | e -> e)
-      e
-  in
-  let specs = ref [] in
-  let out_exprs = List.map (fun e -> lift_aggs specs (resolve tables e)) raw_exprs in
-  let group_exprs = List.map (fun e -> resolve tables (alias_subst e)) sel.group_by in
-  let having_expr =
-    Option.map (fun e -> lift_aggs specs (resolve tables (alias_subst e))) sel.having
-  in
-  (* ORDER BY: positional literals and output aliases resolve to output
-     columns; anything else resolves against the FROM columns. *)
-  let order_resolved =
-    List.map
-      (fun o ->
-        match o.ord_expr with
-        | Lit (R.Int k) when k >= 1 && k <= List.length out_exprs ->
-          (`Output (k - 1), o.ord_desc)
-        | Col (None, n)
-          when Array.exists (fun h -> String.lowercase_ascii h = String.lowercase_ascii n) header
-               && (try ignore (find_col tables None n); false with Error _ -> true) ->
-          let idx = ref 0 in
-          Array.iteri
-            (fun i h -> if String.lowercase_ascii h = String.lowercase_ascii n then idx := i)
-            header;
-          (`Output !idx, o.ord_desc)
-        | e -> (`Expr (lift_aggs specs (resolve tables e)), o.ord_desc))
-      sel.order_by
-  in
-  let has_agg =
-    sel.group_by <> [] || !specs <> []
-    || List.exists Expr.has_aggregate raw_exprs
-    || (match sel.having with Some h -> Expr.has_aggregate h | None -> false)
-  in
+  let out_exprs = c.Plan.c_out in
+  let order_resolved = c.Plan.c_order in
   let limit =
     Option.map
       (fun e ->
         match Expr.eval_const fnctx e with
         | R.Int n -> n
         | v -> error "LIMIT requires an integer, got %s" (R.value_to_string v))
-      sel.limit
+      c.Plan.c_limit
   in
   let offset =
-    match sel.offset with
+    match c.Plan.c_offset with
     | None -> 0
     | Some e -> (
       match Expr.eval_const fnctx e with
@@ -880,25 +498,24 @@ and select_stream_core env (sel : select) : string array * ((R.row -> unit) -> u
           (List.map
              (fun (k, _) ->
                match k with
-               | `Output i -> out.(i)
-               | `Expr e -> Expr.eval fnctx ~row ~aggs e)
+               | Plan.Out_col i -> out.(i)
+               | Plan.Key_expr e -> Expr.eval fnctx ~row ~aggs e)
              order_resolved)
       in
       (out, key)
     in
-    if has_agg then begin
+    if c.Plan.c_has_agg then begin
       let groups : (string, R.row * agg_acc array) Hashtbl.t = Hashtbl.create 64 in
       let order = ref [] in
       emit (fun row ->
           let gkey =
-            R.encode_row
-              (Array.of_list (List.map (fun e -> Expr.eval fnctx ~row ~aggs:[||] e) group_exprs))
+            R.encode_row (Array.of_list (List.map (fun e -> feval row e) c.Plan.c_group))
           in
           let _, accs =
             match Hashtbl.find_opt groups gkey with
             | Some ga -> ga
             | None ->
-              let accs = Array.of_list (List.map new_acc !specs) in
+              let accs = Array.of_list (List.map new_acc c.Plan.c_aggs) in
               Hashtbl.add groups gkey (row, accs);
               order := gkey :: !order;
               (row, accs)
@@ -908,7 +525,7 @@ and select_stream_core env (sel : select) : string array * ((R.row -> unit) -> u
         let repr, accs = Hashtbl.find groups gkey in
         let aggs = Array.map acc_final accs in
         let keep =
-          match having_expr with
+          match c.Plan.c_having with
           | None -> true
           | Some h -> Expr.truth (Expr.eval fnctx ~row:repr ~aggs h) = Some true
         in
@@ -917,12 +534,12 @@ and select_stream_core env (sel : select) : string array * ((R.row -> unit) -> u
           push out key
         end
       in
-      if Hashtbl.length groups = 0 && sel.group_by = [] then begin
+      if Hashtbl.length groups = 0 && c.Plan.c_group = [] then begin
         (* aggregate over an empty input: one row *)
-        let accs = Array.of_list (List.map new_acc !specs) in
+        let accs = Array.of_list (List.map new_acc c.Plan.c_aggs) in
         let aggs = Array.map acc_final accs in
         let keep =
-          match having_expr with
+          match c.Plan.c_having with
           | None -> true
           | Some h -> Expr.truth (Expr.eval fnctx ~row:[||] ~aggs h) = Some true
         in
@@ -940,7 +557,7 @@ and select_stream_core env (sel : select) : string array * ((R.row -> unit) -> u
   in
   let run f =
     let need_sort = order_resolved <> [] in
-    let need_distinct = sel.distinct in
+    let need_distinct = c.Plan.c_distinct in
     if need_sort || need_distinct then begin
       let rows = ref [] in
       let seen = Hashtbl.create 64 in
@@ -991,7 +608,7 @@ and select_stream_core env (sel : select) : string array * ((R.row -> unit) -> u
        with Stop -> ())
     end
   in
-  (header, run)
+  (c.Plan.c_header, run)
 
 (* --- DML ------------------------------------------------------------------ *)
 
@@ -1008,26 +625,26 @@ let insert_row_raw env txn (tbl : Catalog.table) (row : R.row) =
   rid
 
 (* Rows (with rids) matching [where] on a single table, using an index
-   when one applies.  Materialized to allow subsequent mutation. *)
+   when one applies.  Materialized to allow subsequent mutation.
+   Subqueries are expanded before planning, so subquery-derived
+   constants stay sargable here. *)
 let matching_rows env (tbl : Catalog.table) (where : expr option) =
   let fnctx = Db.fn_ctx env.db in
   let where = Option.map (expand_sub env) where in
-  let st = { alias = String.lowercase_ascii tbl.tname; tbl; offset = 0 } in
-  let local = [ st ] in
-  let conjs = match where with None -> [] | Some w -> Expr.conjuncts w in
-  let resolved = List.map (resolve local) conjs in
-  let bounds = List.filter_map (fun c -> extract_bound local fnctx c) conjs in
+  let sc = Planner.plan_table ~cat:env.cat ~fnctx tbl where in
   let keep row =
-    List.for_all (fun r -> Expr.truth (Expr.eval fnctx ~row ~aggs:[||] r) = Some true) resolved
+    List.for_all
+      (fun r -> Expr.truth (Expr.eval fnctx ~row ~aggs:[||] r) = Some true)
+      sc.Plan.sc_filters
   in
   let out = ref [] in
-  (match pick_index env tbl bounds with
-  | Some (idx, bnds) ->
-    index_scan env tbl idx bnds ~f:(fun rid ->
+  (match sc.Plan.sc_access with
+  | Plan.Index_search { ix; bounds } ->
+    index_scan env tbl ix (eval_bounds fnctx bounds) ~f:(fun rid ->
         match fetch_row env tbl rid with
         | Some row -> if keep row then out := (rid, row) :: !out
         | None -> ())
-  | None -> scan_heap env tbl ~f:(fun rid row -> if keep row then out := (rid, row) :: !out));
+  | Plan.Seq_scan -> scan_heap env tbl ~f:(fun rid row -> if keep row then out := (rid, row) :: !out));
   List.rev !out
 
 let delete_rows env txn (tbl : Catalog.table) rows =
@@ -1048,9 +665,10 @@ let update_rows env txn (tbl : Catalog.table) sets rows =
   let fnctx = Db.fn_ctx env.db in
   let heap = Db.heap_handle env.db tbl.theap in
   let indexes = Catalog.indexes_of_table env.cat tbl.tname in
-  let st = { alias = String.lowercase_ascii tbl.tname; tbl; offset = 0 } in
   let sets =
-    List.map (fun (c, e) -> (col_pos tbl c, resolve [ st ] e)) sets
+    List.map
+      (fun (c, e) -> (col_pos tbl c, Planner.resolve_against_table tbl (expand_sub env e)))
+      sets
   in
   List.iter
     (fun (rid, row) ->
@@ -1072,23 +690,3 @@ let update_rows env txn (tbl : Catalog.table) sets rows =
         indexes)
     rows;
   List.length rows
-
-
-(* EXPLAIN: construct the pipeline (without running it) and report the
-   recorded access-path decisions. *)
-let explain env (sel : select) : string list =
-  let sel = preprocess env sel in
-  let base = { sel with union_with = [] } in
-  plan_log := [];
-  ignore (build_from env base);
-  let notes = List.rev !plan_log in
-  let notes =
-    if sel.union_with = [] then notes
-    else notes @ [ Printf.sprintf "COMPOUND (%d UNION members)" (List.length sel.union_with) ]
-  in
-  let extra =
-    (if sel.group_by <> [] then [ "USE TEMP B-TREE FOR GROUP BY" ] else [])
-    @ (if sel.distinct then [ "USE TEMP B-TREE FOR DISTINCT" ] else [])
-    @ if sel.order_by <> [] then [ "USE TEMP B-TREE FOR ORDER BY" ] else []
-  in
-  notes @ extra

@@ -250,6 +250,7 @@ let rec eval (ctx : fn_ctx) ~(row : R.row) ~(aggs : R.row) (e : expr) : R.value 
       else of_bool negated)
   | Subquery _ | In_select _ | Exists _ ->
     error "subqueries must be expanded before evaluation (internal error)"
+  | Param i -> error "unbound parameter ?%d" (i + 1)
   | Agg _ -> error "aggregate used outside of an aggregation context"
 
 let no_row : R.row = [||]
@@ -261,7 +262,7 @@ let eval_const ctx e = eval ctx ~row:no_row ~aggs:no_row e
 
 (* Does the expression contain any aggregate call? *)
 let rec has_aggregate = function
-  | Lit _ | Col _ | Colidx _ -> false
+  | Lit _ | Col _ | Colidx _ | Param _ -> false
   | Agg _ | Aggref _ -> true
   | Unop (_, e) -> has_aggregate e
   | Binop (_, a, b) -> has_aggregate a || has_aggregate b
@@ -286,7 +287,7 @@ let rec has_aggregate = function
 let rec map f e =
   let e' =
     match e with
-    | Lit _ | Col _ | Colidx _ | Aggref _ -> e
+    | Lit _ | Col _ | Colidx _ | Aggref _ | Param _ -> e
     | Unop (op, a) -> Unop (op, map f a)
     | Binop (op, a, b) -> Binop (op, map f a, map f b)
     | Like l -> Like { l with subject = map f l.subject; pattern = map f l.pattern }
@@ -307,6 +308,65 @@ let rec map f e =
     | In_select s -> In_select { s with subject = map f s.subject }
   in
   f e'
+
+(* Map over an expression bottom-up, descending into subquery selects
+   (every expression position of the nested select, including its AS OF,
+   and of its UNION members).  [map] deliberately stops at subquery
+   boundaries; use this variant when a rewrite must reach parameters or
+   other leaves wherever they occur. *)
+let rec map_deep f e =
+  let e' =
+    match e with
+    | Lit _ | Col _ | Colidx _ | Aggref _ | Param _ -> e
+    | Unop (op, a) -> Unop (op, map_deep f a)
+    | Binop (op, a, b) -> Binop (op, map_deep f a, map_deep f b)
+    | Like l -> Like { l with subject = map_deep f l.subject; pattern = map_deep f l.pattern }
+    | In_list l ->
+      In_list
+        { l with
+          subject = map_deep f l.subject;
+          candidates = List.map (map_deep f) l.candidates }
+    | Between b ->
+      Between
+        { b with
+          subject = map_deep f b.subject;
+          low = map_deep f b.low;
+          high = map_deep f b.high }
+    | Is_null i -> Is_null { i with subject = map_deep f i.subject }
+    | Case { branches; else_ } ->
+      Case
+        { branches = List.map (fun (c, v) -> (map_deep f c, map_deep f v)) branches;
+          else_ = Option.map (map_deep f) else_ }
+    | Agg a -> Agg { a with agg_arg = Option.map (map_deep f) a.agg_arg }
+    | Call (n, args) -> Call (n, List.map (map_deep f) args)
+    | Cast (e, ty) -> Cast (map_deep f e, ty)
+    | In_set s -> In_set { s with subject = map_deep f s.subject }
+    | Subquery sub -> Subquery (map_select f sub)
+    | In_select s -> In_select { s with subject = map_deep f s.subject; sub = map_select f s.sub }
+    | Exists s -> Exists { s with sub = map_select f s.sub }
+  in
+  f e'
+
+(* Apply [map_deep f] to every expression position of a select. *)
+and map_select f (sel : select) : select =
+  let e = map_deep f in
+  { sel with
+    as_of = Option.map e sel.as_of;
+    items =
+      List.map
+        (function Sel_expr (x, a) -> Sel_expr (e x, a) | (Star | Table_star _) as i -> i)
+        sel.items;
+    from =
+      Option.map
+        (fun (t, js) -> (t, List.map (fun j -> { j with join_on = Option.map e j.join_on }) js))
+        sel.from;
+    where = Option.map e sel.where;
+    group_by = List.map e sel.group_by;
+    having = Option.map e sel.having;
+    order_by = List.map (fun o -> { o with ord_expr = e o.ord_expr }) sel.order_by;
+    limit = Option.map e sel.limit;
+    offset = Option.map e sel.offset;
+    union_with = List.map (fun (all, m) -> (all, map_select f m)) sel.union_with }
 
 (* Split a WHERE into its AND-ed conjuncts. *)
 let rec conjuncts = function

@@ -10,6 +10,7 @@ type token =
   | Star | Plus | Minus | Slash | Percent
   | Eq | Ne | Lt | Le | Gt | Ge
   | Concat_op
+  | Question          (* positional parameter placeholder *)
   | Eof
 
 exception Error of string
@@ -121,6 +122,7 @@ let tokenize (s : string) : token list =
         | '=' -> push Eq
         | '<' -> push Lt
         | '>' -> push Gt
+        | '?' -> push Question
         | c -> error "unexpected character %C at offset %d" c !i);
         incr i
       end
@@ -137,4 +139,5 @@ let token_to_string = function
   | Star -> "*" | Plus -> "+" | Minus -> "-" | Slash -> "/" | Percent -> "%"
   | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
   | Concat_op -> "||"
+  | Question -> "?"
   | Eof -> "<eof>"

@@ -6,7 +6,7 @@ exception Error of string
 
 let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
-type state = { toks : Lexer.token array; mutable pos : int }
+type state = { toks : Lexer.token array; mutable pos : int; mutable nparams : int }
 
 let peek st = st.toks.(st.pos)
 let peek2 st = if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1) else Lexer.Eof
@@ -207,6 +207,11 @@ and parse_unary st =
 
 and parse_primary st =
   match peek st with
+  | Lexer.Question ->
+    advance st;
+    let i = st.nparams in
+    st.nparams <- i + 1;
+    Param i
   | Lexer.Int_lit i ->
     advance st;
     Lit (Storage.Record.Int i)
@@ -690,7 +695,7 @@ and parse_stmt st =
 
 (* Parse a single statement; trailing semicolon optional. *)
 let parse_one (sql : string) : stmt =
-  let st = { toks = Array.of_list (Lexer.tokenize sql); pos = 0 } in
+  let st = { toks = Array.of_list (Lexer.tokenize sql); pos = 0; nparams = 0 } in
   let s = parse_stmt st in
   while peek st = Lexer.Semi do advance st done;
   if peek st <> Lexer.Eof then
@@ -699,7 +704,7 @@ let parse_one (sql : string) : stmt =
 
 (* Parse a script of semicolon-separated statements. *)
 let parse_many (sql : string) : stmt list =
-  let st = { toks = Array.of_list (Lexer.tokenize sql); pos = 0 } in
+  let st = { toks = Array.of_list (Lexer.tokenize sql); pos = 0; nparams = 0 } in
   let rec go acc =
     while peek st = Lexer.Semi do advance st done;
     if peek st = Lexer.Eof then List.rev acc else go (parse_stmt st :: acc)

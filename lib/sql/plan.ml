@@ -1,0 +1,217 @@
+(* Typed physical-plan IR.
+
+   A [Plan.t] is the output of the planner and the input of the
+   executor: a self-contained description of how a SELECT runs — access
+   paths (heap scan / index search with bounds), join strategy per
+   joined table (index probe, automatic hash index, materialized nested
+   loop, left outer hash), filters, projection, aggregation, and
+   sort/limit.  All value positions hold expressions rather than
+   constants so that one compiled plan can be re-executed with different
+   parameter bindings ([bind]) and against different snapshot
+   environments; nothing in a plan refers to mutable executor state.
+
+   Expression resolution conventions: expressions stored in the plan
+   are positional ([Ast.Colidx]) — "local" means resolved against the
+   columns of a single table, "combined" against the concatenation of
+   all tables joined so far (in FROM order). *)
+
+module R = Storage.Record
+open Ast
+
+(* A planned source table: catalog entry + alias + offset of its first
+   column in the combined row. *)
+type source = {
+  s_tbl : Catalog.table;
+  s_alias : string;
+  s_offset : int;
+}
+
+(* Sargable bound on the leading column of an index: column position in
+   the table, comparison, value expression.  The value expression is
+   row-independent (a literal, parameter or constant computation) and is
+   evaluated at execution time. *)
+type bound = int * binop * expr
+
+type access =
+  | Seq_scan
+  | Index_search of { ix : Catalog.index; bounds : bound list }
+
+(* First pipeline stage: the driving table. [sc_filters] are local. *)
+type scan = {
+  sc_src : source;
+  sc_access : access;
+  sc_filters : expr list;
+}
+
+(* Join strategy for one joined table.  [equi] pairs are
+   (combined-resolved left expr, local-resolved right expr). *)
+type join =
+  | Nested_loop of { filters : expr list }
+      (* no equi keys: materialized filtered inner, cross/theta loop *)
+  | Hash_join of { equi : (expr * expr) list; filters : expr list }
+      (* automatic ephemeral hash index on the inner side *)
+  | Index_probe of { ix : Catalog.index; equi : (expr * expr) list; filters : expr list }
+      (* persistent single-column index probe on the join key *)
+  | Left_hash of {
+      equi : (expr * expr) list;
+      inner_filters : expr list;
+      residual : expr list; (* combined-resolved incl. this table; NULL-padded rows bypass *)
+    }
+
+type join_step = { j_src : source; j_plan : join }
+
+type from_plan =
+  | From_none (* SELECT without FROM *)
+  | From_scan of {
+      first : scan;
+      joins : join_step list;
+      residual : expr list; (* combined-resolved, applied after all joins *)
+    }
+
+type order_key =
+  | Out_col of int (* sort by output column position *)
+  | Key_expr of expr (* sort by combined-resolved expression *)
+
+(* One compiled SELECT core (a UNION member, or the whole statement). *)
+type core = {
+  c_from : from_plan;
+  c_header : string array;
+  c_out : expr list; (* output expressions, Colidx/Aggref-resolved *)
+  c_aggs : agg list; (* aggregate slots, arguments resolved *)
+  c_has_agg : bool;
+  c_group : expr list;
+  c_having : expr option;
+  c_order : (order_key * bool) list; (* key, descending *)
+  c_distinct : bool;
+  c_limit : expr option;
+  c_offset : expr option;
+}
+
+type t = {
+  p_src : select; (* original AST (re-planning for AS OF members, EXPLAIN) *)
+  p_as_of : expr option;
+  p_core : core;
+  p_members : (bool * t) list; (* UNION (false) / UNION ALL (true) arms *)
+  p_corder : (int * bool) list; (* compound ORDER BY: output position, desc *)
+  p_climit : expr option;
+  p_coffset : expr option;
+}
+
+(* A cache entry: the plan plus the catalog generation it was built
+   against.  A lookup whose generation differs is stale. *)
+type cached = { cp_plan : t; cp_gen : int }
+
+(* --- mapping over the expressions of a plan -------------------------- *)
+
+let map_access f = function
+  | Seq_scan -> Seq_scan
+  | Index_search { ix; bounds } ->
+    Index_search { ix; bounds = List.map (fun (i, op, e) -> (i, op, f e)) bounds }
+
+let map_join f = function
+  | Nested_loop { filters } -> Nested_loop { filters = List.map f filters }
+  | Hash_join { equi; filters } ->
+    Hash_join
+      { equi = List.map (fun (a, b) -> (f a, f b)) equi; filters = List.map f filters }
+  | Index_probe { ix; equi; filters } ->
+    Index_probe
+      { ix; equi = List.map (fun (a, b) -> (f a, f b)) equi; filters = List.map f filters }
+  | Left_hash { equi; inner_filters; residual } ->
+    Left_hash
+      { equi = List.map (fun (a, b) -> (f a, f b)) equi;
+        inner_filters = List.map f inner_filters;
+        residual = List.map f residual }
+
+let map_from f = function
+  | From_none -> From_none
+  | From_scan { first; joins; residual } ->
+    From_scan
+      { first =
+          { first with
+            sc_access = map_access f first.sc_access;
+            sc_filters = List.map f first.sc_filters };
+        joins = List.map (fun js -> { js with j_plan = map_join f js.j_plan }) joins;
+        residual = List.map f residual }
+
+(* Apply [f] to every expression slot of a core. *)
+let map_core f (c : core) : core =
+  { c with
+    c_from = map_from f c.c_from;
+    c_out = List.map f c.c_out;
+    c_aggs = List.map (fun a -> { a with agg_arg = Option.map f a.agg_arg }) c.c_aggs;
+    c_group = List.map f c.c_group;
+    c_having = Option.map f c.c_having;
+    c_order =
+      List.map
+        (fun (k, d) -> ((match k with Out_col _ as k -> k | Key_expr e -> Key_expr (f e)), d))
+        c.c_order;
+    c_limit = Option.map f c.c_limit;
+    c_offset = Option.map f c.c_offset }
+
+let rec map_exprs f (p : t) : t =
+  { p with
+    p_as_of = Option.map f p.p_as_of;
+    p_core = map_core f p.p_core;
+    p_members = List.map (fun (all, m) -> (all, map_exprs f m)) p.p_members;
+    p_climit = Option.map f p.p_climit;
+    p_coffset = Option.map f p.p_coffset }
+
+(* --- parameter binding ----------------------------------------------- *)
+
+(* Substitute [Param i] with the i-th binding, everywhere including
+   inside subquery expressions. *)
+let bind_expr (params : R.value array) (e : expr) : expr =
+  if Array.length params = 0 then e
+  else
+    Expr.map_deep
+      (function
+        | Param i ->
+          if i >= Array.length params then
+            raise (Invalid_argument (Printf.sprintf "missing binding for parameter ?%d" (i + 1)))
+          else Lit params.(i)
+        | e -> e)
+      e
+
+let bind (params : R.value array) (p : t) : t =
+  if Array.length params = 0 then p else map_exprs (bind_expr params) p
+
+(* --- pretty-printing -------------------------------------------------- *)
+
+(* Render the plan as EXPLAIN QUERY PLAN lines (SQLite-flavored). *)
+let render (p : t) : string list =
+  let core_lines (c : core) =
+    match c.c_from with
+    | From_none -> []
+    | From_scan { first; joins; _ } ->
+      let scan_line =
+        match first.sc_access with
+        | Index_search { ix; _ } ->
+          Printf.sprintf "SEARCH %s USING INDEX %s" first.sc_src.s_tbl.Catalog.tname
+            ix.Catalog.iname
+        | Seq_scan ->
+          Printf.sprintf "SCAN %s%s" first.sc_src.s_tbl.Catalog.tname
+            (if first.sc_src.s_tbl.Catalog.theap < 0 then " (virtual)" else "")
+      in
+      let join_line js =
+        let name = js.j_src.s_tbl.Catalog.tname in
+        match js.j_plan with
+        | Nested_loop _ -> Printf.sprintf "SCAN %s (nested loop)" name
+        | Hash_join _ -> Printf.sprintf "JOIN %s USING AUTOMATIC HASH INDEX" name
+        | Index_probe { ix; _ } ->
+          Printf.sprintf "SEARCH %s USING INDEX %s (join)" name ix.Catalog.iname
+        | Left_hash { equi = []; _ } -> Printf.sprintf "LEFT JOIN %s (materialized scan)" name
+        | Left_hash _ -> Printf.sprintf "LEFT JOIN %s USING AUTOMATIC HASH INDEX" name
+      in
+      scan_line :: List.map join_line joins
+  in
+  let lines = core_lines p.p_core in
+  let lines =
+    if p.p_members = [] then lines
+    else lines @ [ Printf.sprintf "COMPOUND (%d UNION members)" (List.length p.p_members) ]
+  in
+  lines
+  @ (if p.p_core.c_group <> [] then [ "USE TEMP B-TREE FOR GROUP BY" ] else [])
+  @ (if p.p_core.c_distinct then [ "USE TEMP B-TREE FOR DISTINCT" ] else [])
+  @
+  if p.p_core.c_order <> [] || p.p_corder <> [] then [ "USE TEMP B-TREE FOR ORDER BY" ]
+  else []

@@ -105,6 +105,13 @@ let table_rows db =
         :: !out);
   List.sort compare !out
 
+(* Plan-cache statistics of this handle: one row.  [generation] is the
+   schema-change counter cached plans are validated against. *)
+let plan_rows (db : Db.t) =
+  [ [| R.Int (Hashtbl.length db.Db.plan_cache); R.Int db.Db.plan_hits;
+       R.Int db.Db.plan_misses; R.Int db.Db.plan_invalidations;
+       R.Int db.Db.generation |] ]
+
 (* Long format: one row per (sample, metric), so SQL can slice a single
    metric's trajectory with WHERE name = '...'. *)
 let timeseries_rows _db =
@@ -149,6 +156,11 @@ let all : vtable list =
         [| ("name", "TEXT"); ("kind", "TEXT"); ("root", "INTEGER");
            ("pages", "INTEGER"); ("rows", "INTEGER") |];
       vrows = table_rows };
+    { vname = "sys_plans";
+      vcols =
+        [| ("size", "INTEGER"); ("hits", "INTEGER"); ("misses", "INTEGER");
+           ("invalidations", "INTEGER"); ("generation", "INTEGER") |];
+      vrows = plan_rows };
     { vname = "sys_timeseries";
       vcols = [| ("seq", "INTEGER"); ("ts", "REAL"); ("name", "TEXT"); ("value", "REAL") |];
       vrows = timeseries_rows } ]

@@ -44,10 +44,14 @@ let tests =
              ignore (toks "'oops");
              false
            with Error _ -> true));
+    Alcotest.test_case "parameter placeholder" `Quick (fun () ->
+        Alcotest.(check (list token_t)) "question"
+          [ Ident "a"; Eq; Question; Eof ]
+          (toks "a = ?"));
     Alcotest.test_case "unexpected character raises" `Quick (fun () ->
         Alcotest.(check bool) "raises" true
           (try
-             ignore (toks "a ? b");
+             ignore (toks "a @ b");
              false
            with Error _ -> true)) ]
 

@@ -1,0 +1,184 @@
+(* Prepared statements, the physical-plan cache and its invalidation,
+   and plan reuse across the RQL snapshot loop (the plan-once /
+   bind-many acceptance criteria). *)
+
+module E = Sqldb.Engine
+module R = Storage.Record
+module M = Obs.Metrics
+
+let c_hits = M.counter "sql.plan_cache_hits"
+let c_inval = M.counter "sql.plan_cache_invalidations"
+let c_built = M.counter "sql.plans_built"
+let h_parse = M.histogram "sql.parse_latency"
+
+let get = M.Counter.get
+let parses () = M.Histogram.count h_parse
+
+let exec db sql = ignore (E.exec db sql)
+
+let texts rows = List.map (function [| R.Text s |] -> s | _ -> "?") rows
+
+let fresh_emp () =
+  let db = E.create ~snapshots:false () in
+  exec db "CREATE TABLE emp (id INTEGER, name TEXT)";
+  List.iteri
+    (fun i n -> exec db (Printf.sprintf "INSERT INTO emp VALUES (%d, '%s')" (i + 1) n))
+    [ "ann"; "bob"; "cat"; "dan"; "eve" ];
+  db
+
+let prepared_tests =
+  [ Alcotest.test_case "prepare, bind and execute" `Quick (fun () ->
+        let db = fresh_emp () in
+        let p = E.prepare db "SELECT name FROM emp WHERE id = ?" in
+        Alcotest.(check (list string)) "first" [ "bob" ]
+          (texts (E.exec_prepared ~params:[| R.Int 2 |] p).E.rows);
+        Alcotest.(check (list string)) "rebound" [ "dan" ]
+          (texts (E.exec_prepared ~params:[| R.Int 4 |] p).E.rows));
+    Alcotest.test_case "parameter in LIMIT" `Quick (fun () ->
+        let db = fresh_emp () in
+        let p = E.prepare db "SELECT name FROM emp ORDER BY id LIMIT ?" in
+        Alcotest.(check (list string)) "two" [ "ann"; "bob" ]
+          (texts (E.exec_prepared ~params:[| R.Int 2 |] p).E.rows);
+        Alcotest.(check (list string)) "four" [ "ann"; "bob"; "cat"; "dan" ]
+          (texts (E.exec_prepared ~params:[| R.Int 4 |] p).E.rows));
+    Alcotest.test_case "missing binding raises" `Quick (fun () ->
+        let db = fresh_emp () in
+        let p = E.prepare db "SELECT name FROM emp WHERE id = ?" in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (E.exec_prepared p);
+             false
+           with E.Error _ -> true));
+    Alcotest.test_case "only SELECT can be prepared" `Quick (fun () ->
+        let db = fresh_emp () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (E.prepare db "DELETE FROM emp");
+             false
+           with E.Error _ -> true));
+    Alcotest.test_case "AS OF parameter runs one plan against many snapshots" `Quick
+      (fun () ->
+        let db = E.create () in
+        exec db "CREATE TABLE t (x INTEGER)";
+        let sids =
+          List.map
+            (fun i ->
+              exec db (Printf.sprintf "INSERT INTO t VALUES (%d)" i);
+              Option.get (E.exec db "COMMIT WITH SNAPSHOT").E.snapshot)
+            [ 1; 2; 3 ]
+        in
+        let p = E.prepare db "SELECT AS OF ? COUNT(*) FROM t" in
+        let h0 = get c_hits and b0 = get c_built in
+        List.iteri
+          (fun i sid ->
+            Alcotest.(check bool)
+              (Printf.sprintf "count at snapshot %d" sid)
+              true
+              ((E.exec_prepared ~params:[| R.Int sid |] p).E.rows = [ [| R.Int (i + 1) |] ]))
+          sids;
+        Alcotest.(check int) "planned once" 1 (get c_built - b0);
+        Alcotest.(check int) "two cache hits" 2 (get c_hits - h0)) ]
+
+let cache_tests =
+  [ Alcotest.test_case "repeated exec of the same text hits the cache" `Quick (fun () ->
+        let db = fresh_emp () in
+        let h0 = get c_hits and b0 = get c_built in
+        exec db "SELECT name FROM emp WHERE id = 1";
+        exec db "SELECT name FROM emp WHERE id = 1";
+        exec db "SELECT name FROM emp WHERE id = 1";
+        Alcotest.(check int) "one build" 1 (get c_built - b0);
+        Alcotest.(check int) "two hits" 2 (get c_hits - h0));
+    Alcotest.test_case "CREATE INDEX invalidates and upgrades the plan" `Quick (fun () ->
+        let db = fresh_emp () in
+        let p = E.prepare db "SELECT name FROM emp WHERE id = ?" in
+        Alcotest.(check (list string)) "before" [ "cat" ]
+          (texts (E.exec_prepared ~params:[| R.Int 3 |] p).E.rows);
+        exec db "CREATE INDEX ie ON emp (id)";
+        let i0 = get c_inval in
+        Alcotest.(check (list string)) "after" [ "cat" ]
+          (texts (E.exec_prepared ~params:[| R.Int 3 |] p).E.rows);
+        Alcotest.(check int) "replanned" 1 (get c_inval - i0);
+        (* the re-planned access path uses the new index *)
+        Alcotest.(check bool) "explain names index" true
+          (List.mem "SEARCH emp USING INDEX ie"
+             (texts (E.exec db "EXPLAIN SELECT name FROM emp WHERE id = 3").E.rows)));
+    Alcotest.test_case "DROP TABLE invalidates a prepared statement" `Quick (fun () ->
+        let db = E.create ~snapshots:false () in
+        exec db "CREATE TABLE s (a INTEGER, b INTEGER)";
+        exec db "INSERT INTO s VALUES (1, 2)";
+        let p = E.prepare db "SELECT * FROM s" in
+        Alcotest.(check int) "two columns" 2
+          (Array.length (E.exec_prepared p).E.columns);
+        exec db "DROP TABLE s";
+        Alcotest.(check bool) "gone" true
+          (try
+             ignore (E.exec_prepared p);
+             false
+           with E.Error _ -> true);
+        (* re-created with a different shape: the statement re-plans *)
+        exec db "CREATE TABLE s (a INTEGER)";
+        exec db "INSERT INTO s VALUES (7)";
+        Alcotest.(check bool) "new shape" true ((E.exec_prepared p).E.rows = [ [| R.Int 7 |] ]));
+    Alcotest.test_case "sys_plans exposes per-handle cache state" `Quick (fun () ->
+        let db = E.create ~snapshots:false () in
+        exec db "SELECT 1";
+        exec db "SELECT 1";
+        (match (E.exec db "SELECT size, hits, misses, invalidations FROM sys_plans").E.rows with
+        | [ [| R.Int size; R.Int hits; R.Int misses; R.Int inval |] ] ->
+          Alcotest.(check bool) "size" true (size >= 2);
+          Alcotest.(check int) "hits" 1 hits;
+          Alcotest.(check bool) "misses counted" true (misses >= 2);
+          Alcotest.(check int) "no invalidations" 0 inval
+        | _ -> Alcotest.fail "unexpected sys_plans shape");
+        exec db "CREATE TABLE g (x INTEGER)";
+        match (E.exec db "SELECT generation FROM sys_plans").E.rows with
+        | [ [| R.Int gen |] ] -> Alcotest.(check bool) "generation advanced" true (gen >= 1)
+        | _ -> Alcotest.fail "unexpected sys_plans shape") ]
+
+let qs_all = "SELECT snap_id FROM SnapIds"
+
+let rql_tests =
+  [ Alcotest.test_case "RQL plans Qq exactly once over N snapshots" `Quick (fun () ->
+        let ctx = Rql.create () in
+        ignore (Rql.exec_data ctx "CREATE TABLE t (x INTEGER)");
+        for i = 1 to 5 do
+          ignore (Rql.exec_data ctx (Printf.sprintf "INSERT INTO t VALUES (%d)" i));
+          ignore (Rql.declare_snapshot ctx)
+        done;
+        let p0 = parses () and h0 = get c_hits and b0 = get c_built in
+        let run =
+          Rql.collate_data ctx ~qs:qs_all ~qq:"SELECT x FROM t WHERE x >= 0" ~table:"Res"
+        in
+        Alcotest.(check int) "five iterations" 5 (List.length run.Rql.Iter_stats.iterations);
+        Alcotest.(check int) "all rows collated" 15 run.Rql.Iter_stats.result_rows;
+        (* two distinct statements were parsed: Qs and Qq *)
+        Alcotest.(check int) "parsed twice" 2 (parses () - p0);
+        (* two plans built (Qs, Qq); the other N-1 iterations hit the cache *)
+        Alcotest.(check int) "planned twice" 2 (get c_built - b0);
+        Alcotest.(check bool) "N-1 cache hits" true (get c_hits - h0 >= 4));
+    Alcotest.test_case "mid-run DDL re-plans the Qq" `Quick (fun () ->
+        let ctx = Rql.create () in
+        ignore (Rql.exec_data ctx "CREATE TABLE t (x INTEGER)");
+        for i = 1 to 4 do
+          ignore (Rql.exec_data ctx (Printf.sprintf "INSERT INTO t VALUES (%d)" i));
+          ignore (Rql.declare_snapshot ctx)
+        done;
+        let qq = "SELECT x FROM t WHERE x >= 0" in
+        let collate cond =
+          ignore
+            (Rql.exec_meta ctx
+               (Printf.sprintf
+                  "SELECT CollateData(snap_id, '%s', 'R2') FROM SnapIds WHERE %s" qq cond))
+        in
+        collate "snap_id <= 2";
+        (* DDL on the data database between iterations of the same run *)
+        ignore (Rql.exec_data ctx "CREATE INDEX ix ON t (x)");
+        let i0 = get c_inval in
+        collate "snap_id > 2";
+        Alcotest.(check bool) "invalidated" true (get c_inval - i0 >= 1);
+        Alcotest.(check bool) "run completed correctly" true
+          ((Rql.exec_meta ctx "SELECT COUNT(*) FROM R2").E.rows = [ [| R.Int 10 |] ])) ]
+
+let () =
+  Alcotest.run "plan"
+    [ ("prepared", prepared_tests); ("cache", cache_tests); ("rql", rql_tests) ]

@@ -42,6 +42,41 @@ let tests =
         Alcotest.(check string) "escape"
           "SELECT AS OF 2 x FROM t WHERE s = 'it''s select'"
           (rewrite "SELECT x FROM t WHERE s = 'it''s select'" 2));
+    Alcotest.test_case "dot-qualified name is a different identifier" `Quick (fun () ->
+        (* regression: substituting inside t.current_snapshot produced t.5 *)
+        Alcotest.(check string) "qualified"
+          "SELECT AS OF 5 t.current_snapshot FROM t"
+          (rewrite "SELECT t.current_snapshot FROM t" 5));
+    Alcotest.test_case "string literal straddling occurrences untouched" `Quick (fun () ->
+        Alcotest.(check string) "mixed"
+          "SELECT AS OF 3 3, 'current_snapshot() and select' FROM t"
+          (rewrite "SELECT current_snapshot(), 'current_snapshot() and select' FROM t" 3));
+    Alcotest.test_case "parameterize binds AS OF and current_snapshot" `Quick (fun () ->
+        let open Sqldb.Ast in
+        match Sqldb.Parser.parse_one "SELECT current_snapshot(), x FROM t" with
+        | Select sel ->
+          let p = Rw.parameterize sel in
+          Alcotest.(check bool) "as_of is param" true (p.as_of = Some (Param 0));
+          (match p.items with
+          | Sel_expr (Param 0, _) :: _ -> ()
+          | _ -> Alcotest.fail "current_snapshot() not parameterized")
+        | _ -> Alcotest.fail "parse");
+    Alcotest.test_case "parameterized Qq runs via prepared statement" `Quick (fun () ->
+        let db = Sqldb.Engine.create () in
+        ignore (Sqldb.Engine.exec db "CREATE TABLE t (x INTEGER)");
+        ignore (Sqldb.Engine.exec db "INSERT INTO t VALUES (1)");
+        let sid =
+          Option.get (Sqldb.Engine.exec db "COMMIT WITH SNAPSHOT").Sqldb.Engine.snapshot
+        in
+        match Sqldb.Engine.parse "SELECT current_snapshot() AS sid FROM t" with
+        | Sqldb.Ast.Select sel ->
+          let prep = Sqldb.Engine.prepare_select db ~key:"rw-test" (Rw.parameterize sel) in
+          let res =
+            Sqldb.Engine.exec_prepared ~params:[| Storage.Record.Int sid |] prep
+          in
+          Alcotest.(check bool) "row is sid" true
+            (res.Sqldb.Engine.rows = [ [| Storage.Record.Int sid |] ])
+        | _ -> Alcotest.fail "parse");
     Alcotest.test_case "non-select rejected" `Quick (fun () ->
         Alcotest.(check bool) "raises" true
           (try

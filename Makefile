@@ -1,4 +1,4 @@
-.PHONY: all build test check bench shell clean
+.PHONY: all build test check lint bench shell clean
 
 all: build
 
@@ -8,9 +8,16 @@ build:
 test:
 	dune runtest
 
-# The one-stop gate: everything compiles (including tests and benches)
-# and the full suite passes.
-check:
+# Repo lint gate: bans catch-all exception handlers, Obj.magic and
+# assert-false dispatch fallbacks (see bin/lint.ml for the rules and
+# the "lint: allow" waiver syntax).
+lint:
+	dune build bin/lint.exe
+	dune exec bin/lint.exe -- lib bin
+
+# The one-stop gate: everything compiles (including tests and benches),
+# the lint gate is clean, and the full suite passes.
+check: lint
 	dune build @all
 	dune runtest
 

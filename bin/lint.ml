@@ -1,0 +1,131 @@
+(* Repository lint gate.
+
+   Scans OCaml sources for patterns this codebase bans outright:
+
+     - catch-all exception handlers (a bare underscore after [with]),
+       which swallow programming errors (Assert_failure, Stack_overflow,
+       Out_of_memory) along with the failure they meant to handle;
+     - unsafe casts through the Obj module, which defeat the type system;
+     - asserting falsehood as a dispatch fallback — the engine has a
+       typed Internal_error for impossible arms, so reaching one should
+       name the statement kind that got there, not abort the process.
+
+   A site may opt out with a waiver comment containing the marker
+   spelled in [waiver] below plus a justification; the waiver covers
+   its own line and the two lines after it, so a short comment directly
+   above the flagged expression works.  The waiver is the audit trail.
+
+     dune exec bin/lint.exe -- lib bin     (what `make lint` runs)
+
+   Exit status 1 when any finding survives, 0 when clean — so the CI
+   step is just the command itself.
+
+   The banned substrings below are spliced from halves so this file
+   does not flag itself. *)
+
+type rule = { rid : string; needle : string; why : string }
+
+let rules =
+  [ { rid = "catch-all";
+      needle = "with _ " ^ "->";
+      why = "catch-all handler swallows asserts and OOM; match specific exceptions" };
+    { rid = "catch-all";
+      needle = "with _" ^ "->";
+      why = "catch-all handler swallows asserts and OOM; match specific exceptions" };
+    { rid = "obj-magic";
+      needle = "Obj." ^ "magic";
+      why = "defeats the type system" };
+    { rid = "assert-false";
+      needle = "assert " ^ "false";
+      why = "use a typed internal error that names the impossible state" } ]
+
+let waiver = "lint: " ^ "allow"
+
+(* Squeeze runs of whitespace to single spaces so extra spacing between
+   tokens cannot hide a match from the needles above. *)
+let squeeze s =
+  let buf = Buffer.create (String.length s) in
+  let last_ws = ref false in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' then begin
+        if not !last_ws then Buffer.add_char buf ' ';
+        last_ws := true
+      end
+      else begin
+        Buffer.add_char buf c;
+        last_ws := false
+      end)
+    s;
+  Buffer.contents buf
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+  nl > 0 && at 0
+
+let is_ml_source name =
+  Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+
+(* Recursively collect sources, skipping build output and dot-dirs. *)
+let rec collect path acc =
+  if Sys.is_directory path then
+    let base = Filename.basename path in
+    if base = "_build" || (String.length base > 1 && base.[0] = '.') then acc
+    else
+      Array.fold_left
+        (fun acc entry -> collect (Filename.concat path entry) acc)
+        acc
+        (let es = Sys.readdir path in
+         Array.sort compare es;
+         es)
+  else if is_ml_source path then path :: acc
+  else acc
+
+let findings = ref 0
+
+let check_file path =
+  In_channel.with_open_text path (fun ic ->
+      let lineno = ref 0 in
+      (* > 0 while a waiver is in force (its line plus the two after) *)
+      let waived = ref 0 in
+      let rec go () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some line ->
+          incr lineno;
+          let sq = squeeze line in
+          if contains ~needle:waiver sq then waived := 3;
+          if !waived = 0 then
+            List.iter
+              (fun r ->
+                if contains ~needle:r.needle sq then begin
+                  incr findings;
+                  Printf.printf "%s:%d: [%s] %s\n" path !lineno r.rid r.why
+                end)
+              rules
+          else decr waived;
+          go ()
+      in
+      go ())
+
+let () =
+  let dirs =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib"; "bin" ] | _ :: rest -> rest
+  in
+  let files =
+    List.concat_map
+      (fun d ->
+        if Sys.file_exists d then List.rev (collect d [])
+        else begin
+          Printf.eprintf "lint: no such path %s\n" d;
+          exit 2
+        end)
+      dirs
+  in
+  List.iter check_file files;
+  if !findings > 0 then begin
+    Printf.printf "lint: %d finding(s) in %d file(s) scanned\n" !findings (List.length files);
+    exit 1
+  end
+  else Printf.printf "lint: clean (%d files scanned)\n" (List.length files)

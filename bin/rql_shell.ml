@@ -68,7 +68,8 @@ let print_help () =
      sys_snapshots | sys_cache | sys_tables | sys_timeseries | sys_plans; ANALYZE ARCHIVE;\n\
      EXPLAIN [QUERY PLAN] <select> — show the compiled physical plan (access paths,\n\
      join strategies, temp b-trees); EXPLAIN PROFILE <select> — run with tracing and\n\
-     print span tree + counter deltas.\n\
+     print span tree + counter deltas; EXPLAIN LINT <stmt> — static diagnostics as rows\n\
+     (same analysis as .lint, without executing the statement).\n\
      RQL mechanisms are UDFs on @meta, e.g.:\n\
      @meta SELECT CollateData(snap_id, 'SELECT ... current_snapshot() ...', 'T') FROM SnapIds;"
 
@@ -153,6 +154,21 @@ let () =
               | _ -> !ctx_ref.Rql.data
             in
             print_result (E.exec db "SELECT * FROM sys_plans")) };
+      { cname = ".lint"; cargs = "[@meta] SQL";
+        chelp = "static analysis only: print diagnostics without executing";
+        crun =
+          (fun ~ctx_ref ~args ->
+            let sql = String.trim args in
+            let db, sql =
+              if String.length sql >= 5 && String.sub sql 0 5 = "@meta" then
+                (!ctx_ref.Rql.meta, String.trim (String.sub sql 5 (String.length sql - 5)))
+              else (!ctx_ref.Rql.data, sql)
+            in
+            if sql = "" then print_endline "usage: .lint [@meta] SQL"
+            else
+              match E.analyze db sql with
+              | [] -> print_endline "ok"
+              | diags -> List.iter (fun d -> print_endline (Sqldb.Diag.render d)) diags) };
       { cname = ".integrity"; cargs = ""; chelp = "run the on-disk integrity checker";
         crun =
           (fun ~ctx_ref ~args:_ ->

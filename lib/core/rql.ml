@@ -379,13 +379,15 @@ let step_var (rs : run_state) ~rows_seen (row : R.row) =
       rs.var_value <- Monoid.init fn v;
       rs.var_seen <- true
     end
-  | Collate | Agg_table _ | Intervals -> assert false
+  | Collate | Agg_table _ | Intervals ->
+    error "internal: step_var dispatched on %s" (mech_name rs.kind)
 
 let var_current (rs : run_state) =
   match rs.kind with
   | Agg_var Monoid.Avg -> Monoid.avg_current rs.var_avg
   | Agg_var _ -> if rs.var_seen then rs.var_value else R.Null
-  | Collate | Agg_table _ | Intervals -> assert false
+  | Collate | Agg_table _ | Intervals ->
+    error "internal: var_current dispatched on %s" (mech_name rs.kind)
 
 (* Keep the single-row result table current after every iteration so the
    SQL-form UDF needs no end-of-run signal. *)
@@ -406,6 +408,13 @@ let make_run ~kind ~data ~meta ~qq ~table =
   (match kind with
   | Agg_table [] -> error "AggregateDataInTable requires at least one (column, function) pair"
   | _ -> ());
+  (* Static gate (both the API form and the SQL-form UDFs construct
+     their run here): a malformed Qq — unknown column, bad arity,
+     non-SELECT — fails now, before any snapshot iteration spends SPT
+     builds or page reads.  Diagnostics surface as RQL errors: to the
+     caller this is the loop mechanism rejecting its Qq argument. *)
+  (try Sq.Engine.analyze_qq data qq
+   with Sq.Engine.Error msg -> error "Qq rejected: %s" msg);
   { kind;
     qq;
     table;
@@ -559,7 +568,7 @@ let declare_snapshot ?name (ctx : ctx) =
   let sid =
     match Sq.Db.commit ctx.data ~snapshot:true with
     | Some sid -> sid
-    | None -> assert false
+    | None -> error "internal: COMMIT WITH SNAPSHOT returned no snapshot id"
   in
   let retro = Sq.Db.retro_exn ctx.data in
   let ts = format_ts (Retro.snapshot_ts retro sid) in
@@ -570,8 +579,12 @@ let declare_snapshot ?name (ctx : ctx) =
           (String.concat "''" (String.split_on_char '\'' name))));
   sid
 
-(* Snapshot ids returned by a snapshot query Qs over SnapIds. *)
+(* Snapshot ids returned by a snapshot query Qs over SnapIds.  The
+   static gate enforces the paper's Qs contract — a SELECT projecting
+   exactly one snapshot-id column — before anything executes. *)
 let snapshot_set (ctx : ctx) qs =
+  (try Sq.Engine.analyze_qs ctx.meta qs
+   with Sq.Engine.Error msg -> error "Qs rejected: %s" msg);
   let res = Sq.Engine.exec ctx.meta qs in
   List.map
     (fun row ->
@@ -585,6 +598,9 @@ let snapshot_set (ctx : ctx) qs =
 (* --- public mechanisms -------------------------------------------------- *)
 
 let run_mechanism ?(all_cold = false) ctx kind ~qs ~qq ~table =
+  (* make_run first: its Qq gate must fire before the Qs executes (a
+     bad Qq spends zero page reads, not even SnapIds ones). *)
+  let rs = make_run ~kind ~data:ctx.data ~meta:ctx.meta ~qq ~table in
   let sids = snapshot_set ctx qs in
   if sids = [] then error "%s: Qs returned no snapshots" (mech_name kind);
   (match Sq.Db.(ctx.data.retro) with
@@ -595,7 +611,6 @@ let run_mechanism ?(all_cold = false) ctx kind ~qs ~qq ~table =
       [ ("mechanism", Obs.Trace.Str (mech_name kind));
         ("snapshots", Obs.Trace.Int (List.length sids)) ]
     (fun () ->
-      let rs = make_run ~kind ~data:ctx.data ~meta:ctx.meta ~qq ~table in
       List.iter (fun sid -> step rs ~sid ~cold:all_cold) sids;
       finish rs)
 
@@ -769,7 +784,7 @@ let load ~path =
   let ic = open_in_bin path in
   let magic, data_img, meta_img =
     try (Marshal.from_channel ic : string * Sq.Backup.image * Sq.Backup.image)
-    with _ ->
+    with Failure _ | End_of_file | Sys_error _ ->
       close_in_noerr ic;
       error "could not read an RQL context image from %s" path
   in

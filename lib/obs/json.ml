@@ -147,7 +147,7 @@ let parse_string_raw st =
         if st.pos + 5 > String.length st.src then fail st "bad \\u escape";
         let hex = String.sub st.src (st.pos + 1) 4 in
         let code =
-          try int_of_string ("0x" ^ hex) with _ -> fail st "bad \\u escape"
+          try int_of_string ("0x" ^ hex) with Failure _ -> fail st "bad \\u escape"
         in
         (* keep it simple: escape back to UTF-8 for the BMP *)
         if code < 0x80 then Buffer.add_char buf (Char.chr code)

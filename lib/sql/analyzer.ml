@@ -1,0 +1,809 @@
+(* Static semantic analysis: the pass between Parser and Planner.
+
+   Every statement path — exec, exec_script, exec_rows, prepare, the
+   shell, and all four RQL loop mechanisms — runs this analysis before
+   any planning or page access.  It mirrors the planner's and
+   executor's name-resolution and evaluation rules without reading any
+   data, so a statement it rejects would have failed at plan or eval
+   time anyway, only later (possibly mid-loop, after SPT builds and
+   page I/O, or mid-DML after rows were already touched).
+
+   The checks are deliberately *sound with respect to execution*: the
+   analyzer never rejects a statement the engine would execute
+   successfully.  Where static knowledge runs out (parameters, UDF
+   result types, AS OF statements whose historical schema may differ
+   from the current catalog) it degrades to "unknown" and stays quiet.
+
+   Diagnostics (Diag.t) carry stable codes:
+
+     E001 no such table                  E010 AS OF must be an integer
+     E002 no such column                 E011 LIMIT/OFFSET must be an integer
+     E003 ambiguous column name          E012 UNION members differ in width
+     E004 no such function               E013 sys_ namespace is reserved
+     E005 wrong builtin arity            E020 current_snapshot() outside a loop
+     E006 malformed aggregate            E021 Qs must project one snapshot id
+     E007 aggregate not allowed here     E022 Qq must be a SELECT
+     E008 subquery must be one column
+     E009 INSERT arity mismatch
+
+     W101 subquery comparison defeats an index (filter, not a bound)
+     W102 predicate is constant false/NULL
+     W103 cross-affinity comparison (type ranks never match)
+     W104 duplicate column name in CREATE TABLE
+     W105 Qs snapshot-id column is not integer-typed
+     W106 Qq carries its own AS OF (the loop overrides it per snapshot)
+
+   Positions: the AST carries no spans, so the analyzer re-tokenizes
+   the statement text (when available) and attaches the position of
+   the first occurrence of the offending identifier.  Good enough for
+   "where do I look", with no AST surgery. *)
+
+module R = Storage.Record
+open Ast
+
+(* Stmt = ordinary statement; Qq = the body of an RQL loop, where
+   current_snapshot() is legal and non-SELECT statements are not. *)
+type mode = Stmt | Qq
+
+(* --- value-type lattice ----------------------------------------------- *)
+
+(* Tany is "statically unknown" (parameters, UDF results, untyped
+   columns); Tnull is the type of the NULL literal. *)
+type ty = Tint | Treal | Ttext | Tnull | Tany
+
+let ty_name = function
+  | Tint -> "integer"
+  | Treal -> "real"
+  | Ttext -> "text"
+  | Tnull -> "null"
+  | Tany -> "unknown"
+
+let is_definite_num = function Tint | Treal -> true | _ -> false
+
+let join a b =
+  match a, b with
+  | Tnull, t | t, Tnull -> t
+  | a, b when a = b -> a
+  | (Tint | Treal), (Tint | Treal) -> Treal
+  | _ -> Tany
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* SQLite-style affinity from a declared column type; "" (RQL result
+   tables, CTAS) means untyped. *)
+let affinity decl =
+  if decl = "" then Tany
+  else
+    let u = String.uppercase_ascii decl in
+    if contains_sub u "INT" then Tint
+    else if contains_sub u "CHAR" || contains_sub u "TEXT" || contains_sub u "CLOB" then Ttext
+    else if
+      contains_sub u "REAL" || contains_sub u "FLOA" || contains_sub u "DOUB"
+      || contains_sub u "DEC" || contains_sub u "NUM"
+    then Treal
+    else Tany
+
+let ty_of_value = function
+  | R.Null -> Tnull
+  | R.Int _ -> Tint
+  | R.Real _ -> Treal
+  | R.Text _ -> Ttext
+
+(* --- builtin signatures ------------------------------------------------ *)
+
+(* (min arity, max arity, result type); must agree with Func.builtins. *)
+let builtin_sigs =
+  [ ("abs", (1, 1, Tany));
+    ("length", (1, 1, Tint));
+    ("lower", (1, 1, Ttext));
+    ("upper", (1, 1, Ttext));
+    ("substr", (2, 3, Ttext));
+    ("coalesce", (1, max_int, Tany));
+    ("ifnull", (2, 2, Tany));
+    ("nullif", (2, 2, Tany));
+    ("typeof", (1, 1, Ttext));
+    ("round", (1, 2, Treal));
+    ("min", (2, max_int, Tany));
+    ("max", (2, max_int, Tany));
+    ("instr", (2, 2, Tint));
+    ("trim", (1, 1, Ttext));
+    ("replace", (3, 3, Ttext)) ]
+
+let describe_arity lo hi =
+  if hi = max_int then Printf.sprintf "at least %d argument%s" lo (if lo = 1 then "" else "s")
+  else if lo = hi then Printf.sprintf "%d argument%s" lo (if lo = 1 then "" else "s")
+  else Printf.sprintf "%d to %d arguments" lo hi
+
+let aggregate_fns = [ "count"; "sum"; "avg"; "min"; "max"; "total" ]
+
+(* --- analysis state ---------------------------------------------------- *)
+
+type t = {
+  cat : Catalog.t;
+  has_fn : string -> bool;          (* UDFs + builtins on the handle *)
+  mode : mode;
+  span_of : string -> Lexer.pos option;
+  mutable diags : Diag.t list;
+}
+
+let lc = String.lowercase_ascii
+
+let emit ctx d = ctx.diags <- d :: ctx.diags
+
+(* [at] names the identifier whose source position the diagnostic
+   should point at. *)
+let errf ctx ?at code fmt =
+  Printf.ksprintf
+    (fun m ->
+      emit ctx (Diag.v ?pos:(Option.bind at ctx.span_of) ~severity:Diag.Error code m))
+    fmt
+
+let warnf ctx ?at code fmt =
+  Printf.ksprintf
+    (fun m ->
+      emit ctx (Diag.v ?pos:(Option.bind at ctx.span_of) ~severity:Diag.Warning code m))
+    fmt
+
+(* Identifier -> first source position, from re-tokenizing the
+   statement text.  Tokenization already succeeded once to parse the
+   statement, so the Lexer.Error guard is belt-and-braces for callers
+   analyzing an AST under unrelated text. *)
+let span_map sql =
+  match sql with
+  | None -> fun _ -> None
+  | Some sql ->
+    let tbl = Hashtbl.create 16 in
+    (try
+       List.iter
+         (fun (tok, pos) ->
+           match tok with
+           | Lexer.Ident n ->
+             let key = lc n in
+             if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key pos
+           | _ -> ())
+         (Lexer.tokenize_pos sql)
+     with Lexer.Error _ -> ());
+    fun name -> Hashtbl.find_opt tbl (lc name)
+
+(* --- name resolution --------------------------------------------------- *)
+
+(* A FROM source: alias (lowercased) + resolved table. *)
+type source = { a_alias : string; a_tbl : Catalog.table }
+
+(* scope of one SELECT core: its sources, whether they all resolved
+   (unresolved FROM suppresses column-level diagnostics to avoid
+   cascades), and whether name diagnostics apply at all (they do not
+   under AS OF: a snapshot's catalog may differ from the current one,
+   and tables dropped since are still legally queryable there). *)
+type scope = { sources : source list; resolved : bool; strict : bool }
+
+let no_sources = { sources = []; resolved = true; strict = true }
+
+let lookup_table ctx name =
+  match Catalog.find_table ctx.cat name with
+  | Some t -> Some t
+  | None -> Systables.lookup name
+
+let col_ty (t : Catalog.table) i = affinity (snd t.Catalog.tcols.(i))
+
+(* Mirror of Planner.find_col: qualified references filter by alias,
+   duplicates across remaining sources are ambiguous. *)
+let find_col sources q n =
+  let n = lc n in
+  let matches =
+    List.concat_map
+      (fun s ->
+        match q with
+        | Some q when lc q <> s.a_alias -> []
+        | _ ->
+          let hits = ref [] in
+          Array.iteri
+            (fun i (cn, _) -> if lc cn = n then hits := (s, i) :: !hits)
+            s.a_tbl.Catalog.tcols;
+          !hits)
+      sources
+  in
+  match matches with
+  | [ (s, i) ] -> `One (col_ty s.a_tbl i)
+  | [] -> `None
+  | _ -> `Many
+
+let table_has_col (tbl : Catalog.table) c =
+  Array.exists (fun (cn, _) -> lc cn = lc c) tbl.Catalog.tcols
+
+(* --- expression scanners ----------------------------------------------- *)
+
+let contains_subquery e =
+  let exception Found in
+  try
+    ignore
+      (Expr.map
+         (function
+           | Subquery _ | In_select _ | Exists _ | In_set _ -> raise_notrace Found
+           | e -> e)
+         e);
+    false
+  with Found -> true
+
+(* Same value for every row: no column references, aggregates,
+   parameters or subqueries anywhere. *)
+let row_independent e =
+  let exception No in
+  try
+    ignore
+      (Expr.map
+         (function
+           | ( Col _ | Colidx _ | Agg _ | Aggref _ | Param _ | Subquery _ | In_select _
+             | Exists _ | In_set _ ) ->
+             raise_notrace No
+           | e -> e)
+         e);
+    true
+  with No -> false
+
+(* First column name mentioned in [e], as a position anchor for
+   diagnostics about whole predicates. *)
+let first_col_name e =
+  let found = ref None in
+  ignore
+    (Expr.map
+       (function
+         | Col (_, n) as c ->
+           if !found = None then found := Some n;
+           c
+         | e -> e)
+       e);
+  !found
+
+(* Constant folding for W102 uses only the builtins: UDF calls are not
+   row-independent in any useful static sense. *)
+let builtin_ctx = { Expr.lookup_fn = Func.find }
+
+(* --- expression checking ----------------------------------------------- *)
+
+(* Infer the type of [e] under [sc], emitting diagnostics along the
+   way.  [agg_ok] is whether an aggregate call is legal in this
+   position (output items, HAVING, ORDER BY keys — not WHERE, GROUP BY
+   or DML expressions). *)
+let rec check_expr ctx (sc : scope) ~agg_ok (e : expr) : ty =
+  match e with
+  | Lit v -> ty_of_value v
+  | Param _ | Colidx _ | Aggref _ | In_set _ -> Tany
+  | Col (q, n) -> (
+    match find_col sc.sources q n with
+    | `One t -> t
+    | `None ->
+      if sc.strict && sc.resolved then
+        errf ctx ~at:n "E002" "no such column: %s%s"
+          (match q with Some q -> q ^ "." | None -> "")
+          n;
+      Tany
+    | `Many ->
+      if sc.strict && sc.resolved then errf ctx ~at:n "E003" "ambiguous column name: %s" n;
+      Tany)
+  | Unop (Neg, e1) -> (
+    match check_expr ctx sc ~agg_ok e1 with
+    | (Tint | Treal | Tnull) as t -> t
+    | _ -> Tany)
+  | Unop (Not, e1) ->
+    ignore (check_expr ctx sc ~agg_ok e1);
+    Tint
+  | Binop (op, a, b) -> (
+    let ta = check_expr ctx sc ~agg_ok a in
+    let tb = check_expr ctx sc ~agg_ok b in
+    match op with
+    | Add | Sub | Mul | Div | Mod -> (
+      match ta, tb with
+      | Tint, Tint -> Tint
+      | Tnull, _ | _, Tnull -> Tnull
+      | (Tint | Treal), (Tint | Treal) -> Treal
+      | _ -> Tany)
+    | Concat -> Ttext
+    | Eq | Ne | Lt | Le | Gt | Ge ->
+      if
+        sc.strict
+        && ((is_definite_num ta && tb = Ttext) || (ta = Ttext && is_definite_num tb))
+      then
+        warnf ctx ?at:(first_col_name e) "W103"
+          "comparison between %s and %s operands: values of different affinity compare \
+           by type rank and never match"
+          (ty_name ta) (ty_name tb);
+      Tint
+    | And | Or -> Tint)
+  | Like { subject; pattern; _ } ->
+    ignore (check_expr ctx sc ~agg_ok subject);
+    ignore (check_expr ctx sc ~agg_ok pattern);
+    Tint
+  | In_list { subject; candidates; _ } ->
+    ignore (check_expr ctx sc ~agg_ok subject);
+    List.iter (fun c -> ignore (check_expr ctx sc ~agg_ok c)) candidates;
+    Tint
+  | Between { subject; low; high; _ } ->
+    ignore (check_expr ctx sc ~agg_ok subject);
+    ignore (check_expr ctx sc ~agg_ok low);
+    ignore (check_expr ctx sc ~agg_ok high);
+    Tint
+  | Is_null { subject; _ } ->
+    ignore (check_expr ctx sc ~agg_ok subject);
+    Tint
+  | Call (name, args) when lc name = "current_snapshot" ->
+    List.iter (fun a -> ignore (check_expr ctx sc ~agg_ok a)) args;
+    if args <> [] then errf ctx ~at:name "E005" "current_snapshot expects 0 arguments";
+    if ctx.mode <> Qq then
+      errf ctx ~at:name "E020"
+        "current_snapshot() is only valid inside an RQL Qq query";
+    Tint
+  | Call (name, args) -> (
+    let n = List.length args in
+    List.iter (fun a -> ignore (check_expr ctx sc ~agg_ok a)) args;
+    match List.assoc_opt (lc name) builtin_sigs with
+    | Some (lo, hi, ret) ->
+      if n < lo || n > hi then
+        errf ctx ~at:name "E005" "%s expects %s, got %d" name (describe_arity lo hi) n;
+      ret
+    | None ->
+      if not (ctx.has_fn name) then errf ctx ~at:name "E004" "no such function: %s" name;
+      Tany)
+  | Agg a -> (
+    let fn = lc a.agg_fn in
+    if not agg_ok then
+      errf ctx ~at:a.agg_fn "E007" "aggregate %s(...) is not allowed in this clause"
+        a.agg_fn;
+    if not (List.mem fn aggregate_fns) then
+      errf ctx ~at:a.agg_fn "E006" "no such aggregate function: %s" a.agg_fn;
+    match a.agg_arg with
+    | None ->
+      if fn <> "count" then
+        errf ctx ~at:a.agg_fn "E006" "%s requires an argument" a.agg_fn;
+      Tint
+    | Some arg -> (
+      if Expr.has_aggregate arg then
+        errf ctx ~at:a.agg_fn "E006" "aggregate calls cannot nest";
+      (* agg_ok:true so a nested aggregate reports E006 once, not an
+         extra E007 *)
+      let t = check_expr ctx sc ~agg_ok:true arg in
+      match fn with
+      | "count" -> Tint
+      | "avg" | "total" -> Treal
+      | "sum" -> ( match t with Tint -> Tint | Treal -> Treal | _ -> Tany)
+      | "min" | "max" -> t
+      | _ -> Tany))
+  | Case { branches; else_ } ->
+    let t =
+      List.fold_left
+        (fun acc (cond, v) ->
+          ignore (check_expr ctx sc ~agg_ok cond);
+          join acc (check_expr ctx sc ~agg_ok v))
+        Tnull branches
+    in
+    (match else_ with
+    | Some e1 -> join t (check_expr ctx sc ~agg_ok e1)
+    | None -> t)
+  | Cast (e1, tyname) ->
+    ignore (check_expr ctx sc ~agg_ok e1);
+    affinity tyname
+  | Subquery sub -> (
+    match check_select ctx ~outer_strict:sc.strict sub with
+    | Some [ (_, t) ] -> t
+    | Some outs ->
+      errf ctx "E008" "scalar subquery must return a single column (got %d)"
+        (List.length outs);
+      Tany
+    | None -> Tany)
+  | In_select { subject; sub; _ } ->
+    ignore (check_expr ctx sc ~agg_ok subject);
+    (match check_select ctx ~outer_strict:sc.strict sub with
+    | Some outs when List.length outs <> 1 ->
+      errf ctx "E008" "IN (SELECT ...) must return a single column (got %d)"
+        (List.length outs)
+    | _ -> ());
+    Tint
+  | Exists { sub; _ } ->
+    ignore (check_select ctx ~outer_strict:sc.strict sub);
+    Tint
+
+(* --- predicate warnings ------------------------------------------------ *)
+
+(* Is [n] (optionally qualified by [q]) the leading column of a native
+   index on one of the scoped tables?  Then an equality/range conjunct
+   on it is the planner's index-bound candidate. *)
+and col_is_indexed ctx sc q n =
+  let ln = lc n in
+  let srcs =
+    match q with
+    | Some q -> List.filter (fun s -> s.a_alias = lc q) sc.sources
+    | None -> sc.sources
+  in
+  List.exists
+    (fun s ->
+      table_has_col s.a_tbl n
+      && List.exists
+           (fun (ix : Catalog.index) ->
+             match ix.Catalog.icols with
+             | lead :: _ -> lc lead = ln
+             | [] -> false)
+           (Catalog.indexes_of_table ctx.cat s.a_tbl.Catalog.tname))
+    srcs
+
+(* WHERE-conjunct warnings: W102 (constant false/NULL) and W101 (the
+   PR-3 sargability hazard: a subquery-derived comparison value is a
+   filter, not an index bound, so the index on that column goes
+   unused). *)
+and check_predicate_warnings ctx sc w =
+  List.iter
+    (fun conj ->
+      (if row_independent conj then
+         match
+           try Some (Expr.eval_const builtin_ctx conj) with Expr.Error _ -> None
+         with
+         | Some v -> (
+           match Expr.truth v with
+           | Some true -> ()
+           | Some false ->
+             warnf ctx ?at:(first_col_name conj) "W102"
+               "predicate is constant and always false"
+           | None ->
+             warnf ctx ?at:(first_col_name conj) "W102"
+               "predicate is constant NULL (never true)")
+         | None -> ());
+      match conj with
+      | Binop ((Eq | Lt | Le | Gt | Ge), a, b) -> (
+        let probe col_e other =
+          match col_e with
+          | Col (q, n) when contains_subquery other && col_is_indexed ctx sc q n ->
+            warnf ctx ~at:n "W101"
+              "the index on %s cannot serve this comparison: a subquery-derived value \
+               is a filter, not an index bound (materialize it into a literal or \
+               parameter first)"
+              n
+          | _ -> ()
+        in
+        probe a b;
+        probe b a)
+      | _ -> ())
+    (Expr.conjuncts w)
+
+(* --- SELECT checking --------------------------------------------------- *)
+
+(* Returns the output shape (name, type) when statically known; None
+   when a FROM table did not resolve (then width-dependent checks are
+   skipped).  [outer_strict] is false inside AS OF scopes. *)
+and check_select ctx ~outer_strict (sel : select) : (string * ty) list option =
+  if sel.union_with = [] then check_core ctx ~outer_strict sel
+  else begin
+    (* compound: the first member owns DISTINCT/GROUP BY; trailing
+       ORDER BY / LIMIT belong to the whole compound and must
+       reference output columns (same rule as the planner). *)
+    let base = { sel with union_with = []; order_by = []; limit = None; offset = None } in
+    let outs = check_core ctx ~outer_strict base in
+    let member_outs =
+      List.map (fun (_all, m) -> check_select ctx ~outer_strict m) sel.union_with
+    in
+    (match outs with
+    | Some o ->
+      List.iter
+        (function
+          | Some m when List.length m <> List.length o ->
+            errf ctx "E012" "UNION members must return the same number of columns (%d vs %d)"
+              (List.length o) (List.length m)
+          | _ -> ())
+        member_outs;
+      let hdr = List.map (fun (n, _) -> lc n) o in
+      List.iter
+        (fun oi ->
+          match oi.ord_expr with
+          | Lit (R.Int k) when k >= 1 && k <= List.length o -> ()
+          | Lit (R.Int k) ->
+            errf ctx "E002" "compound ORDER BY position %d is out of range (1..%d)" k
+              (List.length o)
+          | Col (None, n) when List.mem (lc n) hdr -> ()
+          | Col (_, n) ->
+            errf ctx ~at:n "E002" "no such output column in compound ORDER BY: %s" n
+          | _ ->
+            errf ctx "E002"
+              "compound ORDER BY must reference output columns by name or position")
+        sel.order_by
+    | None -> ());
+    check_limit_offset ctx sel;
+    outs
+  end
+
+and check_limit_offset ctx (sel : select) =
+  let chk what eo =
+    Option.iter
+      (fun e ->
+        match check_expr ctx { no_sources with strict = false } ~agg_ok:false e with
+        | Tint | Tany -> ()
+        | t -> errf ctx "E011" "%s must be an integer (got %s)" what (ty_name t))
+      eo
+  in
+  chk "LIMIT" sel.limit;
+  chk "OFFSET" sel.offset
+
+and check_core ctx ~outer_strict (sel : select) : (string * ty) list option =
+  let strict = outer_strict && sel.as_of = None in
+  (* AS OF binds before the FROM environment exists; it must be a
+     constant (or parameter) integer snapshot id. *)
+  (match sel.as_of with
+  | Some e -> (
+    match check_expr ctx { no_sources with strict = false } ~agg_ok:false e with
+    | Tint | Tany -> ()
+    | t -> errf ctx "E010" "AS OF must be an integer snapshot id (got %s)" (ty_name t))
+  | None -> ());
+  let joins = match sel.from with Some (_, js) -> js | None -> [] in
+  let refs =
+    match sel.from with
+    | None -> []
+    | Some (first, js) -> first :: List.map (fun j -> j.join_table) js
+  in
+  let width_known = ref true in
+  let sources =
+    List.filter_map
+      (fun (tr : table_ref) ->
+        match lookup_table ctx tr.tbl_name with
+        | Some t ->
+          Some { a_alias = lc (Option.value tr.tbl_alias ~default:tr.tbl_name); a_tbl = t }
+        | None ->
+          width_known := false;
+          if strict then errf ctx ~at:tr.tbl_name "E001" "no such table: %s" tr.tbl_name;
+          None)
+      refs
+  in
+  let sc = { sources; resolved = !width_known; strict } in
+  (* ON clauses: checked against the full source list — necessary but
+     not sufficient (the planner resolves them against sources
+     accumulated so far), so the analyzer stays permissive. *)
+  List.iter
+    (fun j -> Option.iter (fun e -> ignore (check_expr ctx sc ~agg_ok:false e)) j.join_on)
+    joins;
+  (match sel.where with
+  | Some w ->
+    ignore (check_expr ctx sc ~agg_ok:false w);
+    if sc.strict && sc.resolved then check_predicate_warnings ctx sc w
+  | None -> ());
+  (* output items, star-expanded so the width is static *)
+  let outs =
+    List.concat_map
+      (fun item ->
+        match item with
+        | Star ->
+          List.concat_map
+            (fun s ->
+              Array.to_list
+                (Array.map (fun (n, d) -> (n, affinity d)) s.a_tbl.Catalog.tcols))
+            sc.sources
+        | Table_star a -> (
+          match List.find_opt (fun s -> s.a_alias = lc a) sc.sources with
+          | Some s ->
+            Array.to_list
+              (Array.map (fun (n, d) -> (n, affinity d)) s.a_tbl.Catalog.tcols)
+          | None ->
+            width_known := false;
+            if sc.strict && sc.resolved then errf ctx ~at:a "E001" "no such table: %s" a;
+            [])
+        | Sel_expr (e, alias) ->
+          let t = check_expr ctx sc ~agg_ok:true e in
+          let name =
+            match alias, e with
+            | Some a, _ -> a
+            | None, Col (_, n) -> n
+            | None, _ -> ""
+          in
+          [ (name, t) ])
+      sel.items
+  in
+  (* GROUP BY / HAVING / ORDER BY may reference output aliases when the
+     name is not a FROM column (SQLite rule, mirrored from the
+     planner's alias_subst). *)
+  let named_items =
+    List.filter_map
+      (function
+        | Sel_expr (e, alias) ->
+          let name =
+            match alias, e with
+            | Some a, _ -> a
+            | None, Col (_, n) -> n
+            | None, _ -> ""
+          in
+          if name = "" then None else Some (lc name, e)
+        | _ -> None)
+      sel.items
+  in
+  let alias_subst e =
+    Expr.map
+      (function
+        | Col (None, n) as c
+          when (match find_col sc.sources None n with `One _ -> false | _ -> true) -> (
+          match List.assoc_opt (lc n) named_items with
+          | Some aliased -> aliased
+          | None -> c)
+        | e -> e)
+      e
+  in
+  List.iter (fun e -> ignore (check_expr ctx sc ~agg_ok:false (alias_subst e))) sel.group_by;
+  Option.iter
+    (fun e -> ignore (check_expr ctx sc ~agg_ok:true (alias_subst e)))
+    sel.having;
+  (* ORDER BY: positional literals and pure output-alias references
+     resolve to output columns; everything else resolves against the
+     FROM columns (no alias substitution — same as the planner). *)
+  let hdr_lc =
+    List.mapi
+      (fun i (n, _) -> lc (if n = "" then Printf.sprintf "expr_%d" (i + 1) else n))
+      outs
+  in
+  List.iter
+    (fun o ->
+      match o.ord_expr with
+      | Lit (R.Int k) when k >= 1 && k <= List.length outs -> ()
+      | Col (None, n)
+        when List.mem (lc n) hdr_lc
+             && (match find_col sc.sources None n with `One _ -> false | _ -> true) ->
+        ()
+      | e -> ignore (check_expr ctx sc ~agg_ok:true e))
+    sel.order_by;
+  check_limit_offset ctx sel;
+  if !width_known then Some outs else None
+
+(* --- statement checking ------------------------------------------------ *)
+
+let dml_scope (tbl : Catalog.table) =
+  { sources = [ { a_alias = lc tbl.Catalog.tname; a_tbl = tbl } ];
+    resolved = true;
+    strict = true }
+
+let check_values_exprs ctx exprs =
+  (* INSERT ... VALUES expressions evaluate with no row in scope;
+     subqueries inside them are fine, bare columns are not. *)
+  List.iter (fun e -> ignore (check_expr ctx no_sources ~agg_ok:false e)) exprs
+
+let rec check_stmt ctx (s : stmt) : unit =
+  match s with
+  | Select sel | Explain sel | Explain_profile sel ->
+    ignore (check_select ctx ~outer_strict:true sel)
+  | Explain_lint inner -> check_stmt ctx inner
+  | Insert { table; columns; values; from_select } -> (
+    match lookup_table ctx table with
+    | None -> errf ctx ~at:table "E001" "no such table: %s" table
+    | Some tbl ->
+      if Systables.is_virtual_name table then
+        errf ctx ~at:table "E013" "%s is a read-only system table" table
+      else begin
+        let width =
+          match columns with
+          | None -> Array.length tbl.Catalog.tcols
+          | Some cols ->
+            List.iter
+              (fun c ->
+                if not (table_has_col tbl c) then
+                  errf ctx ~at:c "E002" "table %s has no column %s" table c)
+              cols;
+            List.length cols
+        in
+        List.iter
+          (fun row ->
+            check_values_exprs ctx row;
+            if List.length row <> width then
+              errf ctx "E009" "INSERT expects %d values, got %d" width (List.length row))
+          values;
+        match from_select with
+        | Some sel -> (
+          match check_select ctx ~outer_strict:true sel with
+          | Some outs when List.length outs <> width ->
+            errf ctx "E009" "INSERT expects %d columns, got %d from SELECT" width
+              (List.length outs)
+          | _ -> ())
+        | None -> ()
+      end)
+  | Delete { table; where } -> (
+    match lookup_table ctx table with
+    | None -> errf ctx ~at:table "E001" "no such table: %s" table
+    | Some tbl ->
+      if Systables.is_virtual_name table then
+        errf ctx ~at:table "E013" "%s is a read-only system table" table
+      else
+        Option.iter
+          (fun w ->
+            let sc = dml_scope tbl in
+            ignore (check_expr ctx sc ~agg_ok:false w);
+            check_predicate_warnings ctx sc w)
+          where)
+  | Update { table; sets; where } -> (
+    match lookup_table ctx table with
+    | None -> errf ctx ~at:table "E001" "no such table: %s" table
+    | Some tbl ->
+      if Systables.is_virtual_name table then
+        errf ctx ~at:table "E013" "%s is a read-only system table" table
+      else begin
+        let sc = dml_scope tbl in
+        List.iter
+          (fun (c, e) ->
+            if not (table_has_col tbl c) then
+              errf ctx ~at:c "E002" "table %s has no column %s" table c;
+            ignore (check_expr ctx sc ~agg_ok:false e))
+          sets;
+        Option.iter
+          (fun w ->
+            ignore (check_expr ctx sc ~agg_ok:false w);
+            check_predicate_warnings ctx sc w)
+          where
+      end)
+  | Create_table { table; cols; as_select; if_not_exists = _ } ->
+    if String.length (lc table) >= 4 && String.sub (lc table) 0 4 = "sys_" then
+      errf ctx ~at:table "E013" "%s: the sys_ prefix is reserved for system tables" table;
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun c ->
+        let k = lc c.col_name in
+        if k <> "" then begin
+          if Hashtbl.mem seen k then
+            warnf ctx "W104"
+              "duplicate column name %s in CREATE TABLE %s (it will be renamed)"
+              c.col_name table;
+          Hashtbl.replace seen k ()
+        end)
+      cols;
+    Option.iter (fun sel -> ignore (check_select ctx ~outer_strict:true sel)) as_select
+  | Create_index { index = _; table; columns; if_not_exists = _ } -> (
+    match Catalog.find_table ctx.cat table with
+    | None ->
+      if Systables.is_virtual_name table then
+        errf ctx ~at:table "E013" "%s is a read-only system table" table
+      else errf ctx ~at:table "E001" "no such table: %s" table
+    | Some tbl ->
+      List.iter
+        (fun c ->
+          if not (table_has_col tbl c) then
+            errf ctx ~at:c "E002" "table %s has no column %s" table c)
+        columns)
+  | Drop_table { table; if_exists } ->
+    if (not if_exists) && Catalog.find_table ctx.cat table = None then
+      errf ctx ~at:table "E001" "no such table: %s" table
+  | Drop_index { index; if_exists } ->
+    if (not if_exists) && Catalog.find_index ctx.cat index = None then
+      errf ctx ~at:index "E001" "no such index: %s" index
+  | Begin_txn | Commit _ | Rollback | Analyze_archive -> ()
+
+(* --- entry points ------------------------------------------------------ *)
+
+let finish ctx =
+  let ds = List.rev ctx.diags in
+  let errs, warns = List.partition Diag.is_error ds in
+  errs @ warns
+
+(* Analyze one parsed statement.  [sql] (the statement text, when
+   known) gives diagnostics source positions; [mode] Qq enables
+   current_snapshot() and restricts the statement to SELECT. *)
+let analyze ?sql ~cat ~has_fn ?(mode = Stmt) (s : stmt) : Diag.t list =
+  let ctx = { cat; has_fn; mode; span_of = span_map sql; diags = [] } in
+  (match mode, s with
+  | Qq, Select sel ->
+    if sel.as_of <> None then
+      warnf ctx "W106"
+        "Qq carries its own AS OF; the RQL loop overrides it with each snapshot id";
+    ignore (check_select ctx ~outer_strict:true sel)
+  | Qq, _ -> errf ctx "E022" "Qq must be a SELECT statement"
+  | Stmt, _ -> check_stmt ctx s);
+  finish ctx
+
+(* Analyze an RQL Qs: an ordinary statement that must additionally be a
+   SELECT projecting exactly one (integer-typed) snapshot-id column. *)
+let analyze_qs ?sql ~cat ~has_fn (s : stmt) : Diag.t list =
+  let ctx = { cat; has_fn; mode = Stmt; span_of = span_map sql; diags = [] } in
+  (match s with
+  | Select sel -> (
+    match check_select ctx ~outer_strict:true sel with
+    | Some [ (_, t) ] -> (
+      match t with
+      | Tint | Tany | Tnull -> ()
+      | t ->
+        warnf ctx "W105" "Qs snapshot-id column is %s-typed, not integer" (ty_name t))
+    | Some outs ->
+      errf ctx "E021" "Qs must project a single snapshot-id column (got %d)"
+        (List.length outs)
+    | None -> ())
+  | _ -> errf ctx "E021" "Qs must be a SELECT statement over the snapshot set");
+  finish ctx

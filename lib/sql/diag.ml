@@ -1,0 +1,34 @@
+(* Diagnostics emitted by the static analyzer.
+
+   Every diagnostic carries a stable code (E0xx = error, W1xx =
+   warning), an optional 1-based source position (line:col of the
+   offending identifier, when the statement text is known), and a
+   human-readable message.  The catalogue of codes lives in DESIGN.md
+   §7; codes are stable across releases so tests and tooling can match
+   on them. *)
+
+type severity = Error | Warning
+
+type t = {
+  code : string;            (* stable code, e.g. "E002" or "W101" *)
+  severity : severity;
+  pos : Lexer.pos option;   (* position of the offending token, if known *)
+  message : string;
+}
+
+let v ?pos ~severity code message = { code; severity; pos; message }
+
+let is_error d = d.severity = Error
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+(* "E002 at 1:8: no such column: zzz" — the form embedded in raised
+   Engine.Error messages. *)
+let to_string d =
+  match d.pos with
+  | Some p -> Printf.sprintf "%s at %s: %s" d.code (Lexer.pos_to_string p) d.message
+  | None -> Printf.sprintf "%s: %s" d.code d.message
+
+(* "error E002 at 1:8: no such column: zzz" — the form the shell's
+   .lint prints, severity first. *)
+let render d = Printf.sprintf "%s %s" (severity_name d.severity) (to_string d)

@@ -9,6 +9,10 @@ open Ast
 
 exception Error of string
 
+(* A dispatch invariant was violated — a bug in the engine, not a user
+   error; carries the statement kind that reached the wrong handler. *)
+exception Internal_error of string
+
 let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
 type db = Db.t
@@ -136,6 +140,37 @@ let h_stmt = Obs.Metrics.histogram "sql.stmt_latency"
 let c_plan_hits = Obs.Metrics.counter "sql.plan_cache_hits"
 let c_plan_misses = Obs.Metrics.counter "sql.plan_cache_misses"
 let c_plan_invalidations = Obs.Metrics.counter "sql.plan_cache_invalidations"
+let c_analyzer_errors = Obs.Metrics.counter "sql.analyzer_errors"
+let c_analyzer_warnings = Obs.Metrics.counter "sql.analyzer_warnings"
+
+(* --- static analysis gate --------------------------------------------- *)
+
+let has_fn db name = Db.lookup_fn db name <> None
+
+(* Run the static analyzer over a parsed statement.  [sql] — the
+   statement text, when the caller has it — lets diagnostics carry
+   source positions. *)
+let analyze_stmt db ?sql ?(mode = Analyzer.Stmt) (s : stmt) : Diag.t list =
+  Analyzer.analyze ?sql ~cat:(Db.catalog db) ~has_fn:(has_fn db) ~mode s
+
+let count_and_raise (diags : Diag.t list) : unit =
+  List.iter
+    (fun d ->
+      Obs.Metrics.Counter.incr
+        (if Diag.is_error d then c_analyzer_errors else c_analyzer_warnings))
+    diags;
+  match List.filter Diag.is_error diags with
+  | [] -> ()
+  | errs -> raise (Error (String.concat "; " (List.map Diag.to_string errs)))
+
+(* The hard gate every execution path passes through: warnings are
+   counted, errors are counted and raised before any planning or page
+   access.  EXPLAIN LINT is exempt — its job is to report, not
+   refuse. *)
+let analyzer_gate db ?sql ?mode (s : stmt) : unit =
+  match s with
+  | Explain_lint _ -> ()
+  | _ -> count_and_raise (analyze_stmt db ?sql ?mode s)
 
 (* Keep a runaway statement generator (e.g. textual SQL with inlined
    constants) from growing the cache without bound. *)
@@ -193,6 +228,7 @@ let stmt_kind = function
   | Select _ -> "select"
   | Explain _ -> "explain"
   | Explain_profile _ -> "explain_profile"
+  | Explain_lint _ -> "explain_lint"
   | Insert _ -> "insert"
   | Delete _ -> "delete"
   | Update _ -> "update"
@@ -256,7 +292,7 @@ let run_insert db (i : stmt) =
           List.length rows)
     in
     { empty_result with rows_affected = n }
-  | _ -> assert false
+  | s -> raise (Internal_error ("run_insert dispatched on " ^ stmt_kind s))
 
 let run_stmt_core db ?key (s : stmt) : result =
   match s with
@@ -299,6 +335,23 @@ let run_stmt_core db ?key (s : stmt) : result =
     { empty_result with
       columns = [| "profile" |];
       rows = List.map (fun l -> [| R.Text l |]) lines }
+  | Explain_lint inner ->
+    (* Analyze only — nothing plans or executes.  Rendered as rows so
+       every client (shell, exec_rows, tests) consumes diagnostics like
+       any other result set; zero rows means the statement is clean. *)
+    let diags = analyze_stmt db ?sql:key inner in
+    { empty_result with
+      columns = [| "severity"; "code"; "pos"; "message" |];
+      rows =
+        List.map
+          (fun (d : Diag.t) ->
+            [| R.Text (Diag.severity_name d.Diag.severity);
+               R.Text d.Diag.code;
+               (match d.Diag.pos with
+               | Some p -> R.Text (Lexer.pos_to_string p)
+               | None -> R.Null);
+               R.Text d.Diag.message |])
+          diags }
   | Insert _ -> run_insert db s
   | Delete { table; where } ->
     check_not_virtual table;
@@ -369,9 +422,12 @@ let run_stmt_core db ?key (s : stmt) : result =
       columns = [| "analyze" |];
       rows = List.map (fun l -> [| R.Text l |]) (Retro.render_analysis a) }
 
-(* Every statement is counted, its end-to-end latency observed, and —
-   when tracing is on — wrapped in a [sql.stmt] span. *)
+(* Every statement passes the analyzer gate first (errors raise before
+   any planning or page access), then is counted, its end-to-end
+   latency observed, and — when tracing is on — wrapped in a
+   [sql.stmt] span. *)
 let run_stmt db ?key (s : stmt) : result =
+  analyzer_gate db ?sql:key s;
   Obs.Metrics.Counter.incr c_statements;
   Obs.Timeseries.tick ();
   Exec_stats.time_into
@@ -396,10 +452,14 @@ let wrap_errors f =
 let exec db sql : result = wrap_errors (fun () -> run_stmt db ~key:sql (parse_one sql))
 
 (* Execute a script of semicolon-separated statements; returns the last
-   statement's result. *)
+   statement's result.  A single-statement script keeps its text so
+   diagnostics carry positions (a multi-statement script cannot: the
+   per-statement offsets are lost in the split). *)
 let exec_script db sql : result =
   wrap_errors (fun () ->
-      List.fold_left (fun _ s -> run_stmt db s) empty_result (parse_many sql))
+      match parse_many sql with
+      | [ s ] -> run_stmt db ~key:sql s
+      | stmts -> List.fold_left (fun _ s -> run_stmt db s) empty_result stmts)
 
 (* sqlite3_exec analogue: stream result rows of a SELECT through [f].
    Non-SELECT statements execute normally and invoke [f] zero times. *)
@@ -407,6 +467,7 @@ let exec_rows db sql ~(f : string array -> R.row -> unit) : unit =
   wrap_errors (fun () ->
       match parse_one sql with
       | Select sel ->
+        analyzer_gate db ~sql (Select sel);
         let header, run = run_select db ~key:sql sel in
         run (fun row -> f header row)
       | other -> ignore (run_stmt db other))
@@ -424,12 +485,16 @@ type prepared = {
   pr_sel : select;
 }
 
-let prepare_select db ~key (sel : select) : prepared = { pr_db = db; pr_key = key; pr_sel = sel }
+let prepare_select db ~key (sel : select) : prepared =
+  analyzer_gate db (Select sel);
+  { pr_db = db; pr_key = key; pr_sel = sel }
 
 let prepare db sql : prepared =
   wrap_errors (fun () ->
       match parse_one sql with
-      | Select sel -> prepare_select db ~key:sql sel
+      | Select sel ->
+        analyzer_gate db ~sql (Select sel);
+        { pr_db = db; pr_key = sql; pr_sel = sel }
       | _ -> error "only SELECT statements can be prepared")
 
 (* Stream a prepared statement's rows (no statement accounting). *)
@@ -453,6 +518,33 @@ let exec_prepared ?(params = [||]) (p : prepared) : result =
 (* Parse a single statement (timed into sql.parse_latency) without
    executing it; used by callers that prepare from a larger text. *)
 let parse sql : stmt = wrap_errors (fun () -> parse_one sql)
+
+(* --- static analysis entry points ------------------------------------- *)
+
+(* Parse and analyze one statement without executing it: the shell's
+   .lint; EXPLAIN LINT renders the same analysis as rows.  Does not
+   touch the analyzer counters (only the execution gate does). *)
+let analyze db sql : Diag.t list =
+  wrap_errors (fun () ->
+      match parse_one sql with
+      | Explain_lint inner -> analyze_stmt db ~sql inner
+      | s -> analyze_stmt db ~sql s)
+
+(* RQL front doors: validate a Qq / Qs before the loop touches any
+   snapshot.  Errors raise with E-coded, positioned diagnostics and
+   count into sql.analyzer_errors.  The parse here is analysis-only —
+   the loop parses the statement again on its execution path — so it
+   stays out of the sql.parse_latency histogram to keep that metric a
+   count of executed-statement parses. *)
+let analyze_qq db sql : unit =
+  wrap_errors (fun () ->
+      count_and_raise (analyze_stmt db ~sql ~mode:Analyzer.Qq (Parser.parse_one sql)))
+
+let analyze_qs db sql : unit =
+  wrap_errors (fun () ->
+      count_and_raise
+        (Analyzer.analyze_qs ~sql ~cat:(Db.catalog db) ~has_fn:(has_fn db)
+           (Parser.parse_one sql)))
 
 (* Convenience accessors used by tests and examples. *)
 let query db sql : R.row list = (exec db sql).rows

@@ -11,6 +11,11 @@
 
 exception Error of string
 
+(** Raised when an internal dispatch invariant is violated (a bug in
+    the engine, not a user error); carries the statement kind that
+    reached the wrong handler. *)
+exception Internal_error of string
+
 type db = Db.t
 
 type result = {
@@ -77,6 +82,32 @@ val prepared_stream :
 (** Parse a single statement (timed into [sql.parse_latency]) without
     executing it. *)
 val parse : string -> Ast.stmt
+
+(** {1 Static analysis}
+
+    Every execution path — {!exec}, {!exec_script}, {!exec_rows},
+    {!prepare}, {!prepare_select}, and (via {!analyze_qq} /
+    {!analyze_qs}) all four RQL loop mechanisms — runs the static
+    analyzer between parsing and planning.  Statements with E-coded
+    diagnostics raise {!Error} before any page is touched; counts land
+    in the [sql.analyzer_errors] / [sql.analyzer_warnings] metrics. *)
+
+(** Parse and analyze one statement without executing it; returns the
+    full diagnostic list, errors first.  [EXPLAIN LINT <stmt>] and the
+    shell's [.lint] render the same analysis.
+    @raise Error on lexer/parser failure. *)
+val analyze : db -> string -> Diag.t list
+
+(** Validate an RQL Qq before the first snapshot iteration:
+    Qq-mode analysis ([current_snapshot()] is legal; non-SELECT is
+    E022; unknown columns are E002).
+    @raise Error on any E-coded diagnostic. *)
+val analyze_qq : db -> string -> unit
+
+(** Validate an RQL Qs: an ordinary SELECT that must project exactly
+    one (integer-typed) snapshot-id column (E021/W105).
+    @raise Error on any E-coded diagnostic. *)
+val analyze_qs : db -> string -> unit
 
 (** {1 Programmatic DDL} (used by the RQL layer) *)
 

@@ -1,21 +1,32 @@
-(* Recursive-descent parser producing Ast.stmt values. *)
+(* Recursive-descent parser producing Ast.stmt values.  Errors carry the
+   1-based line:col of the offending token ("parse error at 3:17: ..."). *)
 
 open Ast
 
 exception Error of string
 
-let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
-
-type state = { toks : Lexer.token array; mutable pos : int; mutable nparams : int }
+type state = {
+  toks : Lexer.token array;
+  poss : Lexer.pos array; (* parallel to [toks]: each token's source span *)
+  mutable pos : int;
+  mutable nparams : int;
+}
 
 let peek st = st.toks.(st.pos)
 let peek2 st = if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1) else Lexer.Eof
 let peek3 st = if st.pos + 2 < Array.length st.toks then st.toks.(st.pos + 2) else Lexer.Eof
 let advance st = st.pos <- st.pos + 1
 
+(* Raise a parse error positioned at the current token. *)
+let error st fmt =
+  let p = st.poss.(min st.pos (Array.length st.poss - 1)) in
+  Printf.ksprintf
+    (fun s -> raise (Error (Printf.sprintf "parse error at %s: %s" (Lexer.pos_to_string p) s)))
+    fmt
+
 let expect st tok =
   if peek st = tok then advance st
-  else error "expected %s but found %s" (Lexer.token_to_string tok) (Lexer.token_to_string (peek st))
+  else error st "expected %s but found %s" (Lexer.token_to_string tok) (Lexer.token_to_string (peek st))
 
 let kw_eq name = function
   | Lexer.Ident s -> String.uppercase_ascii s = name
@@ -33,14 +44,14 @@ let accept_kw st name =
 
 let expect_kw st name =
   if not (accept_kw st name) then
-    error "expected %s but found %s" name (Lexer.token_to_string (peek st))
+    error st "expected %s but found %s" name (Lexer.token_to_string (peek st))
 
 let ident st =
   match peek st with
   | Lexer.Ident s ->
     advance st;
     s
-  | t -> error "expected identifier but found %s" (Lexer.token_to_string t)
+  | t -> error st "expected identifier but found %s" (Lexer.token_to_string t)
 
 (* Words that terminate an implicit (AS-less) alias position. *)
 let reserved =
@@ -146,7 +157,7 @@ and parse_comparison st =
     expect_kw st "NULL";
     Is_null { subject = lhs; negated }
   | _ ->
-    if negated then error "dangling NOT in expression"
+    if negated then error st "dangling NOT in expression"
     else lhs
 
 and parse_additive st =
@@ -319,7 +330,7 @@ and parse_primary st =
           { agg_fn = String.lowercase_ascii upper;
             agg_arg = (match args with [ a ] -> Some a | _ -> None);
             agg_distinct = distinct }
-      else if distinct then error "DISTINCT is only valid in aggregate functions"
+      else if distinct then error st "DISTINCT is only valid in aggregate functions"
       else Call (String.lowercase_ascii id, args)
     end
   | Lexer.Ident id when peek2 st = Lexer.Dot && (match peek3 st with Lexer.Ident _ -> true | _ -> false) ->
@@ -330,7 +341,7 @@ and parse_primary st =
   | Lexer.Ident id when not (is_reserved id) ->
     advance st;
     Col (None, id)
-  | t -> error "unexpected token %s in expression" (Lexer.token_to_string t)
+  | t -> error st "unexpected token %s in expression" (Lexer.token_to_string t)
 
 (* --- SELECT ---------------------------------------------------------- *)
 
@@ -442,7 +453,7 @@ and parse_select_core st =
           expect_kw st "JOIN";
           let tr = parse_table_ref st in
           let on = if accept_kw st "ON" then Some (parse_expr st) else None in
-          if kind = Join_left && on = None then error "LEFT JOIN requires an ON condition";
+          if kind = Join_left && on = None then error st "LEFT JOIN requires an ON condition";
           joins ({ join_table = tr; join_on = on; join_kind = kind } :: acc)
         end
         else List.rev acc
@@ -496,6 +507,7 @@ and parse_stmt st =
   else if is_kw st "EXPLAIN" then begin
     advance st;
     if accept_kw st "PROFILE" then Explain_profile (parse_select st)
+    else if accept_kw st "LINT" then Explain_lint (parse_stmt st)
     else begin
       ignore (accept_kw st "QUERY");
       ignore (accept_kw st "PLAN");
@@ -658,7 +670,7 @@ and parse_stmt st =
       expect st Lexer.Rparen;
       Create_index { index; table; columns; if_not_exists }
     end
-    else error "expected TABLE or INDEX after CREATE"
+    else error st "expected TABLE or INDEX after CREATE"
   end
   else if accept_kw st "DROP" then begin
     if accept_kw st "TABLE" then begin
@@ -669,7 +681,7 @@ and parse_stmt st =
       let if_exists = if is_kw st "IF" then (advance st; expect_kw st "EXISTS"; true) else false in
       Drop_index { index = ident st; if_exists }
     end
-    else error "expected TABLE or INDEX after DROP"
+    else error st "expected TABLE or INDEX after DROP"
   end
   else if accept_kw st "BEGIN" then begin
     ignore (accept_kw st "TRANSACTION");
@@ -691,20 +703,27 @@ and parse_stmt st =
     expect_kw st "ARCHIVE";
     Analyze_archive
   end
-  else error "unexpected token %s at start of statement" (Lexer.token_to_string (peek st))
+  else error st "unexpected token %s at start of statement" (Lexer.token_to_string (peek st))
+
+let state_of (sql : string) : state =
+  let spanned = Lexer.tokenize_pos sql in
+  { toks = Array.of_list (List.map fst spanned);
+    poss = Array.of_list (List.map snd spanned);
+    pos = 0;
+    nparams = 0 }
 
 (* Parse a single statement; trailing semicolon optional. *)
 let parse_one (sql : string) : stmt =
-  let st = { toks = Array.of_list (Lexer.tokenize sql); pos = 0; nparams = 0 } in
+  let st = state_of sql in
   let s = parse_stmt st in
   while peek st = Lexer.Semi do advance st done;
   if peek st <> Lexer.Eof then
-    error "trailing input after statement: %s" (Lexer.token_to_string (peek st));
+    error st "trailing input after statement: %s" (Lexer.token_to_string (peek st));
   s
 
 (* Parse a script of semicolon-separated statements. *)
 let parse_many (sql : string) : stmt list =
-  let st = { toks = Array.of_list (Lexer.tokenize sql); pos = 0; nparams = 0 } in
+  let st = state_of sql in
   let rec go acc =
     while peek st = Lexer.Semi do advance st done;
     if peek st = Lexer.Eof then List.rev acc else go (parse_stmt st :: acc)

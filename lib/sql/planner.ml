@@ -102,6 +102,8 @@ let row_independent e =
    execution time).  Bound conjuncts also remain ordinary filters, so a
    NULL parameter binding stays correct. *)
 let bound_value fnctx e =
+  (* lint: allow catch-all — a UDF in constant position may raise
+     anything; any failure just means "not usable as an index bound" *)
   match (try Some (Expr.eval_const fnctx e) with _ -> None) with
   | Some R.Null -> None
   | Some _ -> Some e

@@ -55,4 +55,38 @@ let tests =
              false
            with Error _ -> true)) ]
 
-let () = Alcotest.run "lexer" [ ("lexer", tests) ]
+let pos_t =
+  Alcotest.testable (fun ppf p -> Fmt.string ppf (pos_to_string p)) ( = )
+
+let span_tests =
+  [ Alcotest.test_case "tokenize_pos records line and column" `Quick (fun () ->
+        Alcotest.(check (list (pair token_t pos_t))) "spans"
+          [ (Ident "SELECT", { line = 1; col = 1 });
+            (Ident "x", { line = 1; col = 8 });
+            (Comma, { line = 1; col = 9 });
+            (Ident "y", { line = 2; col = 3 });
+            (Ident "FROM", { line = 2; col = 5 });
+            (Ident "t", { line = 2; col = 10 });
+            (Eof, { line = 2; col = 11 }) ]
+          (tokenize_pos "SELECT x,\n  y FROM t"));
+    Alcotest.test_case "comments and strings advance positions" `Quick (fun () ->
+        Alcotest.(check (list (pair token_t pos_t))) "spans"
+          [ (Str "s", { line = 1; col = 1 });
+            (Ident "b", { line = 2; col = 12 });
+            (Eof, { line = 2; col = 13 }) ]
+          (tokenize_pos "'s' -- c\n/* block */b"));
+    Alcotest.test_case "lexer errors carry the position" `Quick (fun () ->
+        Alcotest.(check bool) "positioned" true
+          (try
+             ignore (toks "a\n @ b");
+             false
+           with Error msg ->
+             (* the '@' sits at line 2, column 2 *)
+             let has needle =
+               let nl = String.length needle and hl = String.length msg in
+               let rec at i = i + nl <= hl && (String.sub msg i nl = needle || at (i + 1)) in
+               at 0
+             in
+             has "2:2")) ]
+
+let () = Alcotest.run "lexer" [ ("lexer", tests); ("spans", span_tests) ]

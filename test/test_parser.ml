@@ -155,4 +155,20 @@ let tests =
           -> ()
         | _ -> Alcotest.fail "udf call") ]
 
-let () = Alcotest.run "parser" [ ("parser", tests) ]
+(* Parse errors name the offending token's line:column. *)
+let golden name sql expected =
+  Alcotest.test_case name `Quick (fun () ->
+      match parse sql with
+      | _ -> Alcotest.fail "expected a parse error"
+      | exception Parser.Error msg -> Alcotest.(check string) sql expected msg)
+
+let error_tests =
+  [ golden "missing FROM" "DELETE t" "parse error at 1:8: expected FROM but found t";
+    golden "missing identifier" "SELECT a FROM"
+      "parse error at 1:14: expected identifier but found <eof>";
+    golden "trailing input" "DELETE FROM t 5"
+      "parse error at 1:15: trailing input after statement: 5";
+    golden "error position tracks newlines" "SELECT a\nFROM t\nWHERE"
+      "parse error at 3:6: unexpected token <eof> in expression" ]
+
+let () = Alcotest.run "parser" [ ("parser", tests); ("errors", error_tests) ]

@@ -1,4 +1,4 @@
-.PHONY: all build test check lint bench shell clean
+.PHONY: all build test check lint crash bench shell clean
 
 all: build
 
@@ -14,6 +14,13 @@ test:
 lint:
 	dune build bin/lint.exe
 	dune exec bin/lint.exe -- lib bin
+
+# Seeded crash matrix: crash the durability workload at every WAL
+# injection point (clean + torn tails + sampled bit flips), recover,
+# and verify integrity / all-or-nothing commits / snapshot history.
+crash:
+	dune exec bin/crash_matrix.exe -- --seed 42
+	dune exec bin/crash_matrix.exe -- --seed 42 --group-commit 3
 
 # The one-stop gate: everything compiles (including tests and benches),
 # the lint gate is clean, and the full suite passes.

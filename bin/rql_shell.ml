@@ -177,6 +177,22 @@ let () =
             with
             | [] -> print_endline "ok"
             | problems -> List.iter (fun p -> print_endline ("PROBLEM: " ^ p)) problems) };
+      { cname = ".wal"; cargs = "[sync]";
+        chelp = "write-ahead log status; sync = flush+fsync the pending tail";
+        crun =
+          (fun ~ctx_ref ~args ->
+            let db = !ctx_ref.Rql.data in
+            match (String.trim args, Sqldb.Db.wal_status db) with
+            | _, None -> print_endline "no WAL attached (start the shell with --wal PATH)"
+            | "sync", Some _ ->
+              Sqldb.Db.sync_wal db;
+              print_endline "synced"
+            | "", Some s ->
+              Printf.printf
+                "wal %s: group_commit=%d appends=%d bytes=%d fsyncs=%d pending=%d bytes\n"
+                s.Storage.Wal.st_path s.Storage.Wal.st_group_commit s.Storage.Wal.st_appends
+                s.Storage.Wal.st_bytes s.Storage.Wal.st_fsyncs s.Storage.Wal.st_pending_bytes
+            | _, Some _ -> print_endline "usage: .wal [sync]") };
       { cname = ".profile"; cargs = "[on|off]"; chelp = "enable/disable span tracing";
         crun = (fun ~ctx_ref:_ ~args -> run_profile args) };
       { cname = ".trace"; cargs = "dump PATH"; chelp = "write collected spans as Chrome trace JSON";
@@ -244,8 +260,47 @@ let snapshots =
   let doc = "With --tpch, run this many UW30 refresh+snapshot rounds." in
   Arg.(value & opt int 0 & info [ "snapshots" ] ~docv:"N" ~doc)
 
-let main tpch snapshots =
-  let ctx = Rql.create () in
+let wal_path =
+  let doc =
+    "Open the data database against a write-ahead log at $(docv): recover it if the \
+     file exists (replaying committed transactions and snapshots, discarding a torn \
+     tail), create it otherwise.  Commits and snapshot declarations are then durable."
+  in
+  Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"PATH" ~doc)
+
+let group_commit =
+  let doc = "With --wal, batch this many commits per modeled fsync (group commit)." in
+  Arg.(value & opt int 1 & info [ "group-commit" ] ~docv:"N" ~doc)
+
+(* Open (or recover) the WAL-backed data database and print the
+   recovery report the durability contract promises on open. *)
+let open_wal_data ~group_commit path =
+  match Sqldb.Db.open_wal ~group_commit ~path () with
+  | db, None ->
+    Printf.printf "created WAL-backed database at %s\n" path;
+    db
+  | db, Some r ->
+    let rep = r.Sqldb.Db.rec_report in
+    Printf.printf "recovered %s: %d commits, %d snapshots replayed (%d of %d bytes valid)\n"
+      path rep.Storage.Wal.rep_commits r.Sqldb.Db.rec_snapshots
+      rep.Storage.Wal.rep_valid_bytes rep.Storage.Wal.rep_total_bytes;
+    if rep.Storage.Wal.rep_torn then
+      print_endline "  torn tail discarded (incomplete final record)";
+    if rep.Storage.Wal.rep_corrupt then
+      print_endline "  corrupt tail discarded (checksum mismatch)";
+    (match r.Sqldb.Db.rec_damaged with
+    | [] -> ()
+    | ds ->
+      Printf.printf "  damaged snapshots (corrupt archive blocks): %s\n"
+        (String.concat ", " (List.map string_of_int ds)));
+    db
+
+let main tpch snapshots wal group_commit =
+  let ctx =
+    match wal with
+    | Some path -> Rql.create ~data:(open_wal_data ~group_commit path) ()
+    | None -> Rql.create ()
+  in
   (match tpch with
   | Some sf ->
     Printf.printf "generating TPC-H at SF %g...\n%!" sf;
@@ -255,10 +310,12 @@ let main tpch snapshots =
       ignore (Tpch.Workload.run ctx st ~uw:Tpch.Workload.uw30 ~snapshots)
     end
   | None -> ());
-  repl ctx
+  repl ctx;
+  Sqldb.Db.close_wal ctx.Rql.data
 
 let cmd =
   let doc = "interactive shell for the RQL retrospective query system" in
-  Cmd.v (Cmd.info "rql_shell" ~doc) Term.(const main $ tpch_sf $ snapshots)
+  Cmd.v (Cmd.info "rql_shell" ~doc)
+    Term.(const main $ tpch_sf $ snapshots $ wal_path $ group_commit)
 
 let () = exit (Cmd.eval cmd)

@@ -763,33 +763,32 @@ let exec_meta ctx sql = Sq.Engine.exec ctx.meta sql
 
 (* --- persistence ---------------------------------------------------------- *)
 
-let ctx_magic = "RQLCTX01"
+let ctx_magic = "RQLCTX02"
 
 (* Save the whole context — the application database with its complete
-   snapshot history, and the SnapIds/result database — to [path]. *)
+   snapshot history, and the SnapIds/result database — to [path].
+   Written through Backup's framed container (magic, version, length,
+   whole-payload CRC32), so a truncated or bit-flipped file fails typed
+   at load instead of decoding garbage. *)
 let save (ctx : ctx) ~path =
   let data_img = Sq.Backup.snapshot_image ctx.data in
   let meta_img = Sq.Backup.snapshot_image ctx.meta in
-  let oc = open_out_bin path in
-  (try Marshal.to_channel oc (ctx_magic, data_img, meta_img) []
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc
+  Sq.Backup.write_framed ~magic:ctx_magic ~path (Marshal.to_string (data_img, meta_img) [])
 
 (* Reopen a context saved by {!save}: AS OF queries over the restored
    history work immediately, mechanisms and current_snapshot() are
    re-registered, and new snapshots can be declared on top. *)
 let load ~path =
-  let ic = open_in_bin path in
-  let magic, data_img, meta_img =
-    try (Marshal.from_channel ic : string * Sq.Backup.image * Sq.Backup.image)
-    with Failure _ | End_of_file | Sys_error _ ->
-      close_in_noerr ic;
-      error "could not read an RQL context image from %s" path
+  let payload =
+    match Sq.Backup.read_framed ~magic:ctx_magic ~path with
+    | p -> p
+    | exception Sq.Backup.Error m -> error "%s" m
   in
-  close_in ic;
-  if magic <> ctx_magic then error "not an RQL context image: %s" path;
+  let data_img, meta_img =
+    match (Marshal.from_string payload 0 : Sq.Backup.image * Sq.Backup.image) with
+    | v -> v
+    | exception Failure m -> error "%s: context payload does not unmarshal: %s" path m
+  in
   let ctx =
     { data = Sq.Backup.restore_image data_img;
       meta = Sq.Backup.restore_image meta_img;

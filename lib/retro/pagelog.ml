@@ -15,6 +15,16 @@ let read t off = Storage.Disk.read t.disk off
 
 let length t = Storage.Disk.length t.disk
 
+(* Offsets of blocks failing their checksum (offline scrub). *)
+let verify_all t = Storage.Disk.verify_all t.disk
+
+(* Test hook: flip one bit of an archived block without updating its
+   CRC. *)
+let corrupt_block t off ~bit = Storage.Disk.corrupt_block t.disk off ~bit
+
+(* Arm fault-injected read errors on the archive device. *)
+let set_fault t f = Storage.Disk.set_fault t.disk f
+
 let size_bytes t = Storage.Disk.size_bytes t.disk
 
 let dump t = Storage.Disk.dump t.disk

@@ -18,6 +18,17 @@ val length : t -> int
 
 val size_bytes : t -> int
 
+(** Offsets of archived blocks failing their checksum (offline scrub:
+    no counters, no fault injection). *)
+val verify_all : t -> int list
+
+(** Test hook: flip one bit of an archived block without updating its
+    CRC. *)
+val corrupt_block : t -> int -> bit:int -> unit
+
+(** Arm fault-injected read errors on the archive device. *)
+val set_fault : t -> Storage.Fault.t option -> unit
+
 (** {1 Backup} *)
 
 val dump : t -> Bytes.t array

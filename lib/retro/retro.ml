@@ -28,7 +28,16 @@ type t = {
          record only — build_spt never reuses it — so introspection can
          report whether a snapshot's SPT is current without perturbing
          the measured build costs. *)
+  damaged : (int, unit) Hashtbl.t;
+      (* snapshots known to reference a corrupt Pagelog block; their AS
+         OF reads fail typed, everything else keeps working *)
 }
+
+exception Snapshot_damaged of { snap_id : int; pl_off : int; reason : string }
+(** An [AS OF] read hit a corrupt or unreadable archived page.  The
+    failure is scoped: only snapshots whose SPT references the bad
+    block raise; current-state queries and other snapshots are
+    unaffected. *)
 
 let default_cache_pages = 1 lsl 16
 
@@ -71,16 +80,36 @@ let attach ?(cache_pages = default_cache_pages) pager =
       saved_epoch = Array.make 256 0;
       snap_cache = Storage.Lru.create cache_pages;
       clock = Unix.gettimeofday;
-      last_spt = None }
+      last_spt = None;
+      damaged = Hashtbl.create 4 }
   in
   pager.Storage.Pager.pre_commit_hook <- on_commit t;
   t
 
 (* Declare a snapshot reflecting the current committed state (called by
    COMMIT WITH SNAPSHOT just after the transaction installs).  Returns
-   the new snapshot identifier. *)
+   the new snapshot identifier.  When a WAL is attached, the boundary is
+   logged and made durable — the archive appends themselves are not
+   logged, because replaying the commit/declare sequence reproduces
+   them. *)
 let declare t =
-  Maplog.declare t.maplog ~db_pages:(Storage.Pager.n_pages t.pager) ~ts:(t.clock ())
+  let snap_id =
+    Maplog.declare t.maplog ~db_pages:(Storage.Pager.n_pages t.pager) ~ts:(t.clock ())
+  in
+  (match t.pager.Storage.Pager.wal with
+   | Some w ->
+     let b = Maplog.boundary t.maplog snap_id in
+     w.Storage.Pager.wal_declare ~db_pages:b.Maplog.db_pages ~ts:b.Maplog.ts;
+     w.Storage.Pager.wal_barrier ()
+   | None -> ());
+  snap_id
+
+(* Replay path: re-declare a snapshot with its WAL-logged boundary
+   values.  Never logged (the record being replayed IS the log);
+   [db_pages] comes from the record rather than the replayed pager,
+   whose n_pages can legitimately differ (aborted reservations grow it
+   without ever reaching the log). *)
+let declare_at t ~db_pages ~ts = Maplog.declare t.maplog ~db_pages ~ts
 
 let snapshot_count t = Maplog.snapshot_count t.maplog
 
@@ -113,7 +142,16 @@ let spt_cached t snap_id =
    ablation benchmark compares SPT-build costs with and without it. *)
 let set_skippy t on = Maplog.set_skippy t.maplog on
 
-(* Fetch page [pid] as of the snapshot described by [spt]. *)
+(* --- damage tracking ----------------------------------------------------- *)
+
+let mark_damaged t snap_id = Hashtbl.replace t.damaged snap_id ()
+let is_damaged t snap_id = Hashtbl.mem t.damaged snap_id
+let damaged_snapshots t =
+  Hashtbl.fold (fun s () acc -> s :: acc) t.damaged [] |> List.sort compare
+
+(* Fetch page [pid] as of the snapshot described by [spt].  A corrupt
+   archived block fails only this snapshot (typed, and recorded as
+   damaged) — never a silently-wrong page. *)
 let read_page t (spt : Spt.t) pid =
   if not (Spt.in_snapshot spt pid) then
     invalid_arg
@@ -127,9 +165,20 @@ let read_page t (spt : Spt.t) pid =
       page
     | None ->
       Obs.Metrics.Counter.incr Storage.Stats.c_snap_cache_misses;
-      let page = Pagelog.read t.pagelog off in
-      Storage.Lru.add t.snap_cache off page;
-      page)
+      (match Pagelog.read t.pagelog off with
+       | page ->
+         Storage.Lru.add t.snap_cache off page;
+         page
+       | exception Storage.Disk.Corruption { block; detail; _ } ->
+         Obs.Metrics.Counter.incr Storage.Stats.c_checksum_failures;
+         mark_damaged t spt.Spt.snap_id;
+         raise
+           (Snapshot_damaged
+              { snap_id = spt.Spt.snap_id; pl_off = block; reason = detail })
+       | exception Storage.Disk.Read_error { block; _ } ->
+         raise
+           (Snapshot_damaged
+              { snap_id = spt.Spt.snap_id; pl_off = block; reason = "read error" })))
   | None ->
     (* Shared with the current database: served from memory. *)
     Storage.Pager.read_committed t.pager pid
@@ -283,6 +332,61 @@ let render_analysis (a : analysis) : string list =
                 Printf.sprintf " entries=%d" si.si_delta_entries
               else "")))
 
+(* --- archive scrub (corruption -> affected snapshots) ------------------- *)
+
+(* Verify every Pagelog block and map each corrupt one to the snapshots
+   whose SPT references it.  Returns (snap_id, pl_off) problems, sorted,
+   and marks those snapshots damaged.
+
+   A snapshot s references maplog entry j (mapping pid -> pl_off) iff j
+   is the first occurrence of pid at or after s's boundary and pid
+   existed at declaration: prev_occ(j) < boundary(s).pos <= j and
+   pid < boundary(s).db_pages.  Computed with one forward pass for
+   previous occurrences — deliberately not via Maplog.scan_from, which
+   would distort the maplog_scanned counter the benchmarks attribute to
+   SPT builds. *)
+let scrub t =
+  let bad = Pagelog.verify_all t.pagelog in
+  if bad = [] then []
+  else begin
+    let bad_offs = Hashtbl.create 8 in
+    List.iter (fun off -> Hashtbl.replace bad_offs off ()) bad;
+    let n = Maplog.length t.maplog in
+    let last_occ : (int, int) Hashtbl.t = Hashtbl.create 256 in
+    (* (maplog index, pid, pl_off, previous occurrence of pid or -1) *)
+    let bad_entries = ref [] in
+    for j = 0 to n - 1 do
+      let e = Maplog.entry t.maplog j in
+      if Hashtbl.mem bad_offs e.Maplog.pl_off then
+        bad_entries :=
+          ( j,
+            e.Maplog.pid,
+            e.Maplog.pl_off,
+            Option.value (Hashtbl.find_opt last_occ e.Maplog.pid) ~default:(-1) )
+          :: !bad_entries;
+      Hashtbl.replace last_occ e.Maplog.pid j
+    done;
+    let problems = ref [] in
+    for s = Maplog.snapshot_count t.maplog downto 1 do
+      let b = Maplog.boundary t.maplog s in
+      List.iter
+        (fun (j, pid, off, prev) ->
+          if b.Maplog.pos <= j && prev < b.Maplog.pos && pid < b.Maplog.db_pages then begin
+            mark_damaged t s;
+            problems := (s, off) :: !problems
+          end)
+        !bad_entries
+    done;
+    List.sort_uniq compare !problems
+  end
+
+(* Test hooks on the archive device (Pagelog/Maplog are private to this
+   library; fault-injection tests reach them through these). *)
+let corrupt_archive_block t off ~bit = Pagelog.corrupt_block t.pagelog off ~bit
+let set_archive_fault t f = Pagelog.set_fault t.pagelog f
+let verify_archive t = Pagelog.verify_all t.pagelog
+let archive_device = "pagelog"
+
 (* --- backup/restore ----------------------------------------------------- *)
 
 (* Portable image of the whole snapshot system: the archive, the mapping
@@ -307,7 +411,8 @@ let import ?(cache_pages = default_cache_pages) pager img =
       saved_epoch = Array.copy img.img_saved_epoch;
       snap_cache = Storage.Lru.create cache_pages;
       clock = Unix.gettimeofday;
-      last_spt = None }
+      last_spt = None;
+      damaged = Hashtbl.create 4 }
   in
   pager.Storage.Pager.pre_commit_hook <- on_commit t;
   t

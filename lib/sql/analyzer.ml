@@ -765,7 +765,7 @@ let rec check_stmt ctx (s : stmt) : unit =
   | Drop_index { index; if_exists } ->
     if (not if_exists) && Catalog.find_index ctx.cat index = None then
       errf ctx ~at:index "E001" "no such index: %s" index
-  | Begin_txn | Commit _ | Rollback | Analyze_archive -> ()
+  | Begin_txn | Commit _ | Rollback | Analyze_archive | Pragma _ -> ()
 
 (* --- entry points ------------------------------------------------------ *)
 

@@ -107,3 +107,4 @@ type stmt =
   | Commit of { with_snapshot : bool }
   | Rollback
   | Analyze_archive (* ANALYZE ARCHIVE: snapshot-archive health report *)
+  | Pragma of string (* PRAGMA integrity_check etc. *)

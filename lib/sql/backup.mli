@@ -10,6 +10,21 @@ exception Error of string
 
 type image
 
+(** {1 Framed container}
+
+    On disk every image is [magic (8 bytes) | u32 version | u32 payload
+    length | u32 CRC32(payload) | payload], so truncation and bit flips
+    fail typed before any decoding.  Exposed for other persisted
+    artifacts (Rql context files) to share the same hardening. *)
+
+(** Write [payload] at [path] under an 8-byte [magic]. *)
+val write_framed : magic:string -> path:string -> string -> unit
+
+(** Read and verify a framed payload.
+    @raise Error on bad magic, bad version, truncation or checksum
+    mismatch. *)
+val read_framed : magic:string -> path:string -> string
+
 (** Capture a consistent image.
     @raise Error if a transaction is open. *)
 val snapshot_image : Db.t -> image

@@ -17,6 +17,7 @@ type fn = R.value array -> R.value
 type t = {
   pager : Storage.Pager.t;
   retro : Retro.t option;
+  mutable wal : Storage.Wal.t option;         (* durability log (open_wal) *)
   funcs : (string, fn) Hashtbl.t;
   mutable txn : Storage.Txn.t option;         (* explicit BEGIN..COMMIT *)
   mutable catalog_cache : Catalog.t option;   (* current-state catalog *)
@@ -34,6 +35,7 @@ type t = {
 let of_parts ~pager ~retro =
   { pager;
     retro;
+    wal = None;
     funcs = Hashtbl.create 16;
     txn = None;
     catalog_cache = None;
@@ -55,6 +57,73 @@ let retro_exn t =
   match t.retro with
   | Some r -> r
   | None -> error "this database has no snapshot system attached"
+
+(* --- durability (WAL-backed databases) ----------------------------------- *)
+
+type recovery = {
+  rec_report : Storage.Wal.report;
+  rec_snapshots : int;   (* snapshots recovered *)
+  rec_damaged : int list; (* snapshots referencing corrupt archive blocks *)
+}
+
+(* Open a WAL-backed snapshottable database at [path].
+
+   Fresh (missing or empty) path: create the log first, then bootstrap
+   the catalog *through* it, so the log is a complete record from page
+   zero and recovery is pure replay.
+
+   Existing path: scan the log (truncating a torn/corrupt tail to the
+   last complete commit), rebuild the pager by replaying the commit
+   sequence — which re-drives Retro's COW archiver and reproduces the
+   Pagelog/Maplog byte-for-byte — then scrub the rebuilt archive so
+   damaged snapshots are known before the first AS OF read.  Returns
+   the recovery report; [None] when the database is fresh.
+
+   @raise Storage.Wal.Error when [path] exists but is not a WAL. *)
+let open_wal ?(group_commit = 1) ~path () : t * recovery option =
+  let exists = Sys.file_exists path && (Unix.stat path).Unix.st_size > 0 in
+  let pager = Storage.Pager.create () in
+  let retro = Retro.attach pager in
+  if not exists then begin
+    let wal = Storage.Wal.create ~group_commit ~path () in
+    Storage.Wal.attach wal pager;
+    let db = of_parts ~pager ~retro:(Some retro) in
+    db.wal <- Some wal;
+    Storage.Txn.with_txn pager (fun txn -> Catalog.bootstrap txn);
+    (db, None)
+  end
+  else begin
+    let records, report = Storage.Wal.recover ~path in
+    (* pager.wal is still None here: replay must not re-log itself *)
+    Storage.Wal.replay ~pager
+      ~declare:(fun ~db_pages ~ts -> ignore (Retro.declare_at retro ~db_pages ~ts))
+      records;
+    Obs.Metrics.Counter.incr Storage.Stats.c_recoveries;
+    let damaged = List.sort_uniq compare (List.map fst (Retro.scrub retro)) in
+    let wal = Storage.Wal.open_append ~group_commit ~path () in
+    Storage.Wal.attach wal pager;
+    let db = of_parts ~pager ~retro:(Some retro) in
+    db.wal <- Some wal;
+    (* If no commit survived (the catalog-bootstrap commit itself was
+       lost to an unflushed batch or a damaged tail), the valid prefix
+       describes an empty database: bootstrap again, through the log. *)
+    if Storage.Pager.n_pages pager = 0 then
+      Storage.Txn.with_txn pager (fun txn -> Catalog.bootstrap txn);
+    ( db,
+      Some
+        { rec_report = report;
+          rec_snapshots = Retro.snapshot_count retro;
+          rec_damaged = damaged } )
+  end
+
+let wal_status t = Option.map Storage.Wal.status t.wal
+
+(* Flush + fsync any pending WAL tail (e.g. group-commit remainder). *)
+let sync_wal t = Option.iter Storage.Wal.sync t.wal
+
+let close_wal t =
+  Option.iter Storage.Wal.close t.wal;
+  t.wal <- None
 
 let register_fn t name fn = Hashtbl.replace t.funcs (String.lowercase_ascii name) fn
 

@@ -240,6 +240,7 @@ let stmt_kind = function
   | Commit _ -> "commit"
   | Rollback -> "rollback"
   | Analyze_archive -> "analyze_archive"
+  | Pragma _ -> "pragma"
 
 let parse_one sql =
   Exec_stats.time_into (fun dt -> Obs.Metrics.Histogram.observe h_parse dt) (fun () ->
@@ -421,6 +422,19 @@ let run_stmt_core db ?key (s : stmt) : result =
     { empty_result with
       columns = [| "analyze" |];
       rows = List.map (fun l -> [| R.Text l |]) (Retro.render_analysis a) }
+  | Pragma name -> (
+    match String.lowercase_ascii name with
+    | "integrity_check" ->
+      (* One problem per row; a single "ok" row when healthy — so CI
+         scripts can assert health in plain SQL. *)
+      let problems = Integrity.check db in
+      { empty_result with
+        columns = [| "integrity_check" |];
+        rows =
+          (match problems with
+          | [] -> [ [| R.Text "ok" |] ]
+          | ps -> List.map (fun p -> [| R.Text p |]) ps) }
+    | other -> error "unknown pragma: %s" other)
 
 (* Every statement passes the analyzer gate first (errors raise before
    any planning or page access), then is counted, its end-to-end
@@ -446,6 +460,15 @@ let wrap_errors f =
   | Exec.Error m -> raise (Error m)
   | Db.Error m -> raise (Error m)
   | Invalid_argument m -> raise (Error m)
+  | Retro.Snapshot_damaged { snap_id; pl_off; reason } ->
+    raise
+      (Error
+         (Printf.sprintf
+            "snapshot %d is damaged: archived page at pagelog offset %d unreadable (%s); \
+             current-state queries and other snapshots are unaffected"
+            snap_id pl_off reason))
+  | Storage.Disk.Corruption { device; block; detail } ->
+    raise (Error (Printf.sprintf "%s block %d is corrupt: %s" device block detail))
 
 (* Execute a single SQL statement.  SELECTs are planned through the
    plan cache keyed by the statement text. *)

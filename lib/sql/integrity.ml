@@ -8,7 +8,10 @@
      separators route correctly;
    - every index entry points at a live heap row whose key columns
      equal the entry key, and the entry count equals the row count;
-   - no page is claimed by two structures.
+   - no page is claimed by two structures;
+   - every committed page matches its install-time checksum, and every
+     archived Pagelog block matches its append-time checksum (with the
+     snapshots referencing a corrupt block named).
 
    Returns a list of problem descriptions; empty means healthy. *)
 
@@ -38,22 +41,28 @@ let check (db : Db.t) : string list =
         if hops > 1_000_000 then problem "%s: heap chain too long (cycle?)" who
         else begin
           claim pid who;
-          let p = read pid in
-          (match Storage.Page.kind p with
-          | Storage.Page.Heap_page -> ()
-          | _ -> problem "%s: page %d is not a heap page" who pid);
-          Storage.Page.iter p ~f:(fun slot data ->
-              incr rows;
-              match R.decode_row data with
-              | row ->
-                if arity > 0 && Array.length row <> arity then
-                  problem "%s: row at (%d,%d) has %d columns, expected %d" who pid slot
-                    (Array.length row) arity
-              | exception e ->
-                problem "%s: row at (%d,%d) does not decode: %s" who pid slot
-                  (Printexc.to_string e));
-          let next = Storage.Page.next p in
-          if next >= 0 then walk next (hops + 1)
+          (* a corrupted page can make any of these raise (bad kind
+             byte, garbled slot directory); report and stop the chain
+             rather than abort the whole check *)
+          match
+            let p = read pid in
+            (match Storage.Page.kind p with
+            | Storage.Page.Heap_page -> ()
+            | _ -> problem "%s: page %d is not a heap page" who pid);
+            Storage.Page.iter p ~f:(fun slot data ->
+                incr rows;
+                match R.decode_row data with
+                | row ->
+                  if arity > 0 && Array.length row <> arity then
+                    problem "%s: row at (%d,%d) has %d columns, expected %d" who pid slot
+                      (Array.length row) arity
+                | exception e ->
+                  problem "%s: row at (%d,%d) does not decode: %s" who pid slot
+                    (Printexc.to_string e));
+            Storage.Page.next p
+          with
+          | next -> if next >= 0 then walk next (hops + 1)
+          | exception e -> problem "%s: page %d unreadable: %s" who pid (Printexc.to_string e)
         end
       in
       walk first 0;
@@ -80,10 +89,13 @@ let check (db : Db.t) : string list =
             if depth > 64 then problem "%s: tree too deep (cycle?)" who
             else begin
               claim pid who;
-              let p = read pid in
-              match Storage.Page.kind p with
+              match
+                let p = read pid in
+                Storage.Page.kind p
+              with
               | Storage.Page.Btree_leaf -> ()
               | Storage.Page.Btree_interior ->
+                let p = read pid in
                 walk (Storage.Page.aux p) (depth + 1);
                 Storage.Page.iter p ~f:(fun _ data ->
                     match R.decode_row data with
@@ -93,13 +105,16 @@ let check (db : Db.t) : string list =
                       | _ -> problem "%s: malformed interior entry" who)
                     | exception _ -> problem "%s: undecodable interior entry" who)
               | _ -> problem "%s: page %d is not an index page" who pid
+              | exception e ->
+                problem "%s: page %d unreadable: %s" who pid (Printexc.to_string e)
             end
           in
           walk idx.Catalog.iroot 0;
           (* ordered, and every entry backed by a matching heap row *)
           let entries = ref 0 in
           let last = ref None in
-          Storage.Btree.iter_all read bt ~f:(fun key rid ->
+          (try
+            Storage.Btree.iter_all read bt ~f:(fun key rid ->
               incr entries;
               (match !last with
               | Some prev when R.compare_row prev key > 0 ->
@@ -114,7 +129,8 @@ let check (db : Db.t) : string list =
                 let row = R.decode_row data in
                 let want = Exec.index_key tbl idx row in
                 if R.compare_row want key <> 0 then
-                  problem "%s: entry key mismatch at rid %d" who rid);
+                  problem "%s: entry key mismatch at rid %d" who rid)
+          with e -> problem "%s: scan failed: %s" who (Printexc.to_string e));
           let rows =
             Option.value
               (Hashtbl.find_opt table_rows (String.lowercase_ascii tbl.Catalog.tname))
@@ -122,6 +138,19 @@ let check (db : Db.t) : string list =
           in
           if !entries <> rows then
             problem "%s: %d entries vs %d table rows" who !entries rows));
+  (* page-image checksums: a committed page mutated behind the pager's
+     back (or flipped in memory) no longer matches its install-time CRC *)
+  List.iter
+    (fun pid -> problem "page %d fails checksum" pid)
+    (Storage.Pager.verify_checksums db.Db.pager);
+  (* archive checksums, scoped to the snapshots they damage *)
+  (match db.Db.retro with
+  | None -> ()
+  | Some retro ->
+    List.iter
+      (fun (snap_id, pl_off) ->
+        problem "snapshot %d references corrupt pagelog block %d" snap_id pl_off)
+      (Retro.scrub retro));
   List.rev !problems
 
 (* Convenience wrapper that raises on corruption. *)

@@ -703,6 +703,7 @@ and parse_stmt st =
     expect_kw st "ARCHIVE";
     Analyze_archive
   end
+  else if accept_kw st "PRAGMA" then Pragma (ident st)
   else error st "unexpected token %s at start of statement" (Lexer.token_to_string (peek st))
 
 let state_of (sql : string) : state =

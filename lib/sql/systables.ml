@@ -74,7 +74,8 @@ let snapshot_rows db =
               R.Int si.Retro.si_db_pages; R.Int si.Retro.si_pages_mapped;
               R.Int si.Retro.si_delta_entries; R.Int si.Retro.si_delta_pages;
               R.Int si.Retro.si_delta_bytes;
-              R.Int (if Retro.spt_cached retro si.Retro.si_id then 1 else 0) |])
+              R.Int (if Retro.spt_cached retro si.Retro.si_id then 1 else 0);
+              R.Int (if Retro.is_damaged retro si.Retro.si_id then 1 else 0) |])
 
 let cache_rows db =
   match db.Db.retro with
@@ -144,7 +145,8 @@ let all : vtable list =
         [| ("snap_id", "INTEGER"); ("declared_ts", "REAL"); ("maplog_boundary", "INTEGER");
            ("db_pages", "INTEGER"); ("pages_mapped", "INTEGER");
            ("delta_entries", "INTEGER"); ("delta_pages", "INTEGER");
-           ("delta_bytes", "INTEGER"); ("spt_cached", "INTEGER") |];
+           ("delta_bytes", "INTEGER"); ("spt_cached", "INTEGER");
+           ("damaged", "INTEGER") |];
       vrows = snapshot_rows };
     { vname = "sys_cache";
       vcols =

@@ -1,0 +1,29 @@
+(* CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+
+   Every durable artifact carries one: WAL record payloads, Pagelog
+   blocks, committed page images and whole backup files.  A checksum
+   mismatch is how torn WAL tails, bit flips and truncated backups are
+   detected instead of being decoded into garbage. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(* Incremental update over [bytes.(off .. off+len-1)]; feed [0] as the
+   initial value and chain the result to checksum in pieces. *)
+let update crc (b : Bytes.t) off len =
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xffffffff) in
+  for i = off to off + len - 1 do
+    c := t.((!c lxor Char.code (Bytes.get b i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff land 0xffffffff
+
+let bytes (b : Bytes.t) = update 0 b 0 (Bytes.length b)
+
+let string (s : string) = bytes (Bytes.of_string s)

@@ -2,24 +2,47 @@
 
    The container has no dedicated SSD, so instead of timing host
    filesystem I/O (noise), reads and writes are counted and converted to
-   time by Stats.Cost_model.  Blocks are page-sized. *)
+   time by Stats.Cost_model.  Blocks are page-sized.
+
+   Every block carries a CRC32 taken at append time; [read] verifies it
+   and raises a typed {!Corruption} on mismatch, so a flipped bit in the
+   archive surfaces as a scoped failure (the snapshots referencing the
+   block) instead of silently-wrong rows.  A {!Fault.t} can be attached
+   to arm per-block read errors (latent media faults). *)
+
+exception Corruption of { device : string; block : int; detail : string }
+exception Read_error of { device : string; block : int }
 
 type t = {
   mutable blocks : Bytes.t array;
+  mutable crcs : int array;
   mutable n_blocks : int;
   name : string;
+  mutable fault : Fault.t option;
 }
 
-let create ?(name = "disk") () = { blocks = Array.make 64 Bytes.empty; n_blocks = 0; name }
+let create ?(name = "disk") () =
+  { blocks = Array.make 64 Bytes.empty;
+    crcs = Array.make 64 0;
+    n_blocks = 0;
+    name;
+    fault = None }
 
 let length t = t.n_blocks
+
+let name t = t.name
+
+let set_fault t f = t.fault <- f
 
 let grow t =
   let cap = Array.length t.blocks in
   if t.n_blocks >= cap then begin
     let blocks = Array.make (cap * 2) Bytes.empty in
     Array.blit t.blocks 0 blocks 0 cap;
-    t.blocks <- blocks
+    t.blocks <- blocks;
+    let crcs = Array.make (cap * 2) 0 in
+    Array.blit t.crcs 0 crcs 0 cap;
+    t.crcs <- crcs
   end
 
 (* Append a block; returns its index.  The block is copied so later
@@ -27,6 +50,7 @@ let grow t =
 let append t (b : Bytes.t) =
   grow t;
   t.blocks.(t.n_blocks) <- Bytes.copy b;
+  t.crcs.(t.n_blocks) <- Crc32.bytes b;
   t.n_blocks <- t.n_blocks + 1;
   Obs.Metrics.Counter.incr Stats.c_pagelog_writes;
   t.n_blocks - 1
@@ -34,8 +58,35 @@ let append t (b : Bytes.t) =
 let read t i =
   if i < 0 || i >= t.n_blocks then
     invalid_arg (Printf.sprintf "Disk.read %s: block %d/%d" t.name i t.n_blocks);
+  (match t.fault with
+   | Some f when Fault.should_fail_read f ~device:t.name ~index:i ->
+     raise (Read_error { device = t.name; block = i })
+   | _ -> ());
   Obs.Metrics.Counter.incr Stats.c_pagelog_reads;
-  t.blocks.(i)
+  let b = t.blocks.(i) in
+  if Crc32.bytes b <> t.crcs.(i) then
+    raise (Corruption { device = t.name; block = i; detail = "checksum mismatch" });
+  Bytes.copy b
+
+(* All block indices failing their checksum.  A scrub pass: no fault
+   injection, no read counters — this models an offline verify, not
+   query-path I/O. *)
+let verify_all t =
+  let bad = ref [] in
+  for i = t.n_blocks - 1 downto 0 do
+    if Crc32.bytes t.blocks.(i) <> t.crcs.(i) then bad := i :: !bad
+  done;
+  !bad
+
+(* Flip one bit of a stored block in place, without updating its CRC —
+   the test hook that models media corruption. *)
+let corrupt_block t i ~bit =
+  if i < 0 || i >= t.n_blocks then
+    invalid_arg (Printf.sprintf "Disk.corrupt_block %s: block %d/%d" t.name i t.n_blocks);
+  let b = t.blocks.(i) in
+  if Bytes.length b = 0 then invalid_arg "Disk.corrupt_block: empty block";
+  let off = bit / 8 mod Bytes.length b in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl (bit mod 8))))
 
 (* Total archive size in bytes (Pagelog growth experiments). *)
 let size_bytes t = t.n_blocks * Page.size
@@ -45,6 +96,16 @@ let dump t = Array.init t.n_blocks (fun i -> Bytes.copy t.blocks.(i))
 
 let restore ?(name = "disk") blocks =
   let n = Array.length blocks in
-  let t = { blocks = Array.make (max 64 n) Bytes.empty; n_blocks = n; name } in
-  Array.iteri (fun i b -> t.blocks.(i) <- Bytes.copy b) blocks;
+  let t =
+    { blocks = Array.make (max 64 n) Bytes.empty;
+      crcs = Array.make (max 64 n) 0;
+      n_blocks = n;
+      name;
+      fault = None }
+  in
+  Array.iteri
+    (fun i b ->
+      t.blocks.(i) <- Bytes.copy b;
+      t.crcs.(i) <- Crc32.bytes b)
+    blocks;
   t

@@ -3,7 +3,17 @@
     Reads and writes are counted into {!Stats.global} and converted to
     modeled time by {!Stats.Cost_model}; see DESIGN.md for the
     substitution rationale.  Blocks are page-sized and copied on append,
-    so later mutation of the source buffer cannot corrupt the archive. *)
+    so later mutation of the source buffer cannot corrupt the archive.
+
+    Every block carries a CRC32 taken at append time; {!read} verifies
+    it and returns a defensive copy, so callers can neither observe nor
+    cause silent archive corruption. *)
+
+exception Corruption of { device : string; block : int; detail : string }
+(** A stored block no longer matches its append-time checksum. *)
+
+exception Read_error of { device : string; block : int }
+(** An armed fault-injection read error (latent media fault). *)
 
 type t
 
@@ -12,11 +22,27 @@ val create : ?name:string -> unit -> t
 (** Blocks written so far. *)
 val length : t -> int
 
+val name : t -> string
+
+(** Attach (or clear) a fault injector for armed read errors. *)
+val set_fault : t -> Fault.t option -> unit
+
 (** Append a copy of the block; returns its index. *)
 val append : t -> Bytes.t -> int
 
-(** @raise Invalid_argument on an out-of-range index. *)
+(** A defensive copy of the block.
+    @raise Invalid_argument on an out-of-range index.
+    @raise Corruption when the stored block fails its checksum.
+    @raise Read_error when a fault injector armed this block. *)
 val read : t -> int -> Bytes.t
+
+(** Indices of all blocks failing their checksum (offline scrub: no
+    counters, no fault injection). *)
+val verify_all : t -> int list
+
+(** Test hook: flip one bit of a stored block without updating its
+    CRC. *)
+val corrupt_block : t -> int -> bit:int -> unit
 
 val size_bytes : t -> int
 

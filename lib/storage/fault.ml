@@ -1,0 +1,124 @@
+(* Deterministic, seeded fault injection for the durability layer.
+
+   An injector interposes on the WAL and Disk I/O paths and perturbs
+   them on a schedule derived purely from its seed, so every failure a
+   test provokes is reproducible bit-for-bit:
+
+   - crash-after-N-ops: the [tick] before the N-th write-path operation
+     reports a crash; the WAL closes its file (optionally writing a torn
+     prefix of its unflushed buffer first) and raises {!Crash}, which
+     models the process dying mid-write;
+   - torn final block: at the crash point, a strict prefix of the bytes
+     in flight reaches the medium ([torn_length]);
+   - bit flips: [flip_bit_in_file] / [flip_bit_in_bytes] corrupt one
+     seeded-random bit, which per-record (WAL) or per-block (Pagelog)
+     CRCs must catch;
+   - read errors: [arm_read_error] makes one specific device block fail
+     on read, modeling a latent media error.
+
+   The crash-matrix harness (bin/crash_matrix.ml) runs a workload once
+   with a counting injector to learn how many injection points it has,
+   then crashes at every one of them and checks recovery. *)
+
+exception Crash
+(** The simulated process death.  Raised by the WAL when the armed
+    crash point is reached; everything in memory is to be considered
+    lost — only bytes already flushed to the file survive. *)
+
+type crash_plan = { after_ops : int; torn : bool }
+
+type t = {
+  seed : int;
+  rng : Random.State.t;
+  mutable ops : int; (* write-path operations observed so far *)
+  mutable plan : crash_plan option;
+  mutable crashed : bool;
+  read_errors : (string * int, unit) Hashtbl.t; (* (device, block) armed to fail *)
+  mutable bit_flips : int;
+}
+
+let create ~seed () =
+  { seed;
+    rng = Random.State.make [| seed |];
+    ops = 0;
+    plan = None;
+    crashed = false;
+    read_errors = Hashtbl.create 4;
+    bit_flips = 0 }
+
+let seed t = t.seed
+let op_count t = t.ops
+let crashed t = t.crashed
+
+(* Arm a crash at the [after_ops]-th write-path operation (1-based).
+   With [torn], a strict prefix of the unflushed bytes reaches the
+   medium before the crash. *)
+let arm_crash t ~after_ops ~torn = t.plan <- Some { after_ops; torn }
+
+(* Observe one write-path operation.  Returns [Some torn] exactly once,
+   at the armed crash point; after that every further operation raises
+   {!Crash} (the process is dead, nothing more can be written). *)
+let tick t =
+  if t.crashed then raise Crash;
+  t.ops <- t.ops + 1;
+  match t.plan with
+  | Some p when t.ops >= p.after_ops ->
+    t.crashed <- true;
+    Some p.torn
+  | _ -> None
+
+(* How many of [len] in-flight bytes land on the medium at a torn
+   crash: a seeded choice in [0, len), always strictly short. *)
+let torn_length t ~len = if len <= 1 then 0 else Random.State.int t.rng len
+
+(* --- read errors -------------------------------------------------------- *)
+
+let arm_read_error t ~device ~index = Hashtbl.replace t.read_errors (device, index) ()
+
+let should_fail_read t ~device ~index = Hashtbl.mem t.read_errors (device, index)
+
+(* --- bit flips ---------------------------------------------------------- *)
+
+let flip_bit_in_bytes t (b : Bytes.t) =
+  if Bytes.length b = 0 then None
+  else begin
+    let off = Random.State.int t.rng (Bytes.length b) in
+    let bit = Random.State.int t.rng 8 in
+    Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl bit)));
+    t.bit_flips <- t.bit_flips + 1;
+    Some (off, bit)
+  end
+
+(* Flip one seeded-random bit of the file at [path], at offset
+   [min_off] or later (callers pass the header size to keep the file
+   identifiable).  Returns the (offset, bit) flipped, or [None] when
+   the file has no byte past [min_off]. *)
+let flip_bit_in_file t ~path ~min_off =
+  let size = (Unix.stat path).Unix.st_size in
+  if size <= min_off then None
+  else begin
+    let off = min_off + Random.State.int t.rng (size - min_off) in
+    let bit = Random.State.int t.rng 8 in
+    let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+    let finish () = Unix.close fd in
+    (try
+       ignore (Unix.lseek fd off Unix.SEEK_SET);
+       let one = Bytes.create 1 in
+       if Unix.read fd one 0 1 <> 1 then begin
+         finish ();
+         None
+       end
+       else begin
+         Bytes.set one 0 (Char.chr (Char.code (Bytes.get one 0) lxor (1 lsl bit)));
+         ignore (Unix.lseek fd off Unix.SEEK_SET);
+         ignore (Unix.write fd one 0 1);
+         finish ();
+         t.bit_flips <- t.bit_flips + 1;
+         Some (off, bit)
+       end
+     with Unix.Unix_error _ as e ->
+       finish ();
+       raise e)
+  end
+
+let bit_flips t = t.bit_flips

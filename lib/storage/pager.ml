@@ -4,18 +4,39 @@
    memory resident"), current-state pages live in memory; reads are
    counted as cheap memory fetches.  All mutation goes through Txn, which
    calls [install] at commit; the [pre_commit_hook] is the interposition
-   point where Retro captures copy-on-write pre-states. *)
+   point where Retro captures copy-on-write pre-states.
+
+   Committed images carry a CRC32 taken at install time, verified by the
+   integrity checker ([verify_checksums]) rather than on every read —
+   the current state is memory resident, so per-read verification would
+   only model cost the paper's setup does not have.
+
+   The optional [wal] sink is how Txn.commit and Retro.declare reach the
+   write-ahead log without a dependency cycle (Wal lives above Pager and
+   installs closures here). *)
 
 type commit_event = {
   pid : int;
   before : Bytes.t option; (* committed image being overwritten; None for a brand-new page id *)
 }
 
+(* Closures into the write-ahead log, installed by Wal.attach.  Commit
+   logs after-images + freed ids; declare logs a snapshot boundary;
+   barrier is the durability point (group commit decides whether it
+   flushes). *)
+type wal_sink = {
+  wal_commit : writes:(int * Bytes.t) list -> freed:int list -> unit;
+  wal_declare : db_pages:int -> ts:float -> unit;
+  wal_barrier : unit -> unit;
+}
+
 type t = {
   mutable pages : Bytes.t option array;
+  mutable crcs : int array;
   mutable n_pages : int;
   mutable free_list : int list;
   mutable pre_commit_hook : commit_event list -> unit;
+  mutable wal : wal_sink option;
 }
 
 (* A read context: how a storage structure (heap, B+tree) resolves a page
@@ -24,7 +45,12 @@ type t = {
 type read = int -> Bytes.t
 
 let create () =
-  { pages = Array.make 64 None; n_pages = 0; free_list = []; pre_commit_hook = (fun _ -> ()) }
+  { pages = Array.make 64 None;
+    crcs = Array.make 64 0;
+    n_pages = 0;
+    free_list = [];
+    pre_commit_hook = (fun _ -> ());
+    wal = None }
 
 let n_pages t = t.n_pages
 
@@ -34,7 +60,10 @@ let grow t wanted =
     let cap' = max (cap * 2) (wanted + 1) in
     let pages = Array.make cap' None in
     Array.blit t.pages 0 pages 0 cap;
-    t.pages <- pages
+    t.pages <- pages;
+    let crcs = Array.make cap' 0 in
+    Array.blit t.crcs 0 crcs 0 cap;
+    t.crcs <- crcs
   end
 
 (* Committed image of a page.  Callers must treat the result as
@@ -49,6 +78,12 @@ let read_committed t pid =
 
 let committed_exists t pid =
   pid >= 0 && pid < t.n_pages && t.pages.(pid) <> None
+
+(* Committed image without counters or raising: the WAL replay path uses
+   this to reconstruct before-images (a recycled id's before-image at
+   replay time is exactly its committed content). *)
+let peek_committed t pid =
+  if pid < 0 || pid >= t.n_pages then None else t.pages.(pid)
 
 (* Reserve a page id for a transaction.  Returns the id and the previous
    committed image if the id is recycled (needed for COW: older snapshots
@@ -72,11 +107,35 @@ let install t pid (bytes : Bytes.t) =
   grow t pid;
   if pid >= t.n_pages then t.n_pages <- pid + 1;
   t.pages.(pid) <- Some bytes;
+  t.crcs.(pid) <- Crc32.bytes bytes;
   Obs.Metrics.Counter.incr Stats.c_db_page_writes
 
 let release t pid = t.free_list <- pid :: t.free_list
 
 let read : t -> read = fun t pid -> read_committed t pid
+
+(* Page ids whose committed image no longer matches its install-time
+   checksum (the integrity checker reports these).  Free slots are
+   skipped; a freed-but-unrecycled page still holds its last committed
+   image, which still matches. *)
+let verify_checksums t =
+  let bad = ref [] in
+  for pid = t.n_pages - 1 downto 0 do
+    match t.pages.(pid) with
+    | Some b -> if Crc32.bytes b <> t.crcs.(pid) then bad := pid :: !bad
+    | None -> ()
+  done;
+  !bad
+
+(* Test hook: flip one bit of a committed page without updating its
+   CRC. *)
+let corrupt_page t pid ~bit =
+  match peek_committed t pid with
+  | None -> invalid_arg (Printf.sprintf "Pager.corrupt_page: free page %d" pid)
+  | Some b ->
+    if Bytes.length b = 0 then invalid_arg "Pager.corrupt_page: empty page";
+    let off = bit / 8 mod Bytes.length b in
+    Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl (bit mod 8))))
 
 (* Portable image of the committed state (for backup/restore). *)
 type image = {
@@ -93,7 +152,13 @@ let dump t =
 let restore img =
   let t = create () in
   grow t (max 0 (img.img_n_pages - 1));
-  Array.iteri (fun i p -> t.pages.(i) <- Option.map Bytes.copy p) img.img_pages;
+  Array.iteri
+    (fun i p ->
+      t.pages.(i) <- Option.map Bytes.copy p;
+      match t.pages.(i) with
+      | Some b -> t.crcs.(i) <- Crc32.bytes b
+      | None -> ())
+    img.img_pages;
   t.n_pages <- img.img_n_pages;
   t.free_list <- img.img_free;
   t

@@ -4,7 +4,8 @@
     resident; reads count as cheap memory fetches.  All mutation goes
     through {!Txn}, which calls {!install} at commit; the
     [pre_commit_hook] is where Retro captures copy-on-write
-    pre-states. *)
+    pre-states.  Committed images carry install-time CRC32 checksums
+    verified by {!verify_checksums} (the integrity checker). *)
 
 type commit_event = {
   pid : int;
@@ -12,11 +13,22 @@ type commit_event = {
       (** committed image being overwritten; [None] for a brand-new id *)
 }
 
+(** Closures into the write-ahead log, installed by [Wal.attach]
+    (avoids a Pager -> Wal dependency cycle).  [wal_barrier] is the
+    durability point; group commit decides whether it flushes. *)
+type wal_sink = {
+  wal_commit : writes:(int * Bytes.t) list -> freed:int list -> unit;
+  wal_declare : db_pages:int -> ts:float -> unit;
+  wal_barrier : unit -> unit;
+}
+
 type t = {
   mutable pages : Bytes.t option array;
+  mutable crcs : int array;
   mutable n_pages : int;
   mutable free_list : int list;
   mutable pre_commit_hook : commit_event list -> unit;
+  mutable wal : wal_sink option;
 }
 
 (** A read context: how a storage structure resolves a page id to bytes.
@@ -35,6 +47,11 @@ val read_committed : t -> int -> Bytes.t
 
 val committed_exists : t -> int -> bool
 
+(** Committed image without counters or raising ([None] when free or
+    out of range).  The WAL replay path uses this to reconstruct
+    before-images. *)
+val peek_committed : t -> int -> Bytes.t option
+
 (** Reserve a page id for a transaction; returns the previous committed
     image when the id is recycled. *)
 val reserve : t -> int * Bytes.t option
@@ -51,6 +68,13 @@ val release : t -> int -> unit
 
 (** Committed-state read context. *)
 val read : t -> read
+
+(** Page ids whose committed image fails its install-time checksum. *)
+val verify_checksums : t -> int list
+
+(** Test hook: flip one bit of a committed page without updating its
+    CRC. *)
+val corrupt_page : t -> int -> bit:int -> unit
 
 (** {1 Backup} *)
 

@@ -27,6 +27,16 @@ let c_pages_allocated = Obs.Metrics.counter "storage.pages_allocated"
 let c_txn_commits = Obs.Metrics.counter "storage.txn_commits"
 let c_txn_aborts = Obs.Metrics.counter "storage.txn_aborts"
 let c_cow_archived = Obs.Metrics.counter "retro.cow_archived"
+let c_wal_appends = Obs.Metrics.counter "storage.wal_appends"
+let c_wal_bytes = Obs.Metrics.counter "storage.wal_bytes"
+let c_wal_fsyncs = Obs.Metrics.counter "storage.wal_fsyncs"
+
+(* Durability events outside the steady-state cost model: recoveries
+   performed, torn/corrupt WAL tails discarded at recovery, and archive
+   checksum verification failures (each one marks a snapshot damaged). *)
+let c_recoveries = Obs.Metrics.counter "storage.recoveries"
+let c_torn_tail_discards = Obs.Metrics.counter "storage.torn_tail_discards"
+let c_checksum_failures = Obs.Metrics.counter "retro.checksum_failures"
 
 type t = {
   mutable db_page_reads : int;      (* current-state pages, memory resident *)
@@ -41,6 +51,9 @@ type t = {
   mutable txn_commits : int;
   mutable txn_aborts : int;
   mutable cow_archived : int;       (* pre-state pages copied out at commit *)
+  mutable wal_appends : int;        (* records appended to the write-ahead log *)
+  mutable wal_bytes : int;          (* bytes of WAL frames written *)
+  mutable wal_fsyncs : int;         (* modeled fsync barriers *)
 }
 
 let make () = {
@@ -56,6 +69,9 @@ let make () = {
   txn_commits = 0;
   txn_aborts = 0;
   cow_archived = 0;
+  wal_appends = 0;
+  wal_bytes = 0;
+  wal_fsyncs = 0;
 }
 
 (* Materialize the live registry counters. *)
@@ -72,6 +88,9 @@ let snapshot () = {
   txn_commits = C.get c_txn_commits;
   txn_aborts = C.get c_txn_aborts;
   cow_archived = C.get c_cow_archived;
+  wal_appends = C.get c_wal_appends;
+  wal_bytes = C.get c_wal_bytes;
+  wal_fsyncs = C.get c_wal_fsyncs;
 }
 
 (* The legacy global handle.  The record itself no longer accumulates;
@@ -94,7 +113,10 @@ let reset t =
     C.set c_pages_allocated 0;
     C.set c_txn_commits 0;
     C.set c_txn_aborts 0;
-    C.set c_cow_archived 0
+    C.set c_cow_archived 0;
+    C.set c_wal_appends 0;
+    C.set c_wal_bytes 0;
+    C.set c_wal_fsyncs 0
   end
   else begin
     t.db_page_reads <- 0;
@@ -108,7 +130,10 @@ let reset t =
     t.pages_allocated <- 0;
     t.txn_commits <- 0;
     t.txn_aborts <- 0;
-    t.cow_archived <- 0
+    t.cow_archived <- 0;
+    t.wal_appends <- 0;
+    t.wal_bytes <- 0;
+    t.wal_fsyncs <- 0
   end
 
 let copy t = if t == global then snapshot () else { t with db_page_reads = t.db_page_reads }
@@ -127,6 +152,9 @@ let diff a b = {
   txn_commits = a.txn_commits - b.txn_commits;
   txn_aborts = a.txn_aborts - b.txn_aborts;
   cow_archived = a.cow_archived - b.cow_archived;
+  wal_appends = a.wal_appends - b.wal_appends;
+  wal_bytes = a.wal_bytes - b.wal_bytes;
+  wal_fsyncs = a.wal_fsyncs - b.wal_fsyncs;
 }
 
 (* Latency model for the simulated snapshot archive device.  The paper's
@@ -140,10 +168,19 @@ module Cost_model = struct
   let ssd_read_s = ref 250e-6
   let ssd_write_s = ref 25e-6
 
-  (* Modeled I/O seconds attributable to a counter delta. *)
+  (* An fsync barrier on the WAL device: the dominant cost of a durable
+     commit (a SATA SSD flush is on the order of half a millisecond).
+     Group commit amortizes it across batched transactions. *)
+  let fsync_s = ref 500e-6
+
+  (* Modeled I/O seconds attributable to a counter delta.  WAL appends
+     are sequential writes, charged per page-equivalent of logged
+     bytes; each fsync pays the full barrier. *)
   let io_seconds (d : t) =
     (float_of_int d.pagelog_reads *. !ssd_read_s)
     +. (float_of_int d.pagelog_writes *. !ssd_write_s)
+    +. (float_of_int d.wal_bytes /. float_of_int Page.size *. !ssd_write_s)
+    +. (float_of_int d.wal_fsyncs *. !fsync_s)
 end
 
 let pp ppf t =
@@ -152,7 +189,8 @@ let pp ppf t =
     "@[<v>db_page_reads=%d db_page_writes=%d@ pagelog_reads=%d \
      pagelog_writes=%d@ maplog_appends=%d maplog_scanned=%d@ \
      snap_cache hits=%d misses=%d@ pages_allocated=%d commits=%d aborts=%d \
-     cow_archived=%d@]"
+     cow_archived=%d@ wal_appends=%d wal_bytes=%d wal_fsyncs=%d@]"
     t.db_page_reads t.db_page_writes t.pagelog_reads t.pagelog_writes
     t.maplog_appends t.maplog_scanned t.snap_cache_hits t.snap_cache_misses
     t.pages_allocated t.txn_commits t.txn_aborts t.cow_archived
+    t.wal_appends t.wal_bytes t.wal_fsyncs

@@ -19,6 +19,14 @@ val c_pages_allocated : Obs.Metrics.Counter.t
 val c_txn_commits : Obs.Metrics.Counter.t
 val c_txn_aborts : Obs.Metrics.Counter.t
 val c_cow_archived : Obs.Metrics.Counter.t
+val c_wal_appends : Obs.Metrics.Counter.t
+val c_wal_bytes : Obs.Metrics.Counter.t
+val c_wal_fsyncs : Obs.Metrics.Counter.t
+
+(** Durability events outside the steady-state cost model. *)
+val c_recoveries : Obs.Metrics.Counter.t
+val c_torn_tail_discards : Obs.Metrics.Counter.t
+val c_checksum_failures : Obs.Metrics.Counter.t
 
 type t = {
   mutable db_page_reads : int;      (** current-state pages (memory resident) *)
@@ -33,6 +41,9 @@ type t = {
   mutable txn_commits : int;
   mutable txn_aborts : int;
   mutable cow_archived : int;       (** pre-state pages copied out at commit *)
+  mutable wal_appends : int;        (** records appended to the write-ahead log *)
+  mutable wal_bytes : int;          (** bytes of WAL frames written *)
+  mutable wal_fsyncs : int;         (** modeled fsync barriers *)
 }
 
 val make : unit -> t
@@ -56,6 +67,10 @@ val diff : t -> t -> t
 module Cost_model : sig
   val ssd_read_s : float ref
   val ssd_write_s : float ref
+
+  (** Modeled fsync barrier on the WAL device (amortized by group
+      commit). *)
+  val fsync_s : float ref
 
   (** Modeled I/O seconds for a counter delta. *)
   val io_seconds : t -> float

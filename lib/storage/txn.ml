@@ -65,15 +65,26 @@ let free t pid =
 
 let dirty_count t = Hashtbl.length t.writes
 
+(* Commit ordering: pre-commit hook (Retro archives COW pre-states),
+   then the WAL record + barrier, then install.  A hook that raises
+   leaves nothing logged or installed; a crash inside the WAL append
+   models process death, where the in-memory archive appends die with
+   the process.  The same [entries] list feeds the hook and the WAL, so
+   the logged write order equals the runtime event order — which is what
+   makes WAL replay reproduce Retro state deterministically. *)
 let commit t =
   check_active t;
-  let events =
-    Hashtbl.fold
-      (fun pid (e : entry) acc -> { Pager.pid; before = e.before } :: acc)
-      t.writes []
-  in
+  let entries = Hashtbl.fold (fun pid (e : entry) acc -> (pid, e) :: acc) t.writes [] in
+  let events = List.map (fun (pid, (e : entry)) -> { Pager.pid; before = e.before }) entries in
   t.pager.Pager.pre_commit_hook events;
-  Hashtbl.iter (fun pid e -> Pager.install t.pager pid e.after) t.writes;
+  (match t.pager.Pager.wal with
+   | Some w when entries <> [] || t.freed <> [] ->
+     w.Pager.wal_commit
+       ~writes:(List.map (fun (pid, (e : entry)) -> (pid, e.after)) entries)
+       ~freed:t.freed;
+     w.Pager.wal_barrier ()
+   | _ -> ());
+  List.iter (fun (pid, (e : entry)) -> Pager.install t.pager pid e.after) entries;
   List.iter (fun pid -> Pager.release t.pager pid) t.freed;
   t.state <- Committed;
   Obs.Metrics.Counter.incr Stats.c_txn_commits

@@ -80,6 +80,37 @@ let tests =
              false
            with Sqldb.Db.Error _ -> true)) ]
 
+(* PRAGMA integrity_check: the SQL surface over I.check — a single "ok"
+   row when healthy, one row per problem otherwise. *)
+let pragma_tests =
+  [ Alcotest.test_case "healthy database reports ok" `Quick (fun () ->
+        let db = E.create () in
+        ignore (E.exec db "CREATE TABLE t (a INTEGER)");
+        ignore (E.exec db "CREATE INDEX ia ON t (a)");
+        ignore (E.exec db "INSERT INTO t VALUES (1), (2)");
+        let res = E.exec db "PRAGMA integrity_check" in
+        Alcotest.(check (array string)) "column" [| "integrity_check" |] res.E.columns;
+        Alcotest.(check bool) "single ok row" true (res.E.rows = [ [| R.Text "ok" |] ]));
+    Alcotest.test_case "one row per problem after page corruption" `Quick (fun () ->
+        let db = E.create () in
+        ignore (E.exec db "CREATE TABLE t (a INTEGER)");
+        ignore (E.exec db "INSERT INTO t VALUES (1), (2)");
+        (* flip a bit of a committed page image behind the pager's back *)
+        let pager = Sqldb.Db.(db.pager) in
+        Storage.Pager.corrupt_page pager (Storage.Pager.n_pages pager - 1) ~bit:4;
+        let res = E.exec db "PRAGMA integrity_check" in
+        Alcotest.(check bool) "problems reported" true
+          (res.E.rows <> [ [| R.Text "ok" |] ] && res.E.rows <> []);
+        Alcotest.(check bool) "problem text matches I.check" true
+          (List.map (function [| R.Text s |] -> s | _ -> "?") res.E.rows = I.check db));
+    Alcotest.test_case "unknown pragma is a typed error" `Quick (fun () ->
+        let db = E.create () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (E.exec db "PRAGMA no_such_pragma");
+             false
+           with E.Error _ -> true)) ]
+
 (* Property: random DML workloads leave the database structurally
    sound. *)
 let prop_random_workload =
@@ -111,4 +142,5 @@ let prop_random_workload =
 let () =
   Alcotest.run "integrity"
     [ ("integrity", tests);
+      ("pragma", pragma_tests);
       ("properties", [ QCheck_alcotest.to_alcotest prop_random_workload ]) ]

@@ -43,6 +43,14 @@ let skip_micro =
   let doc = "Skip the bechamel micro-benchmark suite." in
   Arg.(value & flag & info [ "skip-micro" ] ~doc)
 
+let analyze =
+  let doc =
+    "Replace the bechamel micro suite with the EXPLAIN ANALYZE observability smoke: \
+     seeded fixtures, one analyzed statement per plan shape, one analyzed RQL run; \
+     analyses land under the \"analysis\" key of --json output."
+  in
+  Arg.(value & flag & info [ "analyze" ] ~doc)
+
 let json_path =
   let doc = "Write recorded runs and the metrics registry as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
@@ -55,7 +63,7 @@ let sample_every =
   let doc = "Sample the metrics registry into the time-series ring every $(docv) SQL statements (0 = only the final sample)." in
   Arg.(value & opt int 1000 & info [ "sample-every" ] ~docv:"N" ~doc)
 
-let main full only skip_micro json_path prom_path sample_every =
+let main full only skip_micro analyze json_path prom_path sample_every =
   if full then Params.current := Params.full;
   Obs.Timeseries.set_interval sample_every;
   let selected =
@@ -71,7 +79,8 @@ let main full only skip_micro json_path prom_path sample_every =
     (if full then "full" else "quick");
   if selected = None then print_table1 ();
   List.iter (fun (id, _, run) -> if wanted id then run ()) experiments;
-  if (not skip_micro) && wanted "micro" then Micro.run ();
+  if (not skip_micro) && wanted "micro" then
+    if analyze then Micro.run_analyze () else Micro.run ();
   (match json_path with Some path -> Util.write_json path | None -> ());
   (match prom_path with
   | Some path ->
@@ -84,6 +93,6 @@ let cmd =
   let doc = "reproduce the RQL paper's performance evaluation" in
   Cmd.v
     (Cmd.info "rql-bench" ~doc)
-    Term.(const main $ full $ only $ skip_micro $ json_path $ prom_path $ sample_every)
+    Term.(const main $ full $ only $ skip_micro $ analyze $ json_path $ prom_path $ sample_every)
 
 let () = exit (Cmd.eval cmd)

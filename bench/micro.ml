@@ -106,6 +106,65 @@ let tests =
   [ test_encode; test_decode; test_page_insert; test_btree_lookup; test_btree_insert;
     test_spt_build; test_snapshot_read; test_parse; test_rewrite ]
 
+(* --- EXPLAIN ANALYZE smoke (bench --analyze) ---------------------------- *)
+
+module E = Sqldb.Engine
+
+(* Seed small fixtures, EXPLAIN ANALYZE one statement per plan shape
+   (scan / filter / join / agg), then an analyzed RQL run; each analysis
+   document is recorded for the --json output so CI can assert on the
+   per-operator actuals. *)
+let run_analyze () =
+  Util.section "EXPLAIN ANALYZE: per-operator actuals on seeded fixtures";
+  let ctx = Rql.create () in
+  let db = ctx.Rql.data in
+  ignore (E.exec db "CREATE TABLE t (a INTEGER, b INTEGER)");
+  ignore (E.exec db "CREATE TABLE u (a INTEGER, c INTEGER)");
+  ignore (E.exec db "BEGIN");
+  for i = 1 to 200 do
+    ignore (E.exec db (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" i (i mod 10)))
+  done;
+  for i = 1 to 50 do
+    ignore (E.exec db (Printf.sprintf "INSERT INTO u VALUES (%d, %d)" i (i * 2)))
+  done;
+  ignore (E.exec db "COMMIT");
+  ignore (Rql.declare_snapshot ctx);
+  let stmts =
+    [ ("scan", "SELECT * FROM t");
+      ("filter", "SELECT * FROM t, u WHERE t.a = u.a AND t.b + u.c > 0");
+      ("join", "SELECT t.a, u.c FROM t, u WHERE t.a = u.a");
+      ("agg", "SELECT b, COUNT(*) FROM t GROUP BY b ORDER BY b") ]
+  in
+  List.iter
+    (fun (label, sql) ->
+      Util.subsection label;
+      let res = E.exec db ("EXPLAIN ANALYZE " ^ sql) in
+      List.iter (fun row -> print_endline (R.value_to_string row.(0))) res.E.rows;
+      match E.last_analysis db with
+      | Some az -> Util.record_analysis ~label (Sqldb.Plan.analysis_to_json az)
+      | None -> ())
+    stmts;
+  (* An analyzed RQL run: the Qq's operator actuals accumulate across
+     the snapshot loop into the per-mechanism run report. *)
+  ignore (E.exec db "INSERT INTO t VALUES (999, 1)");
+  ignore (Rql.declare_snapshot ctx);
+  ignore
+    (Rql.collate_data ~analyze:true ctx ~qs:"SELECT snap_id FROM SnapIds"
+       ~qq:"SELECT a, b FROM t WHERE b > 0" ~table:"AnalyzeOut");
+  match Rql.run_report () with
+  | Some r ->
+    Util.subsection "rql run report";
+    Printf.printf "%s over %d iterations: %d operators instrumented\n" r.Rql.rr_mechanism
+      r.Rql.rr_iterations (List.length r.Rql.rr_ops);
+    List.iter
+      (fun (a : Sqldb.Plan.op_actual) ->
+        Printf.printf "  op %d %-12s rows=%d loops=%d time=%.3fms pages=%d\n"
+          a.Sqldb.Plan.a_id a.Sqldb.Plan.a_kind a.Sqldb.Plan.a_rows a.Sqldb.Plan.a_loops
+          (a.Sqldb.Plan.a_elapsed_s *. 1e3) a.Sqldb.Plan.a_pages)
+      r.Rql.rr_ops;
+    Util.record_analysis ~label:"rql_run" (Rql.run_report_to_json r)
+  | None -> print_endline "no run report (Qq fell back to textual rewrite)"
+
 let run () =
   Util.section "Micro-benchmarks (bechamel): primitive operation costs";
   (* force the fixtures outside the measured region *)

@@ -68,8 +68,12 @@ let print_help () =
      sys_snapshots | sys_cache | sys_tables | sys_timeseries | sys_plans; ANALYZE ARCHIVE;\n\
      EXPLAIN [QUERY PLAN] <select> — show the compiled physical plan (access paths,\n\
      join strategies, temp b-trees); EXPLAIN PROFILE <select> — run with tracing and\n\
-     print span tree + counter deltas; EXPLAIN LINT <stmt> — static diagnostics as rows\n\
+     print span tree + counter deltas; EXPLAIN ANALYZE <select> — run with per-operator\n\
+     instrumentation and print the plan annotated with actual rows/loops/time/pages;\n\
+     EXPLAIN LINT <stmt> — static diagnostics as rows\n\
      (same analysis as .lint, without executing the statement).\n\
+     Statement statistics aggregate per fingerprint in sys_statements (.statements);\n\
+     .slowlog logs statements over a threshold to the structured event log (sys_events).\n\
      RQL mechanisms are UDFs on @meta, e.g.:\n\
      @meta SELECT CollateData(snap_id, 'SELECT ... current_snapshot() ...', 'T') FROM SnapIds;"
 
@@ -106,6 +110,45 @@ let run_profile args =
       (if Obs.Trace.is_enabled () then "on" else "off")
       (List.length (Obs.Trace.spans ()))
   | _ -> print_endline "usage: .profile [on|off]"
+
+(* Top statements by total time, via the sys_statements virtual table
+   (the registry is process-wide, so either database sees the same rows;
+   we query the data one to keep its own plan/statement accounting). *)
+let run_statements db =
+  print_result
+    (E.exec db
+       "SELECT fingerprint, calls, rows, total_s, max_s, plan_hits, query \
+        FROM sys_statements ORDER BY total_s DESC, fingerprint LIMIT 20")
+
+let run_slowlog ctx args =
+  let db = ctx.Rql.data in
+  match String.split_on_char ' ' (String.trim args) |> List.filter (( <> ) "") with
+  | [ "on" ] ->
+    E.set_slow_query_threshold db (Some 0.1);
+    print_endline "slow-query log on (threshold 100 ms)"
+  | [ "on"; ms ] -> (
+    match float_of_string_opt ms with
+    | Some ms when ms >= 0. ->
+      E.set_slow_query_threshold db (Some (ms /. 1e3));
+      Printf.printf "slow-query log on (threshold %g ms)\n" ms
+    | Some _ | None -> print_endline "usage: .slowlog [on [MS] | off]")
+  | [ "off" ] ->
+    E.set_slow_query_threshold db None;
+    print_endline "slow-query log off"
+  | [] ->
+    (match E.slow_query_threshold db with
+    | Some thr -> Printf.printf "slow-query log on (threshold %g ms)\n" (thr *. 1e3)
+    | None -> print_endline "slow-query log off");
+    let slow =
+      List.filter
+        (fun (e : Obs.Eventlog.event) -> e.Obs.Eventlog.ev_kind = "slow_query")
+        (Obs.Eventlog.events ())
+    in
+    List.iter
+      (fun e -> print_endline (Obs.Json.to_string (Obs.Eventlog.event_to_json e)))
+      slow;
+    Printf.printf "(%d slow-query events)\n" (List.length slow)
+  | _ -> print_endline "usage: .slowlog [on [MS] | off]"
 
 let run_trace ctx args =
   match String.split_on_char ' ' (String.trim args) |> List.filter (( <> ) "") with
@@ -193,6 +236,12 @@ let () =
                 s.Storage.Wal.st_path s.Storage.Wal.st_group_commit s.Storage.Wal.st_appends
                 s.Storage.Wal.st_bytes s.Storage.Wal.st_fsyncs s.Storage.Wal.st_pending_bytes
             | _, Some _ -> print_endline "usage: .wal [sync]") };
+      { cname = ".statements"; cargs = "";
+        chelp = "top statements by total time (per-fingerprint, sys_statements)";
+        crun = (fun ~ctx_ref ~args:_ -> run_statements !ctx_ref.Rql.data) };
+      { cname = ".slowlog"; cargs = "[on [MS] | off]";
+        chelp = "slow-query log: set/clear the threshold, or print logged events";
+        crun = (fun ~ctx_ref ~args -> run_slowlog !ctx_ref args) };
       { cname = ".profile"; cargs = "[on|off]"; chelp = "enable/disable span tracing";
         crun = (fun ~ctx_ref:_ ~args -> run_profile args) };
       { cname = ".trace"; cargs = "dump PATH"; chelp = "write collected spans as Chrome trace JSON";

@@ -61,6 +61,7 @@ type run_state = {
   table : string;
   data : Sq.Db.t;
   meta : Sq.Db.t;
+  rs_analyze : bool; (* per-operator instrumentation for this run *)
   mutable prepared : prep_state;
   t_start : float; (* wall-clock run start; anchors the modeled trace track *)
   mutable iterations : Iter_stats.iteration list; (* reversed *)
@@ -109,6 +110,8 @@ let stream_select db sql =
    snapshot id as parameter 0.  Any failure on this path (beyond Qq not
    being a SELECT, which is a user error either way) falls back to the
    per-iteration textual rewrite so no previously-working Qq regresses. *)
+let qq_key (rs : run_state) = "rql-qq:" ^ rs.qq
+
 let qq_prepared (rs : run_state) =
   match rs.prepared with
   | Prep_ready p -> Some p
@@ -117,7 +120,7 @@ let qq_prepared (rs : run_state) =
     try
       match Sq.Engine.parse rs.qq with
       | Sq.Ast.Select sel ->
-        let p = Sq.Engine.prepare_select rs.data ~key:("rql-qq:" ^ rs.qq) (Rewrite.parameterize sel) in
+        let p = Sq.Engine.prepare_select rs.data ~key:(qq_key rs) (Rewrite.parameterize sel) in
         rs.prepared <- Prep_ready p;
         Some p
       | _ -> error "Qq must be a SELECT statement"
@@ -402,9 +405,50 @@ let write_var_result (rs : run_state) txn =
     in
     rs.var_rid <- Some rid'
 
+(* --- run reports (EXPLAIN ANALYZE over the loop) ----------------------- *)
+
+(* Per-mechanism run report of an analyzed run.  The prepared Qq's plan
+   is shared across every iteration (plan-cache slot sharing), so its
+   operator slots accumulate actuals over the whole snapshot loop; the
+   report snapshots them once the loop finishes. *)
+type run_report = {
+  rr_mechanism : string;
+  rr_qq : string;
+  rr_iterations : int;
+  rr_ops : Sq.Plan.op_actual list; (* accumulated across all iterations *)
+}
+
+let last_run_report : run_report option ref = ref None
+let run_report () = !last_run_report
+
+let run_report_to_json (r : run_report) =
+  Obs.Json.Obj
+    [ ("mechanism", Obs.Json.Str r.rr_mechanism);
+      ("qq", Obs.Json.Str r.rr_qq);
+      ("iterations", Obs.Json.Int r.rr_iterations);
+      ("ops", Obs.Json.List (List.map Sq.Plan.op_actual_to_json r.rr_ops)) ]
+
+(* The prepared Qq's cached plan, when present and fresh. *)
+let qq_plan (rs : run_state) = Sq.Engine.cached_plan rs.data ~key:(qq_key rs)
+
+(* Chrome counter track: one sample of the cumulative per-operator row
+   counts per iteration, so the operator-level progress of an analyzed
+   run is visible on the trace timeline. *)
+let emit_op_counters (rs : run_state) =
+  if Obs.Trace.is_enabled () then
+    match qq_plan rs with
+    | Some plan ->
+      Obs.Trace.emit_counter ~name:"rql.op_rows"
+        (List.map
+           (fun (a : Sq.Plan.op_actual) ->
+             (Printf.sprintf "op%d %s" a.Sq.Plan.a_id a.Sq.Plan.a_kind,
+              float_of_int a.Sq.Plan.a_rows))
+           (Sq.Plan.actuals plan))
+    | None -> ()
+
 (* --- the loop body ----------------------------------------------------- *)
 
-let make_run ~kind ~data ~meta ~qq ~table =
+let make_run ?(analyze = false) ~kind ~data ~meta ~qq ~table () =
   (match kind with
   | Agg_table [] -> error "AggregateDataInTable requires at least one (column, function) pair"
   | _ -> ());
@@ -420,6 +464,7 @@ let make_run ~kind ~data ~meta ~qq ~table =
     table;
     data;
     meta;
+    rs_analyze = analyze;
     prepared = Prep_pending;
     t_start = now ();
     iterations = [];
@@ -446,6 +491,9 @@ let make_run ~kind ~data ~meta ~qq ~table =
 (* One RQL iteration over snapshot [sid].  [cold] empties the snapshot
    page cache first (used by the all-cold baseline runs in §5.1). *)
 let step_body (rs : run_state) ~sid ~cold =
+  (* One timeseries sample per iteration, so sys_timeseries resolves the
+     inside of a snapshot loop rather than only statement boundaries. *)
+  Obs.Timeseries.tick ();
   (match Sq.Db.(rs.data.retro) with
   | Some retro when cold -> Retro.clear_cache retro
   | _ -> ());
@@ -519,7 +567,8 @@ let step_body (rs : run_state) ~sid ~cold =
       ("pagelog_reads", Obs.Trace.Int it.Iter_stats.pagelog_reads);
       ("udf_rows", Obs.Trace.Int it.Iter_stats.udf_rows);
       ("modeled_io_s", Obs.Trace.Float it.Iter_stats.io_s) ];
-  rs.iterations <- it :: rs.iterations
+  rs.iterations <- it :: rs.iterations;
+  if rs.rs_analyze then emit_op_counters rs
 
 let step (rs : run_state) ~sid ~cold =
   Obs.Trace.with_span ~name:"rql.iteration"
@@ -551,6 +600,13 @@ let finish (rs : run_state) : Iter_stats.run =
   in
   (* Modeled-attribution track: only worth emitting when tracing is on. *)
   if Obs.Trace.is_enabled () then Iter_stats.emit_trace ~start_s:rs.t_start run;
+  if rs.rs_analyze then
+    last_run_report :=
+      Some
+        { rr_mechanism = mech_name rs.kind;
+          rr_qq = rs.qq;
+          rr_iterations = List.length run.Iter_stats.iterations;
+          rr_ops = (match qq_plan rs with Some p -> Sq.Plan.actuals p | None -> []) };
   run
 
 (* --- snapshot management ---------------------------------------------- *)
@@ -597,10 +653,10 @@ let snapshot_set (ctx : ctx) qs =
 
 (* --- public mechanisms -------------------------------------------------- *)
 
-let run_mechanism ?(all_cold = false) ctx kind ~qs ~qq ~table =
+let run_mechanism ?(all_cold = false) ?(analyze = false) ctx kind ~qs ~qq ~table =
   (* make_run first: its Qq gate must fire before the Qs executes (a
      bad Qq spends zero page reads, not even SnapIds ones). *)
-  let rs = make_run ~kind ~data:ctx.data ~meta:ctx.meta ~qq ~table in
+  let rs = make_run ~analyze ~kind ~data:ctx.data ~meta:ctx.meta ~qq ~table () in
   let sids = snapshot_set ctx qs in
   if sids = [] then error "%s: Qs returned no snapshots" (mech_name kind);
   (match Sq.Db.(ctx.data.retro) with
@@ -611,21 +667,32 @@ let run_mechanism ?(all_cold = false) ctx kind ~qs ~qq ~table =
       [ ("mechanism", Obs.Trace.Str (mech_name kind));
         ("snapshots", Obs.Trace.Int (List.length sids)) ]
     (fun () ->
-      List.iter (fun sid -> step rs ~sid ~cold:all_cold) sids;
-      finish rs)
+      let loop () =
+        List.iter (fun sid -> step rs ~sid ~cold:all_cold) sids;
+        finish rs
+      in
+      if not analyze then loop ()
+      else begin
+        (* The Qq may already be cached from an earlier run: start the
+           accumulators at zero so the report covers exactly this run. *)
+        (match qq_plan rs with Some p -> Sq.Plan.reset_actuals p | None -> ());
+        let was = ctx.data.Sq.Db.analyze in
+        ctx.data.Sq.Db.analyze <- true;
+        Fun.protect ~finally:(fun () -> ctx.data.Sq.Db.analyze <- was) loop
+      end)
 
-let collate_data ?all_cold ctx ~qs ~qq ~table =
-  run_mechanism ?all_cold ctx Collate ~qs ~qq ~table
+let collate_data ?all_cold ?analyze ctx ~qs ~qq ~table =
+  run_mechanism ?all_cold ?analyze ctx Collate ~qs ~qq ~table
 
-let aggregate_data_in_variable ?all_cold ctx ~qs ~qq ~table ~fn =
-  run_mechanism ?all_cold ctx (Agg_var (Monoid.of_string fn)) ~qs ~qq ~table
+let aggregate_data_in_variable ?all_cold ?analyze ctx ~qs ~qq ~table ~fn =
+  run_mechanism ?all_cold ?analyze ctx (Agg_var (Monoid.of_string fn)) ~qs ~qq ~table
 
-let aggregate_data_in_table ?all_cold ctx ~qs ~qq ~table ~aggs =
+let aggregate_data_in_table ?all_cold ?analyze ctx ~qs ~qq ~table ~aggs =
   let aggs = List.map (fun (c, fn) -> (c, Monoid.of_string fn)) aggs in
-  run_mechanism ?all_cold ctx (Agg_table aggs) ~qs ~qq ~table
+  run_mechanism ?all_cold ?analyze ctx (Agg_table aggs) ~qs ~qq ~table
 
-let collate_data_into_intervals ?all_cold ctx ~qs ~qq ~table =
-  run_mechanism ?all_cold ctx Intervals ~qs ~qq ~table
+let collate_data_into_intervals ?all_cold ?analyze ctx ~qs ~qq ~table =
+  run_mechanism ?all_cold ?analyze ctx Intervals ~qs ~qq ~table
 
 (* --- SQL-form UDFs ------------------------------------------------------ *)
 
@@ -657,7 +724,7 @@ let udf_step ctx kind ~qq ~table ~sid =
     match Hashtbl.find_opt ctx.runs key with
     | Some rs when (match rs.last_sid with Some last -> sid > last | None -> true) -> rs
     | _ ->
-      let rs = make_run ~kind ~data:ctx.data ~meta:ctx.meta ~qq ~table in
+      let rs = make_run ~kind ~data:ctx.data ~meta:ctx.meta ~qq ~table () in
       (match Sq.Db.(ctx.data.retro) with
       | Some retro -> Retro.clear_cache retro
       | None -> ());

@@ -1,0 +1,93 @@
+(* Bounded structured event log.
+
+   A process-wide ring of structured events, each a kind tag plus a flat
+   list of JSON fields.  The primary producer is the SQL engine's
+   slow-query hook (kind "slow_query"); the log is generic so future
+   subsystems (recovery, checkpointing) can reuse it.
+
+   Events render as JSON-lines: one self-contained JSON object per
+   event, suitable for `grep`/`jq` and for appending to a sink file.
+   The ring is bounded (default 1024 events); older events are dropped
+   silently.  An optional file sink receives every event as it is
+   logged, independent of the ring bound. *)
+
+type event = {
+  ev_seq : int;                       (* monotonic, never reused *)
+  ev_ts : float;                      (* unix epoch seconds *)
+  ev_kind : string;
+  ev_fields : (string * Json.t) list;
+}
+
+let default_capacity = 1024
+let capacity = ref default_capacity
+
+(* Ring storage: [buf] holds the most recent [count] events ending at
+   position [head - 1] (mod capacity). *)
+let buf : event option array ref = ref (Array.make default_capacity None)
+let head = ref 0
+let count = ref 0
+let seq = ref 0
+
+(* Optional JSON-lines sink: events are appended as they are logged. *)
+let sink : out_channel option ref = ref None
+
+let clear () =
+  Array.fill !buf 0 (Array.length !buf) None;
+  head := 0;
+  count := 0
+
+let set_capacity n =
+  let n = max 1 n in
+  capacity := n;
+  buf := Array.make n None;
+  head := 0;
+  count := 0
+
+let close_sink () =
+  match !sink with
+  | Some oc ->
+    close_out_noerr oc;
+    sink := None
+  | None -> ()
+
+(* Open [path] in append mode and mirror every subsequent event to it. *)
+let set_sink_file path =
+  close_sink ();
+  sink := Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+
+let event_to_json (e : event) =
+  Json.Obj
+    (("seq", Json.Int e.ev_seq)
+     :: ("ts", Json.Float e.ev_ts)
+     :: ("kind", Json.Str e.ev_kind)
+     :: e.ev_fields)
+
+let log ~kind fields =
+  incr seq;
+  let e = { ev_seq = !seq; ev_ts = Unix.gettimeofday (); ev_kind = kind; ev_fields = fields } in
+  !buf.(!head) <- Some e;
+  head := (!head + 1) mod !capacity;
+  if !count < !capacity then incr count;
+  match !sink with
+  | Some oc ->
+    output_string oc (Json.to_string (event_to_json e));
+    output_char oc '\n';
+    flush oc
+  | None -> ()
+
+(* Oldest-first list of retained events. *)
+let events () =
+  let cap = !capacity in
+  let start = (!head - !count + cap * 2) mod cap in
+  let out = ref [] in
+  for k = !count - 1 downto 0 do
+    match !buf.((start + k) mod cap) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+let to_json () = Json.List (List.map event_to_json (events ()))
+
+(* JSON-lines rendering: one object per line, oldest first. *)
+let to_lines () = List.map (fun e -> Json.to_string (event_to_json e)) (events ())

@@ -53,6 +53,25 @@ let us_of_s s =
 
 let now_us () = us_of_s (now_s ())
 
+(* Chrome "C" (counter) events: a named set of values sampled over time,
+   rendered by chrome://tracing as stacked counter tracks.  The RQL loop
+   exports cumulative per-operator row counts here, one sample per
+   iteration.  Bounded like the span ring; drops when tracing is off. *)
+type counter_event = {
+  c_name : string;
+  c_tid : int;
+  c_ts_us : float;
+  c_values : (string * float) list;
+}
+
+let counter_capacity = 4096
+let counter_slots : counter_event option array = Array.make counter_capacity None
+let counters_recorded = ref 0
+
+let clear_counters () =
+  Array.fill counter_slots 0 counter_capacity None;
+  counters_recorded := 0
+
 (* --- ring buffer of completed spans ----------------------------------- *)
 
 let default_capacity = 1 lsl 16
@@ -69,7 +88,8 @@ let capacity () = Array.length ring.slots
 let clear () =
   Array.fill ring.slots 0 (Array.length ring.slots) None;
   ring.completed <- 0;
-  epoch := Float.nan
+  epoch := Float.nan;
+  clear_counters ()
 
 let set_capacity n =
   if n < 1 then invalid_arg "Trace.set_capacity";
@@ -169,6 +189,27 @@ let emit ?(tid = tid_wall) ?parent ?(attrs = []) ~name ~ts_us ~dur_us () =
     sp.id
   end
 
+(* --- counter tracks ----------------------------------------------------- *)
+
+let emit_counter ?(tid = tid_modeled) ~name values =
+  if !enabled then begin
+    let ev = { c_name = name; c_tid = tid; c_ts_us = now_us (); c_values = values } in
+    counter_slots.(!counters_recorded mod counter_capacity) <- Some ev;
+    incr counters_recorded
+  end
+
+(* Retained counter events, oldest first. *)
+let counter_events () =
+  let total = !counters_recorded in
+  let kept = min total counter_capacity in
+  let out = ref [] in
+  for k = kept - 1 downto 0 do
+    match counter_slots.((total - 1 - k) mod counter_capacity) with
+    | Some ev -> out := ev :: !out
+    | None -> ()
+  done;
+  List.rev !out
+
 (* --- Chrome trace_event export ----------------------------------------- *)
 
 let attr_to_json = function
@@ -196,11 +237,21 @@ let thread_name_event tid name =
       ("tid", Json.Int tid);
       ("args", Json.Obj [ ("name", Json.Str name) ]) ]
 
+let counter_event_json ev =
+  Json.Obj
+    [ ("name", Json.Str ev.c_name);
+      ("cat", Json.Str "rql");
+      ("ph", Json.Str "C");
+      ("ts", Json.Float ev.c_ts_us);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int ev.c_tid);
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) ev.c_values)) ]
+
 let to_chrome_json () =
   let events =
     thread_name_event tid_wall "wall clock"
     :: thread_name_event tid_modeled "rql modeled attribution"
-    :: List.map span_event (spans ())
+    :: (List.map span_event (spans ()) @ List.map counter_event_json (counter_events ()))
   in
   Json.Obj [ ("traceEvents", Json.List events); ("displayTimeUnit", Json.Str "ms") ]
 

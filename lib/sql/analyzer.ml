@@ -662,7 +662,7 @@ let check_values_exprs ctx exprs =
 
 let rec check_stmt ctx (s : stmt) : unit =
   match s with
-  | Select sel | Explain sel | Explain_profile sel ->
+  | Select sel | Explain sel | Explain_profile sel | Explain_analyze sel ->
     ignore (check_select ctx ~outer_strict:true sel)
   | Explain_lint inner -> check_stmt ctx inner
   | Insert { table; columns; values; from_select } -> (

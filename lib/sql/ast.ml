@@ -80,6 +80,7 @@ type stmt =
   | Select of select
   | Explain of select
   | Explain_profile of select (* EXPLAIN PROFILE: run and print span tree + counter deltas *)
+  | Explain_analyze of select (* EXPLAIN ANALYZE: run and annotate the plan with actuals *)
   | Explain_lint of stmt      (* EXPLAIN LINT: analyze only, report diagnostics as rows *)
   | Insert of {
       table : string;

@@ -29,6 +29,14 @@ type t = {
   mutable plan_hits : int;
   mutable plan_misses : int;
   mutable plan_invalidations : int;
+  (* Observability knobs.  [analyze] turns on per-operator plan
+     instrumentation for executions through this handle (EXPLAIN
+     ANALYZE / analyzed RQL runs flip it for the duration);
+     [slow_query_s] is the slow-query log threshold (None = off);
+     [last_analysis] holds the most recent instrumented run. *)
+  mutable analyze : bool;
+  mutable slow_query_s : float option;
+  mutable last_analysis : Plan.analysis option;
 }
 
 (* Assemble a handle from restored parts (Backup). *)
@@ -44,7 +52,10 @@ let of_parts ~pager ~retro =
     generation = 0;
     plan_hits = 0;
     plan_misses = 0;
-    plan_invalidations = 0 }
+    plan_invalidations = 0;
+    analyze = false;
+    slow_query_s = None;
+    last_analysis = None }
 
 let create ?(snapshots = true) () =
   let pager = Storage.Pager.create () in

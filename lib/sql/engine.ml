@@ -228,6 +228,7 @@ let stmt_kind = function
   | Select _ -> "select"
   | Explain _ -> "explain"
   | Explain_profile _ -> "explain_profile"
+  | Explain_analyze _ -> "explain_analyze"
   | Explain_lint _ -> "explain_lint"
   | Insert _ -> "insert"
   | Delete _ -> "delete"
@@ -306,9 +307,52 @@ let run_stmt_core db ?key (s : stmt) : result =
     { empty_result with
       columns = [| "detail" |];
       rows = List.map (fun n -> [| R.Text n |]) (Plan.render plan) }
+  | Explain_analyze sel ->
+    (* Execute the statement with operator instrumentation on, then
+       render the plan tree annotated with the recorded actuals.  The
+       plan is built fresh (not through the cache), so its slots start
+       at zero and the actuals belong to exactly this execution. *)
+    let env0 = Exec.env_of_select db sel in
+    let plan = Planner.plan ~cat:env0.Exec.cat ~fnctx:(Db.fn_ctx db) sel in
+    let was = db.Db.analyze in
+    db.Db.analyze <- true;
+    let env = { env0 with Exec.analyze = true } in
+    let t0 = Unix.gettimeofday () in
+    let n_rows =
+      Fun.protect
+        ~finally:(fun () -> db.Db.analyze <- was)
+        (fun () ->
+          let _, run = Exec.stream_plan env plan in
+          let n = ref 0 in
+          run (fun _ -> incr n);
+          !n)
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let az =
+      { Plan.az_sql = (match key with Some k -> k | None -> "");
+        az_rows = n_rows;
+        az_elapsed_s = dt;
+        az_snapshot = env.Exec.as_of;
+        az_ops = Plan.actuals plan }
+    in
+    db.Db.last_analysis <- Some az;
+    let lines =
+      Printf.sprintf "%d row%s in %.3f ms%s" n_rows
+        (if n_rows = 1 then "" else "s")
+        (dt *. 1e3)
+        (match env.Exec.as_of with
+        | Some sid -> Printf.sprintf " (AS OF %d)" sid
+        | None -> "")
+      :: Plan.render_analyzed plan
+    in
+    { empty_result with
+      columns = [| "detail" |];
+      rows = List.map (fun l -> [| R.Text l |]) lines }
   | Explain_profile sel ->
     (* Run the statement with tracing forced on, then report its span
-       tree and the registry counter deltas it caused. *)
+       tree and the registry counter deltas it caused.  Planning goes
+       through the plan cache (keyed by the full statement text), so
+       repeated profiles show plan-cache hits like normal execution. *)
     let was = Obs.Trace.is_enabled () in
     Obs.Trace.set_enabled true;
     let m = Obs.Trace.mark () in
@@ -319,14 +363,20 @@ let run_stmt_core db ?key (s : stmt) : result =
         ~finally:(fun () -> Obs.Trace.set_enabled was)
         (fun () ->
           Obs.Trace.with_span ~name:"statement" (fun () ->
-              let env = Exec.env_of_select db sel in
-              let _, rows = Exec.select_all env sel in
-              List.length rows))
+              let _, run = run_select db ?key sel in
+              let n = ref 0 in
+              run (fun _ -> incr n);
+              !n))
     in
     let dt = Unix.gettimeofday () -. t0 in
     let after = Obs.Metrics.counters () in
     let tree = Obs.Trace.render_tree (Obs.Trace.spans_since m) in
     let deltas = Obs.Metrics.diff_counters ~before ~after in
+    (* plan provenance always shows, even when a delta is zero *)
+    let ensure name ds = if List.mem_assoc name ds then ds else ds @ [ (name, 0) ] in
+    let deltas =
+      List.sort compare (ensure "sql.plans_built" (ensure "sql.plan_cache_hits" deltas))
+    in
     let lines =
       (Printf.sprintf "%d row%s in %.3f ms" n_rows (if n_rows = 1 then "" else "s") (dt *. 1e3)
       :: tree)
@@ -436,6 +486,61 @@ let run_stmt_core db ?key (s : stmt) : result =
           | ps -> List.map (fun p -> [| R.Text p |]) ps) }
     | other -> error "unknown pragma: %s" other)
 
+(* --- per-statement observability -------------------------------------- *)
+
+(* Rows a result stands for: returned rows for queries, affected rows
+   for DML. *)
+let result_rows (res : result) =
+  if res.rows <> [] then List.length res.rows else res.rows_affected
+
+(* Snapshot id of a statement's AS OF clause, when it is a constant
+   (or parameter-bound) expression; None otherwise. *)
+let as_of_sid db ?(params = [||]) (s : stmt) =
+  match s with
+  | Select sel | Explain_analyze sel -> (
+    match sel.as_of with
+    | None -> None
+    | Some e -> (
+      match Expr.eval_const (Db.fn_ctx db) (Plan.bind_expr params e) with
+      | R.Int sid -> Some sid
+      | _ -> None
+      | exception Expr.Error _ -> None
+      | exception Invalid_argument _ -> None))
+  | _ -> None
+
+(* Post-execution accounting: fingerprint statistics for every keyed
+   statement, and a structured slow-query event when the handle's
+   threshold is set and exceeded.  Slow EXPLAIN ANALYZE statements
+   carry a per-operator actuals summary (from [last_analysis]). *)
+let observe_stmt db ?key ?(params = [||]) ~(s : stmt) ~plan_hit ~elapsed_s (res : result) =
+  let rows = result_rows res in
+  (match key with
+  | Some sql -> Fingerprint.record ~sql ~rows ~elapsed_s ~plan_hit
+  | None -> ());
+  match db.Db.slow_query_s with
+  | Some thr when elapsed_s >= thr ->
+    let fields =
+      [ ("statement", Obs.Json.Str (stmt_kind s));
+        ("duration_ms", Obs.Json.Float (elapsed_s *. 1000.));
+        ("rows", Obs.Json.Int rows) ]
+      @ (match key with
+        | Some sql ->
+          let norm = Fingerprint.normalized_of sql in
+          [ ("fingerprint", Obs.Json.Str (Fingerprint.fingerprint_of norm));
+            ("query", Obs.Json.Str norm) ]
+        | None -> [])
+      @ (match as_of_sid db ~params s with
+        | Some sid -> [ ("snapshot", Obs.Json.Int sid) ]
+        | None -> [])
+      @
+      match (s, db.Db.last_analysis) with
+      | Explain_analyze _, Some az ->
+        [ ("ops", Obs.Json.List (List.map Plan.op_actual_to_json az.Plan.az_ops)) ]
+      | _ -> []
+    in
+    Obs.Eventlog.log ~kind:"slow_query" fields
+  | _ -> ()
+
 (* Every statement passes the analyzer gate first (errors raise before
    any planning or page access), then is counted, its end-to-end
    latency observed, and — when tracing is on — wrapped in a
@@ -444,12 +549,20 @@ let run_stmt db ?key (s : stmt) : result =
   analyzer_gate db ?sql:key s;
   Obs.Metrics.Counter.incr c_statements;
   Obs.Timeseries.tick ();
-  Exec_stats.time_into
-    (fun dt -> Obs.Metrics.Histogram.observe h_stmt dt)
-    (fun () ->
-      Obs.Trace.with_span ~name:"sql.stmt"
-        ~attrs:[ ("kind", Obs.Trace.Str (stmt_kind s)) ]
-        (fun () -> run_stmt_core db ?key s))
+  let hits0 = db.Db.plan_hits in
+  let t0 = Unix.gettimeofday () in
+  let res =
+    Exec_stats.time_into
+      (fun dt -> Obs.Metrics.Histogram.observe h_stmt dt)
+      (fun () ->
+        Obs.Trace.with_span ~name:"sql.stmt"
+          ~attrs:[ ("kind", Obs.Trace.Str (stmt_kind s)) ]
+          (fun () -> run_stmt_core db ?key s))
+  in
+  observe_stmt db ?key ~s ~plan_hit:(db.Db.plan_hits > hits0)
+    ~elapsed_s:(Unix.gettimeofday () -. t0)
+    res;
+  res
 
 let wrap_errors f =
   try f () with
@@ -531,12 +644,22 @@ let exec_prepared ?(params = [||]) (p : prepared) : result =
   wrap_errors (fun () ->
       Obs.Metrics.Counter.incr c_statements;
       Obs.Timeseries.tick ();
-      Exec_stats.time_into
-        (fun dt -> Obs.Metrics.Histogram.observe h_stmt dt)
-        (fun () ->
-          Obs.Trace.with_span ~name:"sql.stmt"
-            ~attrs:[ ("kind", Obs.Trace.Str "select") ]
-            (fun () -> collect (run_select p.pr_db ~key:p.pr_key ~params p.pr_sel))))
+      let db = p.pr_db in
+      let hits0 = db.Db.plan_hits in
+      let t0 = Unix.gettimeofday () in
+      let res =
+        Exec_stats.time_into
+          (fun dt -> Obs.Metrics.Histogram.observe h_stmt dt)
+          (fun () ->
+            Obs.Trace.with_span ~name:"sql.stmt"
+              ~attrs:[ ("kind", Obs.Trace.Str "select") ]
+              (fun () -> collect (run_select db ~key:p.pr_key ~params p.pr_sel)))
+      in
+      observe_stmt db ~key:p.pr_key ~params ~s:(Select p.pr_sel)
+        ~plan_hit:(db.Db.plan_hits > hits0)
+        ~elapsed_s:(Unix.gettimeofday () -. t0)
+        res;
+      res)
 
 (* Parse a single statement (timed into sql.parse_latency) without
    executing it; used by callers that prepare from a larger text. *)
@@ -586,3 +709,25 @@ let int_scalar db sql : int =
   match scalar db sql with
   | R.Int i -> i
   | v -> error "expected an integer, got %s" (R.value_to_string v)
+
+(* --- observability accessors ------------------------------------------- *)
+
+(* The most recent instrumented (EXPLAIN ANALYZE) run on this handle. *)
+let last_analysis db : Plan.analysis option = db.Db.last_analysis
+
+(* Slow-query log threshold in seconds; None disables slow logging. *)
+let set_slow_query_threshold db thr = db.Db.slow_query_s <- thr
+let slow_query_threshold db = db.Db.slow_query_s
+
+(* Master switch for per-operator plan instrumentation on this handle.
+   EXPLAIN ANALYZE and analyzed RQL runs flip it for their duration;
+   leaving it on instruments every subsequent execution. *)
+let set_analyze db on = db.Db.analyze <- on
+
+(* The plan currently cached for [key], when present and fresh.  Gives
+   structural access to accumulated operator actuals of prepared /
+   repeated statements (the RQL run report reads its Qq plan here). *)
+let cached_plan db ~key : Plan.t option =
+  match Hashtbl.find_opt db.Db.plan_cache key with
+  | Some c when c.Plan.cp_gen = db.Db.generation -> Some c.Plan.cp_plan
+  | _ -> None

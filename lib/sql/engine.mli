@@ -7,7 +7,8 @@
     Retro's extensions: SELECT with joins (incl. LEFT JOIN), GROUP
     BY/HAVING, ORDER BY/LIMIT/OFFSET, DISTINCT, UNION [ALL],
     (uncorrelated) subqueries, CAST, aggregate and scalar functions,
-    DML, DDL, EXPLAIN, [SELECT AS OF sid] and [COMMIT WITH SNAPSHOT]. *)
+    DML, DDL, EXPLAIN (plus EXPLAIN PROFILE / ANALYZE / LINT),
+    [SELECT AS OF sid] and [COMMIT WITH SNAPSHOT]. *)
 
 exception Error of string
 
@@ -137,3 +138,32 @@ val scalar : db -> string -> Storage.Record.value
 
 (** @raise Error unless the scalar is an integer. *)
 val int_scalar : db -> string -> int
+
+(** {1 Query observability}
+
+    [EXPLAIN ANALYZE <select>] executes the statement with every plan
+    operator instrumented (rows produced, loops, inclusive elapsed
+    time, page-read delta, probes) and renders the plan tree annotated
+    with those actuals; the same data is stored on the handle for
+    structural consumption.  Statement-level statistics aggregate per
+    normalized-text fingerprint in the process-wide {!Fingerprint}
+    registry, exposed as the [sys_statements] virtual table.  When a
+    slow-query threshold is set, statements at or above it log a
+    structured [slow_query] event to {!Obs.Eventlog}. *)
+
+(** The most recent EXPLAIN ANALYZE result on this handle. *)
+val last_analysis : db -> Plan.analysis option
+
+(** Set / read the slow-query threshold in seconds ([None] = off). *)
+val set_slow_query_threshold : db -> float option -> unit
+val slow_query_threshold : db -> float option
+
+(** Master switch for per-operator instrumentation on this handle.
+    EXPLAIN ANALYZE and analyzed RQL runs manage it themselves; turning
+    it on manually instruments every subsequent execution. *)
+val set_analyze : db -> bool -> unit
+
+(** The plan currently cached for [key], when present and fresh —
+    structural access to the accumulated operator actuals of prepared /
+    repeated statements (the RQL run report reads its Qq plan here). *)
+val cached_plan : db -> key:string -> Plan.t option

@@ -26,9 +26,12 @@ type env = {
   read : Storage.Pager.read;
   cat : Catalog.t;
   as_of : int option;
+  analyze : bool; (* fill per-operator plan instrumentation slots *)
 }
 
-let current_env db = { db; read = Db.read_current db; cat = Db.catalog db; as_of = None }
+let current_env db =
+  { db; read = Db.read_current db; cat = Db.catalog db; as_of = None;
+    analyze = db.Db.analyze }
 
 (* Environment reading as of snapshot [sid]: builds the SPT (timed as
    "SPT build") and resolves the catalog from the snapshot itself. *)
@@ -38,7 +41,7 @@ let snapshot_env db sid =
     error "AS OF %d: no such snapshot" sid;
   let spt = Exec_stats.time_spt (fun () -> Retro.build_spt retro sid) in
   let read = Retro.read_ctx retro spt in
-  { db; read; cat = Catalog.load read; as_of = Some sid }
+  { db; read; cat = Catalog.load read; as_of = Some sid; analyze = db.Db.analyze }
 
 (* Environment for an evaluated AS OF expression (parameters must have
    been bound). *)
@@ -59,6 +62,15 @@ let heap_of env (tbl : Catalog.table) =
 
 let c_rows_scanned = Obs.Metrics.counter "sql.rows_scanned"
 let c_rows_returned = Obs.Metrics.counter "sql.rows_returned"
+
+(* --- operator instrumentation ------------------------------------------
+
+   Total pages read so far (current-state pager + snapshot archive);
+   per-operator page-read deltas are differences of this sum.  Counter
+   reads are single field loads, so an instrumented run stays cheap. *)
+let pages_now () =
+  Obs.Metrics.Counter.get Storage.Stats.c_db_page_reads
+  + Obs.Metrics.Counter.get Storage.Stats.c_pagelog_reads
 
 let scan_heap env tbl ~f =
   Storage.Heap.iter env.read (heap_of env tbl) ~f:(fun rid data ->
@@ -365,6 +377,54 @@ and stream_core env (c : Plan.core) : string array * ((R.row -> unit) -> unit) =
   let c = Plan.map_core (expand_sub env) c in
   let feval row e = Expr.eval fnctx ~row ~aggs:[||] e in
   let pass filters row = List.for_all (fun r -> Expr.truth (feval row r) = Some true) filters in
+  let instr = env.analyze in
+  (* Instrumentation wrappers.  All three are decided at pipeline
+     construction time: with [analyze] off they return their argument
+     unchanged, so the executed closure chain is the uninstrumented one
+     (zero-overhead path).
+
+     [stage] records rows produced, loops, and elapsed/page-read cost
+     inclusive of upstream stages (Postgres EXPLAIN ANALYZE node
+     semantics): the bracket around the whole emit run minus the time
+     and pages observed inside the downstream consumer callback. *)
+  let stage (op : Plan.op) emit =
+    if not instr then emit
+    else
+      fun f ->
+        let sl = op.Plan.op_slot in
+        sl.Plan.o_loops <- sl.Plan.o_loops + 1;
+        let t0 = Exec_stats.now () and p0 = pages_now () in
+        let down_t = ref 0. and down_p = ref 0 in
+        emit (fun row ->
+            sl.Plan.o_rows <- sl.Plan.o_rows + 1;
+            let ti = Exec_stats.now () and pi = pages_now () in
+            f row;
+            down_t := !down_t +. (Exec_stats.now () -. ti);
+            down_p := !down_p + (pages_now () - pi));
+        sl.Plan.o_elapsed_s <- sl.Plan.o_elapsed_s +. (Exec_stats.now () -. t0 -. !down_t);
+        sl.Plan.o_pages <- sl.Plan.o_pages + (pages_now () - p0 - !down_p)
+  in
+  (* One probe per outer row driven into a lookup-style join. *)
+  let probed (op : Plan.op) emit =
+    if not instr then emit
+    else
+      fun f ->
+        emit (fun row ->
+            op.Plan.op_slot.Plan.o_probes <- op.Plan.op_slot.Plan.o_probes + 1;
+            f row)
+  in
+  (* Charge inner-side build cost (hash table / materialization, done
+     once at pipeline construction) to the join operator. *)
+  let charge_build (op : Plan.op) build =
+    if not instr then build ()
+    else begin
+      let sl = op.Plan.op_slot in
+      let t0 = Exec_stats.now () and p0 = pages_now () in
+      build ();
+      sl.Plan.o_elapsed_s <- sl.Plan.o_elapsed_s +. (Exec_stats.now () -. t0);
+      sl.Plan.o_pages <- sl.Plan.o_pages + (pages_now () - p0)
+    end
+  in
   let emit =
     match c.Plan.c_from with
     | Plan.From_none -> fun f -> f [||]
@@ -380,6 +440,7 @@ and stream_core env (c : Plan.core) : string array * ((R.row -> unit) -> unit) =
         | Plan.Seq_scan ->
           scan_rows env t0 ~f:(fun _rid row -> if pass first.Plan.sc_filters row then f row)
       in
+      let emit0 = stage first.Plan.sc_op emit0 in
       let add_join emit (js : Plan.join_step) =
         let t = js.Plan.j_src.Plan.s_tbl in
         match js.Plan.j_plan with
@@ -406,7 +467,8 @@ and stream_core env (c : Plan.core) : string array * ((R.row -> unit) -> unit) =
                     | Some l -> l := row :: !l
                     | None -> Hashtbl.add tbl_hash k (ref [ row ]))
           in
-          Exec_stats.time_index build;
+          charge_build js.Plan.j_op (fun () -> Exec_stats.time_index build);
+          let emit = probed js.Plan.j_op emit in
           fun f ->
             emit (fun lrow ->
                 let candidates =
@@ -429,12 +491,14 @@ and stream_core env (c : Plan.core) : string array * ((R.row -> unit) -> unit) =
         | Plan.Nested_loop { filters } ->
           (* cross/theta join: materialize the (filtered) inner table *)
           let inner = ref [] in
-          scan_rows env t ~f:(fun _rid row -> if pass filters row then inner := row :: !inner);
+          charge_build js.Plan.j_op (fun () ->
+              scan_rows env t ~f:(fun _rid row -> if pass filters row then inner := row :: !inner));
           let inner = Array.of_list (List.rev !inner) in
           fun f -> emit (fun lrow -> Array.iter (fun rrow -> f (Array.append lrow rrow)) inner)
         | Plan.Index_probe { ix; equi; filters } ->
           let left_keys = List.map fst equi in
           let bt = Storage.Btree.open_existing ix.Catalog.iroot in
+          let emit = probed js.Plan.j_op emit in
           fun f ->
             emit (fun lrow ->
                 let kv = Array.of_list (List.map (fun e -> feval lrow e) left_keys) in
@@ -461,15 +525,19 @@ and stream_core env (c : Plan.core) : string array * ((R.row -> unit) -> unit) =
                   | Some l -> l := row :: !l
                   | None -> Hashtbl.add tbl_hash k (ref [ row ]))
           in
-          Exec_stats.time_index build;
+          charge_build js.Plan.j_op (fun () -> Exec_stats.time_index build);
+          let emit = probed js.Plan.j_op emit in
           fun f ->
             emit (fun lrow ->
                 match Hashtbl.find_opt tbl_hash (left_key_of lrow) with
                 | Some l -> List.iter (fun rrow -> f (Array.append lrow rrow)) !l
                 | None -> ())
       in
-      let emit = List.fold_left add_join emit0 joins in
-      fun f -> emit (fun row -> if pass residual row then f row)
+      let emit =
+        List.fold_left (fun emit js -> stage js.Plan.j_op (add_join emit js)) emit0 joins
+      in
+      let filtered f = emit (fun row -> if pass residual row then f row) in
+      if residual = [] then filtered else stage c.Plan.c_filter_op filtered
   in
   let out_exprs = c.Plan.c_out in
   let order_resolved = c.Plan.c_order in
@@ -555,10 +623,26 @@ and stream_core env (c : Plan.core) : string array * ((R.row -> unit) -> unit) =
           let out, key = eval_out row [||] in
           push out key)
   in
+  (* When aggregating, record the groups produced (post-HAVING) and the
+     cost of the blocking aggregation stage. *)
+  let produce =
+    if not (instr && c.Plan.c_has_agg) then produce
+    else
+      fun push ->
+        let sl = c.Plan.c_agg_op.Plan.op_slot in
+        sl.Plan.o_loops <- sl.Plan.o_loops + 1;
+        let t0 = Exec_stats.now () and p0 = pages_now () in
+        produce (fun out key ->
+            sl.Plan.o_rows <- sl.Plan.o_rows + 1;
+            push out key);
+        sl.Plan.o_elapsed_s <- sl.Plan.o_elapsed_s +. (Exec_stats.now () -. t0);
+        sl.Plan.o_pages <- sl.Plan.o_pages + (pages_now () - p0)
+  in
   let run f =
     let need_sort = order_resolved <> [] in
     let need_distinct = c.Plan.c_distinct in
     if need_sort || need_distinct then begin
+      let t_sort = if instr then Exec_stats.now () else 0. in
       let rows = ref [] in
       let seen = Hashtbl.create 64 in
       produce (fun out key ->
@@ -584,6 +668,14 @@ and stream_core env (c : Plan.core) : string array * ((R.row -> unit) -> unit) =
         in
         Array.stable_sort cmp rows
       end;
+      if instr then begin
+        (* rows held by the sort/distinct buffer, inclusive time up to
+           and including the sort itself *)
+        let sl = c.Plan.c_sort_op.Plan.op_slot in
+        sl.Plan.o_loops <- sl.Plan.o_loops + 1;
+        sl.Plan.o_rows <- sl.Plan.o_rows + Array.length rows;
+        sl.Plan.o_elapsed_s <- sl.Plan.o_elapsed_s +. (Exec_stats.now () -. t_sort)
+      end;
       let n = Array.length rows in
       let stop = match limit with Some l -> min n (offset + l) | None -> n in
       for i = offset to stop - 1 do
@@ -607,6 +699,21 @@ and stream_core env (c : Plan.core) : string array * ((R.row -> unit) -> unit) =
              end)
        with Stop -> ())
     end
+  in
+  (* Final output operator: rows delivered to the consumer (post
+     LIMIT/OFFSET), timed inclusively of the whole core. *)
+  let run =
+    if not instr then run
+    else
+      fun f ->
+        let sl = c.Plan.c_out_op.Plan.op_slot in
+        sl.Plan.o_loops <- sl.Plan.o_loops + 1;
+        let t0 = Exec_stats.now () and p0 = pages_now () in
+        run (fun row ->
+            sl.Plan.o_rows <- sl.Plan.o_rows + 1;
+            f row);
+        sl.Plan.o_elapsed_s <- sl.Plan.o_elapsed_s +. (Exec_stats.now () -. t0);
+        sl.Plan.o_pages <- sl.Plan.o_pages + (pages_now () - p0)
   in
   (c.Plan.c_header, run)
 

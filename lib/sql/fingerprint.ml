@@ -1,0 +1,122 @@
+(* Statement fingerprinting and per-fingerprint execution statistics
+   (the pg_stat_statements analogue).
+
+   A statement's fingerprint is a 64-bit FNV-1a hash (rendered as hex)
+   of its *normalized* text: the token stream with every literal and
+   parameter placeholder replaced by [?], identifiers and keywords
+   case-folded, and whitespace/comments collapsed to single spaces.
+   "SELECT A FROM t WHERE a=1" and "select a from t where a = 42"
+   therefore share a fingerprint.
+
+   The registry aggregates calls / rows / total+max elapsed time /
+   plan-cache hits per fingerprint.  It is process-wide (statements
+   from every open database handle aggregate together, like the rest
+   of the Obs registries) and bounded: beyond [capacity] fingerprints,
+   the least-called entry is evicted. *)
+
+type stat = {
+  fp : string;   (* hex fingerprint of the normalized text *)
+  norm : string; (* normalized statement text *)
+  mutable calls : int;
+  mutable rows : int;          (* rows returned / affected, summed *)
+  mutable total_s : float;
+  mutable max_s : float;
+  mutable plan_hits : int;     (* executions served from the plan cache *)
+}
+
+(* Normalized token spelling; [None] drops the token. *)
+let token_norm = function
+  | Lexer.Ident s -> Some (String.lowercase_ascii s)
+  | Lexer.Str _ | Lexer.Int_lit _ | Lexer.Float_lit _ | Lexer.Question -> Some "?"
+  | Lexer.Eof -> None
+  | t -> Some (Lexer.token_to_string t)
+
+(* Fallback for text the lexer rejects: case-fold and collapse runs of
+   whitespace, so near-identical malformed inputs still coalesce. *)
+let collapse_ws s =
+  let buf = Buffer.create (String.length s) in
+  let pending = ref false in
+  String.iter
+    (fun ch ->
+      match ch with
+      | ' ' | '\t' | '\n' | '\r' -> if Buffer.length buf > 0 then pending := true
+      | ch ->
+        if !pending then Buffer.add_char buf ' ';
+        pending := false;
+        Buffer.add_char buf (Char.lowercase_ascii ch))
+    s;
+  Buffer.contents buf
+
+let normalize (sql : string) : string =
+  match Lexer.tokenize sql with
+  | toks -> String.concat " " (List.filter_map token_norm toks)
+  | exception Lexer.Error _ -> collapse_ws sql
+
+(* 64-bit FNV-1a. *)
+let fingerprint_of (norm : string) : string =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) 0x100000001b3L)
+    norm;
+  Printf.sprintf "%016Lx" !h
+
+let capacity = ref 512
+
+(* norm text -> stat *)
+let registry : (string, stat) Hashtbl.t = Hashtbl.create 64
+
+(* raw sql -> norm memo, so the per-statement hot path re-lexes only
+   texts it has never seen.  Reset wholesale when it outgrows its cap. *)
+let memo : (string, string) Hashtbl.t = Hashtbl.create 256
+let memo_cap = 2048
+
+let reset () =
+  Hashtbl.reset registry;
+  Hashtbl.reset memo
+
+let normalized_of sql =
+  match Hashtbl.find_opt memo sql with
+  | Some n -> n
+  | None ->
+    let n = normalize sql in
+    if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
+    Hashtbl.add memo sql n;
+    n
+
+let evict_coldest () =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k st ->
+      match !victim with
+      | Some (_, c) when c <= st.calls -> ()
+      | _ -> victim := Some (k, st.calls))
+    registry;
+  match !victim with Some (k, _) -> Hashtbl.remove registry k | None -> ()
+
+(* Record one completed execution of [sql]. *)
+let record ~sql ~rows ~elapsed_s ~plan_hit =
+  let norm = normalized_of sql in
+  let st =
+    match Hashtbl.find_opt registry norm with
+    | Some st -> st
+    | None ->
+      if Hashtbl.length registry >= !capacity then evict_coldest ();
+      let st =
+        { fp = fingerprint_of norm; norm; calls = 0; rows = 0; total_s = 0.; max_s = 0.;
+          plan_hits = 0 }
+      in
+      Hashtbl.add registry norm st;
+      st
+  in
+  st.calls <- st.calls + 1;
+  st.rows <- st.rows + rows;
+  st.total_s <- st.total_s +. elapsed_s;
+  if elapsed_s > st.max_s then st.max_s <- elapsed_s;
+  if plan_hit then st.plan_hits <- st.plan_hits + 1
+
+(* All fingerprints, most total time first. *)
+let stats () : stat list =
+  let all = Hashtbl.fold (fun _ st acc -> st :: acc) registry [] in
+  List.sort (fun a b -> compare b.total_s a.total_s) all
+
+let find ~sql = Hashtbl.find_opt registry (normalized_of sql)

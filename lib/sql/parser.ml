@@ -507,6 +507,7 @@ and parse_stmt st =
   else if is_kw st "EXPLAIN" then begin
     advance st;
     if accept_kw st "PROFILE" then Explain_profile (parse_select st)
+    else if accept_kw st "ANALYZE" then Explain_analyze (parse_select st)
     else if accept_kw st "LINT" then Explain_lint (parse_stmt st)
     else begin
       ignore (accept_kw st "QUERY");

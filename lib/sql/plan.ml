@@ -26,6 +26,33 @@ type source = {
   s_offset : int;
 }
 
+(* --- operator instrumentation ----------------------------------------
+
+   Every pipeline operator of a plan carries a stable id and a mutable
+   instrumentation slot.  Slots are filled by the executor only when the
+   environment's [analyze] flag is set; otherwise they stay untouched
+   (the zero-overhead path).  Because plan copies made by [map_core] /
+   [bind] are shallow record updates, the nested mutable slots are
+   shared between the cached plan and every bound copy — actuals
+   observed while executing a bound copy are readable off the original,
+   and repeated executions (prepared statements, RQL iterations)
+   accumulate into the same slots until [reset_actuals]. *)
+
+type opstats = {
+  mutable o_loops : int;      (* times the operator was started *)
+  mutable o_rows : int;       (* rows produced (emitted downstream) *)
+  mutable o_elapsed_s : float;(* inclusive of upstream stages, like pg *)
+  mutable o_pages : int;      (* db + pagelog page reads, inclusive *)
+  mutable o_probes : int;     (* hash/index lookups driven by this op *)
+}
+
+type op = { op_id : int; op_slot : opstats }
+
+let fresh_slot () = { o_loops = 0; o_rows = 0; o_elapsed_s = 0.; o_pages = 0; o_probes = 0 }
+
+(* A new, unnumbered operator; [number_ops] assigns the stable ids. *)
+let mk_op () = { op_id = 0; op_slot = fresh_slot () }
+
 (* Sargable bound on the leading column of an index: column position in
    the table, comparison, value expression.  The value expression is
    row-independent (a literal, parameter or constant computation) and is
@@ -41,6 +68,7 @@ type scan = {
   sc_src : source;
   sc_access : access;
   sc_filters : expr list;
+  sc_op : op;
 }
 
 (* Join strategy for one joined table.  [equi] pairs are
@@ -58,7 +86,7 @@ type join =
       residual : expr list; (* combined-resolved incl. this table; NULL-padded rows bypass *)
     }
 
-type join_step = { j_src : source; j_plan : join }
+type join_step = { j_src : source; j_plan : join; j_op : op }
 
 type from_plan =
   | From_none (* SELECT without FROM *)
@@ -85,6 +113,12 @@ type core = {
   c_distinct : bool;
   c_limit : expr option;
   c_offset : expr option;
+  (* Instrumentation slots for the non-FROM pipeline stages.  Always
+     present; only the ones a core actually uses show up in actuals. *)
+  c_filter_op : op; (* post-join residual filter *)
+  c_agg_op : op;    (* grouping / aggregation (rows = groups out) *)
+  c_sort_op : op;   (* sort / distinct buffer *)
+  c_out_op : op;    (* final output (post limit/offset) *)
 }
 
 type t = {
@@ -175,34 +209,211 @@ let bind_expr (params : R.value array) (e : expr) : expr =
 let bind (params : R.value array) (p : t) : t =
   if Array.length params = 0 then p else map_exprs (bind_expr params) p
 
+(* --- operator numbering and actuals ----------------------------------- *)
+
+(* Visit every operator of the plan, pre-order (scan, joins in FROM
+   order, filter, aggregate, sort, output; then UNION members). *)
+let iter_ops (f : op -> unit) (p : t) : unit =
+  let core (c : core) =
+    (match c.c_from with
+    | From_none -> ()
+    | From_scan { first; joins; _ } ->
+      f first.sc_op;
+      List.iter (fun js -> f js.j_op) joins);
+    f c.c_filter_op;
+    f c.c_agg_op;
+    f c.c_sort_op;
+    f c.c_out_op
+  in
+  let rec go p =
+    core p.p_core;
+    List.iter (fun (_, m) -> go m) p.p_members
+  in
+  go p
+
+(* Assign stable pre-order operator ids (1-based) across the whole plan,
+   including UNION members.  Called once by the planner on a freshly
+   built plan; copies made later ([bind], subquery expansion) share the
+   numbered ops. *)
+let number_ops (p : t) : t =
+  let next = ref 0 in
+  let renum op =
+    incr next;
+    { op_id = !next; op_slot = op.op_slot }
+  in
+  let renum_core (c : core) =
+    let c_from =
+      match c.c_from with
+      | From_none -> From_none
+      | From_scan { first; joins; residual } ->
+        let first = { first with sc_op = renum first.sc_op } in
+        let joins = List.map (fun js -> { js with j_op = renum js.j_op }) joins in
+        From_scan { first; joins; residual }
+    in
+    { c with
+      c_from;
+      c_filter_op = renum c.c_filter_op;
+      c_agg_op = renum c.c_agg_op;
+      c_sort_op = renum c.c_sort_op;
+      c_out_op = renum c.c_out_op }
+  in
+  let rec go p =
+    let core = renum_core p.p_core in
+    let members = List.map (fun (all, m) -> (all, go m)) p.p_members in
+    { p with p_core = core; p_members = members }
+  in
+  go p
+
+let reset_slot s =
+  s.o_loops <- 0;
+  s.o_rows <- 0;
+  s.o_elapsed_s <- 0.;
+  s.o_pages <- 0;
+  s.o_probes <- 0
+
+(* Zero every instrumentation slot of the plan (all copies share them). *)
+let reset_actuals (p : t) : unit = iter_ops (fun op -> reset_slot op.op_slot) p
+
+(* A materialized snapshot of one operator's slot, paired with the
+   planner-choice line it annotates. *)
+type op_actual = {
+  a_id : int;
+  a_kind : string; (* scan | search | nested_loop | hash_join | index_probe
+                      | left_hash | filter | aggregate | sort | output *)
+  a_label : string;
+  a_loops : int;
+  a_rows : int;
+  a_elapsed_s : float;
+  a_pages : int;
+  a_probes : int;
+}
+
+(* Result of one instrumented statement execution, stored on the Db
+   handle by EXPLAIN ANALYZE for structural consumption. *)
+type analysis = {
+  az_sql : string;
+  az_rows : int;            (* rows the statement returned *)
+  az_elapsed_s : float;     (* wall clock of the instrumented run *)
+  az_snapshot : int option; (* snapshot id when executed under AS OF *)
+  az_ops : op_actual list;
+}
+
+let op_actual_to_json (a : op_actual) =
+  Obs.Json.Obj
+    [ ("id", Obs.Json.Int a.a_id);
+      ("kind", Obs.Json.Str a.a_kind);
+      ("label", Obs.Json.Str a.a_label);
+      ("rows", Obs.Json.Int a.a_rows);
+      ("loops", Obs.Json.Int a.a_loops);
+      ("time_ms", Obs.Json.Float (a.a_elapsed_s *. 1000.));
+      ("pages", Obs.Json.Int a.a_pages);
+      ("probes", Obs.Json.Int a.a_probes) ]
+
+let analysis_to_json (az : analysis) =
+  Obs.Json.Obj
+    [ ("sql", Obs.Json.Str az.az_sql);
+      ("rows", Obs.Json.Int az.az_rows);
+      ("elapsed_ms", Obs.Json.Float (az.az_elapsed_s *. 1000.));
+      ("snapshot",
+       match az.az_snapshot with Some sid -> Obs.Json.Int sid | None -> Obs.Json.Null);
+      ("ops", Obs.Json.List (List.map op_actual_to_json az.az_ops)) ]
+
 (* --- pretty-printing -------------------------------------------------- *)
+
+let scan_line (first : scan) =
+  match first.sc_access with
+  | Index_search { ix; _ } ->
+    Printf.sprintf "SEARCH %s USING INDEX %s" first.sc_src.s_tbl.Catalog.tname ix.Catalog.iname
+  | Seq_scan ->
+    Printf.sprintf "SCAN %s%s" first.sc_src.s_tbl.Catalog.tname
+      (if first.sc_src.s_tbl.Catalog.theap < 0 then " (virtual)" else "")
+
+let join_line (js : join_step) =
+  let name = js.j_src.s_tbl.Catalog.tname in
+  match js.j_plan with
+  | Nested_loop _ -> Printf.sprintf "SCAN %s (nested loop)" name
+  | Hash_join _ -> Printf.sprintf "JOIN %s USING AUTOMATIC HASH INDEX" name
+  | Index_probe { ix; _ } ->
+    Printf.sprintf "SEARCH %s USING INDEX %s (join)" name ix.Catalog.iname
+  | Left_hash { equi = []; _ } -> Printf.sprintf "LEFT JOIN %s (materialized scan)" name
+  | Left_hash _ -> Printf.sprintf "LEFT JOIN %s USING AUTOMATIC HASH INDEX" name
+
+(* The operators a plan actually exercises, in pipeline order, each with
+   its kind tag and the planner-choice line it annotates.  Unused slots
+   (e.g. the aggregate op of a non-aggregating core) are omitted. *)
+let labeled_ops (p : t) : (op * string * string) list =
+  let core (c : core) =
+    let from_ops =
+      match c.c_from with
+      | From_none -> []
+      | From_scan { first; joins; residual } ->
+        let scan_kind =
+          match first.sc_access with Seq_scan -> "scan" | Index_search _ -> "search"
+        in
+        let join_kind js =
+          match js.j_plan with
+          | Nested_loop _ -> "nested_loop"
+          | Hash_join _ -> "hash_join"
+          | Index_probe _ -> "index_probe"
+          | Left_hash _ -> "left_hash"
+        in
+        ((first.sc_op, scan_kind, scan_line first)
+         :: List.map (fun js -> (js.j_op, join_kind js, join_line js)) joins)
+        @
+        if residual = [] then []
+        else
+          [ (c.c_filter_op, "filter",
+             Printf.sprintf "FILTER (%d residual terms)" (List.length residual)) ]
+    in
+    from_ops
+    @ (if not c.c_has_agg then []
+       else
+         [ (c.c_agg_op, "aggregate",
+            if c.c_group = [] then "AGGREGATE"
+            else Printf.sprintf "AGGREGATE (GROUP BY %d keys)" (List.length c.c_group)) ])
+    @ (if c.c_order = [] && not c.c_distinct then []
+       else
+         [ (c.c_sort_op, "sort",
+            match (c.c_distinct, c.c_order <> []) with
+            | true, true -> "SORT (DISTINCT + ORDER BY)"
+            | true, false -> "SORT (DISTINCT)"
+            | _ -> "SORT (ORDER BY)") ])
+    @ [ (c.c_out_op, "output", "OUTPUT") ]
+  in
+  let rec go p = core p.p_core @ List.concat_map (fun (_, m) -> go m) p.p_members in
+  go p
+
+(* Materialize the slots of every exercised operator. *)
+let actuals (p : t) : op_actual list =
+  List.map
+    (fun (op, kind, label) ->
+      let s = op.op_slot in
+      { a_id = op.op_id;
+        a_kind = kind;
+        a_label = label;
+        a_loops = s.o_loops;
+        a_rows = s.o_rows;
+        a_elapsed_s = s.o_elapsed_s;
+        a_pages = s.o_pages;
+        a_probes = s.o_probes })
+    (labeled_ops p)
+
+let actual_suffix (a : op_actual) =
+  Printf.sprintf "(op %d: rows=%d loops=%d%s time=%.3fms pages=%d)" a.a_id a.a_rows a.a_loops
+    (if a.a_probes > 0 then Printf.sprintf " probes=%d" a.a_probes else "")
+    (a.a_elapsed_s *. 1000.) a.a_pages
+
+(* EXPLAIN ANALYZE rendering: each planner-choice line annotated with
+   the actuals recorded during the instrumented execution. *)
+let render_analyzed (p : t) : string list =
+  List.map (fun a -> Printf.sprintf "%-44s %s" a.a_label (actual_suffix a)) (actuals p)
 
 (* Render the plan as EXPLAIN QUERY PLAN lines (SQLite-flavored). *)
 let render (p : t) : string list =
   let core_lines (c : core) =
     match c.c_from with
     | From_none -> []
-    | From_scan { first; joins; _ } ->
-      let scan_line =
-        match first.sc_access with
-        | Index_search { ix; _ } ->
-          Printf.sprintf "SEARCH %s USING INDEX %s" first.sc_src.s_tbl.Catalog.tname
-            ix.Catalog.iname
-        | Seq_scan ->
-          Printf.sprintf "SCAN %s%s" first.sc_src.s_tbl.Catalog.tname
-            (if first.sc_src.s_tbl.Catalog.theap < 0 then " (virtual)" else "")
-      in
-      let join_line js =
-        let name = js.j_src.s_tbl.Catalog.tname in
-        match js.j_plan with
-        | Nested_loop _ -> Printf.sprintf "SCAN %s (nested loop)" name
-        | Hash_join _ -> Printf.sprintf "JOIN %s USING AUTOMATIC HASH INDEX" name
-        | Index_probe { ix; _ } ->
-          Printf.sprintf "SEARCH %s USING INDEX %s (join)" name ix.Catalog.iname
-        | Left_hash { equi = []; _ } -> Printf.sprintf "LEFT JOIN %s (materialized scan)" name
-        | Left_hash _ -> Printf.sprintf "LEFT JOIN %s USING AUTOMATIC HASH INDEX" name
-      in
-      scan_line :: List.map join_line joins
+    | From_scan { first; joins; _ } -> scan_line first :: List.map join_line joins
   in
   let lines = core_lines p.p_core in
   let lines =

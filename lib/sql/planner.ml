@@ -201,7 +201,8 @@ let plan_from ~cat ~fnctx (sel : select) : Plan.from_plan * Plan.source list =
       | None -> Plan.Seq_scan
     in
     let first =
-      { Plan.sc_src = st0; sc_access = access0; sc_filters = List.map snd filters0_pairs }
+      { Plan.sc_src = st0; sc_access = access0; sc_filters = List.map snd filters0_pairs;
+        sc_op = Plan.mk_op () }
     in
     (* fold joins *)
     let add_join (sources, steps) (j : join_clause) =
@@ -239,7 +240,10 @@ let plan_from ~cat ~fnctx (sel : select) : Plan.from_plan * Plan.source list =
         in
         let residual = List.map (resolve sources') residual_raw in
         ( sources',
-          steps @ [ { Plan.j_src = st; j_plan = Plan.Left_hash { equi; inner_filters; residual } } ]
+          steps
+          @ [ { Plan.j_src = st;
+                j_plan = Plan.Left_hash { equi; inner_filters; residual };
+                j_op = Plan.mk_op () } ]
         )
       end
       else begin
@@ -299,7 +303,7 @@ let plan_from ~cat ~fnctx (sel : select) : Plan.from_plan * Plan.source list =
             | Some ix -> Plan.Index_probe { ix; equi; filters }
             | None -> Plan.Hash_join { equi; filters })
         in
-        (sources', steps @ [ { Plan.j_src = st; j_plan } ])
+        (sources', steps @ [ { Plan.j_src = st; j_plan; j_op = Plan.mk_op () } ])
       end
     in
     let sources, steps = List.fold_left add_join ([ st0 ], []) joins in
@@ -424,7 +428,11 @@ let plan_core ~cat ~fnctx (sel : select) : Plan.core =
     c_order = order_resolved;
     c_distinct = sel.distinct;
     c_limit = sel.limit;
-    c_offset = sel.offset }
+    c_offset = sel.offset;
+    c_filter_op = Plan.mk_op ();
+    c_agg_op = Plan.mk_op ();
+    c_sort_op = Plan.mk_op ();
+    c_out_op = Plan.mk_op () }
 
 let rec plan_select ~cat ~fnctx (sel : select) : Plan.t =
   if sel.union_with = [] then
@@ -467,7 +475,7 @@ let rec plan_select ~cat ~fnctx (sel : select) : Plan.t =
 (* Public entry point: plan a SELECT against a catalog. *)
 let plan ~cat ~fnctx (sel : select) : Plan.t =
   Obs.Metrics.Counter.incr c_plans_built;
-  plan_select ~cat ~fnctx sel
+  Plan.number_ops (plan_select ~cat ~fnctx sel)
 
 (* Single-table access planning for DML row matching. *)
 let plan_table ~cat ~fnctx (tbl : Catalog.table) (where : expr option) : Plan.scan =
@@ -481,4 +489,4 @@ let plan_table ~cat ~fnctx (tbl : Catalog.table) (where : expr option) : Plan.sc
     | Some (ix, bounds) -> Plan.Index_search { ix; bounds }
     | None -> Plan.Seq_scan
   in
-  { Plan.sc_src = st; sc_access = access; sc_filters = resolved }
+  { Plan.sc_src = st; sc_access = access; sc_filters = resolved; sc_op = Plan.mk_op () }

@@ -113,6 +113,28 @@ let plan_rows (db : Db.t) =
        R.Int db.Db.plan_misses; R.Int db.Db.plan_invalidations;
        R.Int db.Db.generation |] ]
 
+(* Per-fingerprint statement statistics (process-wide, like the metrics
+   registry), most total time first. *)
+let statement_rows _db =
+  List.map
+    (fun (st : Fingerprint.stat) ->
+      [| R.Text st.Fingerprint.fp; R.Text st.Fingerprint.norm;
+         R.Int st.Fingerprint.calls; R.Int st.Fingerprint.rows;
+         R.Real st.Fingerprint.total_s;
+         R.Real (st.Fingerprint.total_s /. float_of_int (max 1 st.Fingerprint.calls));
+         R.Real st.Fingerprint.max_s; R.Int st.Fingerprint.plan_hits |])
+    (Fingerprint.stats ())
+
+(* The structured event log, one row per retained event; the full field
+   set rides along as the event's JSON-line rendering. *)
+let event_rows _db =
+  List.map
+    (fun (e : Obs.Eventlog.event) ->
+      [| R.Int e.Obs.Eventlog.ev_seq; R.Real e.Obs.Eventlog.ev_ts;
+         R.Text e.Obs.Eventlog.ev_kind;
+         R.Text (Obs.Json.to_string (Obs.Eventlog.event_to_json e)) |])
+    (Obs.Eventlog.events ())
+
 (* Long format: one row per (sample, metric), so SQL can slice a single
    metric's trajectory with WHERE name = '...'. *)
 let timeseries_rows _db =
@@ -163,6 +185,15 @@ let all : vtable list =
         [| ("size", "INTEGER"); ("hits", "INTEGER"); ("misses", "INTEGER");
            ("invalidations", "INTEGER"); ("generation", "INTEGER") |];
       vrows = plan_rows };
+    { vname = "sys_statements";
+      vcols =
+        [| ("fingerprint", "TEXT"); ("query", "TEXT"); ("calls", "INTEGER");
+           ("rows", "INTEGER"); ("total_s", "REAL"); ("mean_s", "REAL");
+           ("max_s", "REAL"); ("plan_hits", "INTEGER") |];
+      vrows = statement_rows };
+    { vname = "sys_events";
+      vcols = [| ("seq", "INTEGER"); ("ts", "REAL"); ("kind", "TEXT"); ("event", "TEXT") |];
+      vrows = event_rows };
     { vname = "sys_timeseries";
       vcols = [| ("seq", "INTEGER"); ("ts", "REAL"); ("name", "TEXT"); ("value", "REAL") |];
       vrows = timeseries_rows } ]

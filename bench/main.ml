@@ -51,6 +51,14 @@ let analyze =
   in
   Arg.(value & flag & info [ "analyze" ] ~doc)
 
+let scope_smoke =
+  let doc =
+    "Replace the bechamel micro suite with the scoped-instrumentation smoke: \
+     Qq_cpu with a child scope installed vs. the root-only baseline (gate: within 5%), \
+     plus the sys_heat = storage.page_reads partition check."
+  in
+  Arg.(value & flag & info [ "scope-smoke" ] ~doc)
+
 let json_path =
   let doc = "Write recorded runs and the metrics registry as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
@@ -63,7 +71,7 @@ let sample_every =
   let doc = "Sample the metrics registry into the time-series ring every $(docv) SQL statements (0 = only the final sample)." in
   Arg.(value & opt int 1000 & info [ "sample-every" ] ~docv:"N" ~doc)
 
-let main full only skip_micro analyze json_path prom_path sample_every =
+let main full only skip_micro analyze scope_smoke json_path prom_path sample_every =
   if full then Params.current := Params.full;
   Obs.Timeseries.set_interval sample_every;
   let selected =
@@ -80,7 +88,9 @@ let main full only skip_micro analyze json_path prom_path sample_every =
   if selected = None then print_table1 ();
   List.iter (fun (id, _, run) -> if wanted id then run ()) experiments;
   if (not skip_micro) && wanted "micro" then
-    if analyze then Micro.run_analyze () else Micro.run ();
+    if analyze then Micro.run_analyze ()
+    else if scope_smoke then Micro.run_scope_smoke ()
+    else Micro.run ();
   (match json_path with Some path -> Util.write_json path | None -> ());
   (match prom_path with
   | Some path ->
@@ -93,6 +103,8 @@ let cmd =
   let doc = "reproduce the RQL paper's performance evaluation" in
   Cmd.v
     (Cmd.info "rql-bench" ~doc)
-    Term.(const main $ full $ only $ skip_micro $ analyze $ json_path $ prom_path $ sample_every)
+    Term.(
+      const main $ full $ only $ skip_micro $ analyze $ scope_smoke $ json_path $ prom_path
+      $ sample_every)
 
 let () = exit (Cmd.eval cmd)

@@ -165,6 +165,79 @@ let run_analyze () =
     Util.record_analysis ~label:"rql_run" (Rql.run_report_to_json r)
   | None -> print_endline "no run report (Qq fell back to textual rewrite)"
 
+(* --- scoped-instrumentation smoke (bench --scope-smoke) ----------------- *)
+
+(* CI gate for the scope layer: Qq_cpu with a child scope installed must
+   cost within 5% of the root-only baseline (the hot instrumentation
+   path adds one physical-equality test plus a pre-resolved chain walk),
+   and the heat matrix must partition storage.page_reads exactly — every
+   page read attributed to some (table, snapshot) cell, none counted
+   twice. *)
+let run_scope_smoke () =
+  Util.section "Scope smoke: scoped-instrumentation overhead + heat attribution";
+  let fx =
+    Fixtures.get
+      { Fixtures.uw = Tpch.Workload.uw30; snapshots = 8; native_lineitem_index = false }
+  in
+  let db = fx.Fixtures.ctx.Rql.data in
+  let workload () =
+    ignore
+      (Rql.aggregate_data_in_variable fx.Fixtures.ctx ~qs:(Queries.qs_n 5)
+         ~qq:Queries.qq_cpu ~table:"bench_scope" ~fn:"sum")
+  in
+  let scope = Obs.Scope.create "bench.scope_smoke" in
+  let scoped () =
+    Sqldb.Db.set_scope db scope;
+    Fun.protect ~finally:(fun () -> Sqldb.Db.set_scope db Obs.Scope.root) workload
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  (* Warm both variants (covering-index build, plan and snapshot caches),
+     then alternate measurements and keep the minimum — the low-noise
+     estimator for a CPU-bound loop. *)
+  workload ();
+  scoped ();
+  let reps = 5 in
+  let base_min = ref infinity and scope_min = ref infinity in
+  for _ = 1 to reps do
+    base_min := Float.min !base_min (time workload);
+    scope_min := Float.min !scope_min (time scoped)
+  done;
+  let ratio = !scope_min /. !base_min in
+  Printf.printf "Qq_cpu min-of-%d: baseline %.4fs, scoped %.4fs, ratio %.3f (gate: <= 1.05)\n"
+    reps !base_min !scope_min ratio;
+  let heat = Obs.Scope.heat_total Obs.Scope.root in
+  let reads = Obs.Scope.page_reads_total () in
+  Printf.printf "heat partition: root heat total %d, storage.page_reads %d\n" heat reads;
+  (* The same equality through SQL: warm sys_heat's plan and the catalog
+     so the measured re-run performs zero page reads, then the virtual
+     table must report exactly the live total. *)
+  let sql_total () = E.int_scalar db "SELECT SUM(reads) FROM sys_heat WHERE scope_id = 0" in
+  ignore (sql_total ());
+  let expected = Obs.Scope.page_reads_total () in
+  let via_sql = sql_total () in
+  Printf.printf "sys_heat via SQL: %d (live total %d)\n" via_sql expected;
+  Util.record_analysis ~label:"scope_smoke"
+    (Obs.Json.Obj
+       [ ("baseline_s", Obs.Json.Float !base_min);
+         ("scoped_s", Obs.Json.Float !scope_min);
+         ("ratio", Obs.Json.Float ratio);
+         ("heat_total", Obs.Json.Int heat);
+         ("page_reads", Obs.Json.Int reads);
+         ("heat_total_sql", Obs.Json.Int via_sql);
+         ("page_reads_at_sql", Obs.Json.Int expected) ]);
+  if heat <> reads then
+    failwith "scope smoke: heat matrix does not partition storage.page_reads";
+  if via_sql <> expected then
+    failwith "scope smoke: sys_heat SQL total diverges from storage.page_reads";
+  if ratio > 1.05 then
+    failwith
+      (Printf.sprintf "scope smoke: scoped overhead %.1f%% exceeds the 5%% gate"
+         ((ratio -. 1.) *. 100.))
+
 let run () =
   Util.section "Micro-benchmarks (bechamel): primitive operation costs";
   (* force the fixtures outside the measured region *)

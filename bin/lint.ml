@@ -23,21 +23,43 @@
    The banned substrings below are spliced from halves so this file
    does not flag itself. *)
 
-type rule = { rid : string; needle : string; why : string }
+type rule = {
+  rid : string;
+  needle : string;
+  why : string;
+  (* When non-empty, the rule applies only to files whose path ends
+     with one of these suffixes (path-scoped rules). *)
+  paths : string list;
+}
 
 let rules =
   [ { rid = "catch-all";
       needle = "with _ " ^ "->";
-      why = "catch-all handler swallows asserts and OOM; match specific exceptions" };
+      why = "catch-all handler swallows asserts and OOM; match specific exceptions";
+      paths = [] };
     { rid = "catch-all";
       needle = "with _" ^ "->";
-      why = "catch-all handler swallows asserts and OOM; match specific exceptions" };
+      why = "catch-all handler swallows asserts and OOM; match specific exceptions";
+      paths = [] };
     { rid = "obj-magic";
       needle = "Obj." ^ "magic";
-      why = "defeats the type system" };
+      why = "defeats the type system";
+      paths = [] };
     { rid = "assert-false";
       needle = "assert " ^ "false";
-      why = "use a typed internal error that names the impossible state" } ]
+      why = "use a typed internal error that names the impossible state";
+      paths = [] };
+    (* The stats shims are views over the root metric scope: a fresh ref
+       or hash table there would be an independent mutable total the
+       scope tree cannot see, silently breaking scoped attribution. *)
+    { rid = "stats-shadow-state";
+      needle = "= " ^ "ref";
+      why = "stats shims hold no independent mutable totals; use an Obs.Scope handle";
+      paths = [ "lib/storage/stats.ml"; "lib/sql/exec_stats.ml" ] };
+    { rid = "stats-shadow-state";
+      needle = "Hashtbl." ^ "create";
+      why = "stats shims hold no independent mutable totals; use an Obs.Scope handle";
+      paths = [ "lib/storage/stats.ml"; "lib/sql/exec_stats.ml" ] } ]
 
 let waiver = "lint: " ^ "allow"
 
@@ -84,7 +106,12 @@ let rec collect path acc =
 
 let findings = ref 0
 
+let rule_applies path r =
+  r.paths = []
+  || List.exists (fun suffix -> Filename.check_suffix path suffix) r.paths
+
 let check_file path =
+  let active = List.filter (rule_applies path) rules in
   In_channel.with_open_text path (fun ic ->
       let lineno = ref 0 in
       (* > 0 while a waiver is in force (its line plus the two after) *)
@@ -103,7 +130,7 @@ let check_file path =
                   incr findings;
                   Printf.printf "%s:%d: [%s] %s\n" path !lineno r.rid r.why
                 end)
-              rules
+              active
           else decr waived;
           go ()
       in

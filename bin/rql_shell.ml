@@ -65,7 +65,8 @@ let print_help () =
     "\n\
      SQL goes to the data database; prefix with @meta for the SnapIds/result database.\n\
      Introspection in SQL: SELECT ... FROM sys_metrics | sys_histograms | sys_spans |\n\
-     sys_snapshots | sys_cache | sys_tables | sys_timeseries | sys_plans; ANALYZE ARCHIVE;\n\
+     sys_snapshots | sys_cache | sys_tables | sys_timeseries | sys_plans | sys_scopes |\n\
+     sys_heat | sys_progress; ANALYZE ARCHIVE;\n\
      EXPLAIN [QUERY PLAN] <select> — show the compiled physical plan (access paths,\n\
      join strategies, temp b-trees); EXPLAIN PROFILE <select> — run with tracing and\n\
      print span tree + counter deltas; EXPLAIN ANALYZE <select> — run with per-operator\n\
@@ -149,6 +150,47 @@ let run_slowlog ctx args =
       slow;
     Printf.printf "(%d slow-query events)\n" (List.length slow)
   | _ -> print_endline "usage: .slowlog [on [MS] | off]"
+
+(* One line per retained RQL run, newest last (same rows as
+   sys_progress). *)
+let run_progress () =
+  let runs = Obs.Progress.runs () in
+  if runs = [] then print_endline "no RQL runs recorded"
+  else
+    List.iter
+      (fun (p : Obs.Progress.t) ->
+        let total =
+          if p.Obs.Progress.pr_total > 0 then string_of_int p.Obs.Progress.pr_total
+          else "?"
+        in
+        Printf.printf "run %d [%s] %s: %d/%s iterations, %d pages, %.3fs elapsed%s%s\n"
+          p.Obs.Progress.pr_id
+          (Obs.Progress.status_to_string p.Obs.Progress.pr_status)
+          p.Obs.Progress.pr_mechanism p.Obs.Progress.pr_done total
+          p.Obs.Progress.pr_pages p.Obs.Progress.pr_elapsed
+          (if p.Obs.Progress.pr_status = Obs.Progress.Running && p.Obs.Progress.pr_eta > 0.
+           then Printf.sprintf ", ~%.3fs left" p.Obs.Progress.pr_eta
+           else "")
+          (if p.Obs.Progress.pr_cancel && p.Obs.Progress.pr_status = Obs.Progress.Running
+           then " (cancel requested)"
+           else ""))
+      runs
+
+let run_cancel args =
+  let flag id = Obs.Progress.request_cancel ?id () in
+  match String.trim args with
+  | "" -> (
+    match flag None with
+    | 0 -> print_endline "no running RQL run to cancel"
+    | n -> Printf.printf "cancel requested for %d run%s (takes effect within one iteration)\n"
+             n (if n = 1 then "" else "s"))
+  | s -> (
+    match int_of_string_opt s with
+    | None -> print_endline "usage: .cancel [RUN_ID]"
+    | Some id -> (
+      match flag (Some id) with
+      | 0 -> Printf.printf "run %d is not running (or unknown)\n" id
+      | _ -> Printf.printf "cancel requested for run %d (takes effect within one iteration)\n" id))
 
 let run_trace ctx args =
   match String.split_on_char ' ' (String.trim args) |> List.filter (( <> ) "") with
@@ -242,6 +284,12 @@ let () =
       { cname = ".slowlog"; cargs = "[on [MS] | off]";
         chelp = "slow-query log: set/clear the threshold, or print logged events";
         crun = (fun ~ctx_ref ~args -> run_slowlog !ctx_ref args) };
+      { cname = ".progress"; cargs = "";
+        chelp = "live + recent RQL runs (iterations, pages, ETA; sys_progress)";
+        crun = (fun ~ctx_ref:_ ~args:_ -> run_progress ()) };
+      { cname = ".cancel"; cargs = "[RUN_ID]";
+        chelp = "request cooperative cancellation of a running RQL run (all, or one id)";
+        crun = (fun ~ctx_ref:_ ~args -> run_cancel args) };
       { cname = ".profile"; cargs = "[on|off]"; chelp = "enable/disable span tracing";
         crun = (fun ~ctx_ref:_ ~args -> run_profile args) };
       { cname = ".trace"; cargs = "dump PATH"; chelp = "write collected spans as Chrome trace JSON";
@@ -293,6 +341,10 @@ let repl ctx =
        | Some line -> (
          try run_line ctx_ref line with
          | E.Error msg | Rql.Error msg -> Printf.printf "error: %s\n" msg
+         | Rql.Cancelled { mechanism; iterations_done; run_id } ->
+           Printf.printf "run %d (%s) cancelled after %d iteration%s (.progress for details)\n"
+             run_id mechanism iterations_done
+             (if iterations_done = 1 then "" else "s")
          | Rql.Monoid.Not_supported msg -> Printf.printf "error: %s\n" msg
          | Rql.Rewrite.Error msg -> Printf.printf "error: %s\n" msg)
      done

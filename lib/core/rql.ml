@@ -32,6 +32,12 @@ module Iter_stats = Iter_stats
 
 exception Error of string
 
+(* A run stopped by {!Obs.Progress.request_cancel}: the loop checks the
+   flag once per iteration, so every completed iteration is durable (each
+   is transactionally self-contained) and [iterations_done] is exact. *)
+exception
+  Cancelled of { mechanism : string; iterations_done : int; run_id : int }
+
 let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
 type mech_kind =
@@ -86,6 +92,8 @@ type run_state = {
   mutable cur_rows : int;
   mutable cur_inserts : int;
   mutable cur_updates : int;
+  (* Live progress handle (sys_progress / .progress / .cancel). *)
+  mutable rs_progress : Obs.Progress.t option;
 }
 
 type ctx = {
@@ -486,7 +494,8 @@ let make_run ?(analyze = false) ~kind ~data ~meta ~qq ~table () =
     finalize_s = 0.;
     cur_rows = 0;
     cur_inserts = 0;
-    cur_updates = 0 }
+    cur_updates = 0;
+    rs_progress = None }
 
 (* One RQL iteration over snapshot [sid].  [cold] empties the snapshot
    page cache first (used by the all-cold baseline runs in §5.1). *)
@@ -570,10 +579,73 @@ let step_body (rs : run_state) ~sid ~cold =
   rs.iterations <- it :: rs.iterations;
   if rs.rs_analyze then emit_op_counters rs
 
+(* --- progress and cancellation ----------------------------------------- *)
+
+(* Per-iteration ETA weights: iteration cost tracks the number of pages
+   archived behind each snapshot (ANALYZE ARCHIVE's per-snapshot delta),
+   so remaining time is scaled by remaining archived pages rather than a
+   flat per-iteration average.  Snapshot ids outside the analyzed range
+   (possible only with a hand-written Qs) weigh as 1. *)
+let snapshot_weights (data : Sq.Db.t) sids =
+  match data.Sq.Db.retro with
+  | None -> [||]
+  | Some retro ->
+    let snaps = (Retro.analyze retro).Retro.an_snapshots in
+    Array.of_list
+      (List.map
+         (fun sid ->
+           if sid >= 1 && sid <= Array.length snaps then
+             1. +. float_of_int snaps.(sid - 1).Retro.si_delta_pages
+           else 1.)
+         sids)
+
+(* Progress rows in the event log: one at every run-status transition,
+   so the slow-query log tells the story of a long retrospective run. *)
+let progress_event (pg : Obs.Progress.t) =
+  Obs.Eventlog.log ~kind:"rql_progress"
+    [ ("run", Obs.Json.Int pg.Obs.Progress.pr_id);
+      ("mechanism", Obs.Json.Str pg.Obs.Progress.pr_mechanism);
+      ("status", Obs.Json.Str (Obs.Progress.status_to_string pg.Obs.Progress.pr_status));
+      ("iterations_done", Obs.Json.Int pg.Obs.Progress.pr_done);
+      ("iterations_total", Obs.Json.Int pg.Obs.Progress.pr_total);
+      ("pages_read", Obs.Json.Int pg.Obs.Progress.pr_pages);
+      ("elapsed_s", Obs.Json.Float pg.Obs.Progress.pr_elapsed) ]
+
+(* The once-per-iteration cancellation point: checked before the
+   iteration starts, so a flagged run stops within one iteration and
+   never leaves a partial one behind. *)
+let cancel_check (rs : run_state) =
+  match rs.rs_progress with
+  | Some pg when Obs.Progress.cancel_requested pg ->
+    Obs.Progress.finish pg Obs.Progress.Cancelled;
+    progress_event pg;
+    raise
+      (Cancelled
+         { mechanism = mech_name rs.kind;
+           iterations_done = pg.Obs.Progress.pr_done;
+           run_id = pg.Obs.Progress.pr_id })
+  | _ -> ()
+
+let progress (rs : run_state) = rs.rs_progress
+
 let step (rs : run_state) ~sid ~cold =
-  Obs.Trace.with_span ~name:"rql.iteration"
-    ~attrs:[ ("snap_id", Obs.Trace.Int sid) ]
-    (fun () -> step_body rs ~sid ~cold)
+  cancel_check rs;
+  let body () =
+    Obs.Trace.with_span ~name:"rql.iteration"
+      ~attrs:[ ("snap_id", Obs.Trace.Int sid) ]
+      (fun () -> step_body rs ~sid ~cold)
+  in
+  match rs.rs_progress with
+  | None -> body ()
+  | Some pg ->
+    Obs.Progress.with_active pg body;
+    (match rs.iterations with
+    | it :: _ ->
+      Obs.Progress.note_iteration pg
+        ~pages:
+          (pg.Obs.Progress.pr_pages + it.Iter_stats.db_reads
+         + it.Iter_stats.pagelog_reads)
+    | [] -> ())
 
 (* Result-table footprint (rows and approximate bytes). *)
 let result_metrics (rs : run_state) =
@@ -662,6 +734,12 @@ let run_mechanism ?(all_cold = false) ?(analyze = false) ctx kind ~qs ~qq ~table
   (match Sq.Db.(ctx.data.retro) with
   | Some retro -> Retro.clear_cache retro (* paper: cache is cold at RQL query start *)
   | None -> ());
+  let pg =
+    Obs.Progress.start ~total:(List.length sids) ~mechanism:(mech_name kind)
+      ~detail:qq ()
+  in
+  Obs.Progress.set_weights pg (snapshot_weights ctx.data sids);
+  rs.rs_progress <- Some pg;
   Obs.Trace.with_span ~name:"rql.run"
     ~attrs:
       [ ("mechanism", Obs.Trace.Str (mech_name kind));
@@ -671,15 +749,30 @@ let run_mechanism ?(all_cold = false) ?(analyze = false) ctx kind ~qs ~qq ~table
         List.iter (fun sid -> step rs ~sid ~cold:all_cold) sids;
         finish rs
       in
-      if not analyze then loop ()
-      else begin
-        (* The Qq may already be cached from an earlier run: start the
-           accumulators at zero so the report covers exactly this run. *)
-        (match qq_plan rs with Some p -> Sq.Plan.reset_actuals p | None -> ());
-        let was = ctx.data.Sq.Db.analyze in
-        ctx.data.Sq.Db.analyze <- true;
-        Fun.protect ~finally:(fun () -> ctx.data.Sq.Db.analyze <- was) loop
-      end)
+      let run () =
+        if not analyze then loop ()
+        else begin
+          (* The Qq may already be cached from an earlier run: start the
+             accumulators at zero so the report covers exactly this run. *)
+          (match qq_plan rs with Some p -> Sq.Plan.reset_actuals p | None -> ());
+          let was = ctx.data.Sq.Db.analyze in
+          ctx.data.Sq.Db.analyze <- true;
+          Fun.protect ~finally:(fun () -> ctx.data.Sq.Db.analyze <- was) loop
+        end
+      in
+      match run () with
+      | r ->
+        Obs.Progress.finish pg Obs.Progress.Done;
+        progress_event pg;
+        r
+      | exception e ->
+        (* A cancel already marked (and logged) the run; anything else
+           that escapes the loop failed it. *)
+        if pg.Obs.Progress.pr_status = Obs.Progress.Running then begin
+          Obs.Progress.finish pg Obs.Progress.Failed;
+          progress_event pg
+        end;
+        raise e)
 
 let collate_data ?all_cold ?analyze ctx ~qs ~qq ~table =
   run_mechanism ?all_cold ?analyze ctx Collate ~qs ~qq ~table
@@ -723,15 +816,28 @@ let udf_step ctx kind ~qq ~table ~sid =
   let rs =
     match Hashtbl.find_opt ctx.runs key with
     | Some rs when (match rs.last_sid with Some last -> sid > last | None -> true) -> rs
-    | _ ->
+    | prev ->
+      (* The statement was re-executed: the superseded run is complete. *)
+      (match prev with
+      | Some old -> Option.iter (fun p -> Obs.Progress.finish p Obs.Progress.Done) old.rs_progress
+      | None -> ());
       let rs = make_run ~kind ~data:ctx.data ~meta:ctx.meta ~qq ~table () in
       (match Sq.Db.(ctx.data.retro) with
       | Some retro -> Retro.clear_cache retro
       | None -> ());
+      (* The SQL form has no snapshot-set argument, so the total is
+         unknown (0): progress still counts iterations and pages. *)
+      rs.rs_progress <-
+        Some (Obs.Progress.start ~mechanism:(mech_name kind) ~detail:qq ());
       Hashtbl.replace ctx.runs key rs;
       rs
   in
-  step rs ~sid ~cold:false
+  try step rs ~sid ~cold:false
+  with Cancelled _ as e ->
+    (* Drop the run so a later invocation starts fresh rather than
+       resuming a cancelled loop. *)
+    Hashtbl.remove ctx.runs key;
+    raise e
 
 (* Emit the modeled-attribution trace for every active SQL-form run
    without retiring it.  The SQL form has no end-of-run signal, so the
@@ -761,6 +867,7 @@ let take_run ctx ~table =
   match !found with
   | Some (key, rs) ->
     Hashtbl.remove ctx.runs key;
+    Option.iter (fun p -> Obs.Progress.finish p Obs.Progress.Done) rs.rs_progress;
     Some (finish rs)
   | None -> None
 

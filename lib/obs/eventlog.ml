@@ -15,6 +15,8 @@ type event = {
   ev_seq : int;                       (* monotonic, never reused *)
   ev_ts : float;                      (* unix epoch seconds *)
   ev_kind : string;
+  ev_scope : int;                     (* owning metric scope at log time *)
+  ev_run : int;                       (* active RQL run id, -1 if none *)
   ev_fields : (string * Json.t) list;
 }
 
@@ -60,11 +62,23 @@ let event_to_json (e : event) =
     (("seq", Json.Int e.ev_seq)
      :: ("ts", Json.Float e.ev_ts)
      :: ("kind", Json.Str e.ev_kind)
-     :: e.ev_fields)
+     :: ("scope", Json.Int e.ev_scope)
+     :: (if e.ev_run >= 0 then [ ("rql_run", Json.Int e.ev_run) ] else [])
+    @ e.ev_fields)
 
+(* Every event carries the ambient scope id and (when one is active)
+   the RQL run id, so slowlog lines stay attributable when several
+   sessions / long retrospective runs interleave. *)
 let log ~kind fields =
   incr seq;
-  let e = { ev_seq = !seq; ev_ts = Unix.gettimeofday (); ev_kind = kind; ev_fields = fields } in
+  let e =
+    { ev_seq = !seq;
+      ev_ts = Unix.gettimeofday ();
+      ev_kind = kind;
+      ev_scope = Scope.current_id ();
+      ev_run = Progress.current_run_id ();
+      ev_fields = fields }
+  in
   !buf.(!head) <- Some e;
   head := (!head + 1) mod !capacity;
   if !count < !capacity then incr count;

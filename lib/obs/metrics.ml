@@ -135,6 +135,20 @@ module Histogram = struct
     t.sum <- 0.;
     t.vmin <- Float.infinity;
     t.vmax <- Float.neg_infinity
+
+  (* Fold [src] into [into], bucket-wise.  Every histogram shares the
+     same fixed bucket layout, so merging per-scope histograms is exact
+     at bucket granularity: quantiles of the merge equal quantiles of
+     recording every observation into one histogram, up to the bucket
+     resolution (the property the scope roll-up relies on). *)
+  let merge ~into src =
+    for i = 0 to Array.length src.buckets - 1 do
+      into.buckets.(i) <- into.buckets.(i) + src.buckets.(i)
+    done;
+    into.count <- into.count + src.count;
+    into.sum <- into.sum +. src.sum;
+    if src.vmin < into.vmin then into.vmin <- src.vmin;
+    if src.vmax > into.vmax then into.vmax <- src.vmax
 end
 
 (* --- registry --------------------------------------------------------- *)
@@ -144,42 +158,69 @@ type metric =
   | M_gauge of Gauge.t
   | M_histogram of Histogram.t
 
-let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+(* A metric table: the process registry is one (the root scope); every
+   child Obs.Scope owns another with the same shape, so creation,
+   merging, reset and JSON rendering are shared. *)
+type table = (string, metric) Hashtbl.t
+
+let make_table () : table = Hashtbl.create 16
+
+let registry : table = Hashtbl.create 64
 
 exception Error of string
 
 (* Creation is idempotent: looking up an existing name of the same kind
    returns the registered instance, so modules can own their counters as
    top-level bindings. *)
-let counter name =
-  match Hashtbl.find_opt registry name with
+let counter_in (tbl : table) name =
+  match Hashtbl.find_opt tbl name with
   | Some (M_counter c) -> c
   | Some _ -> raise (Error (Printf.sprintf "metric %s exists with another kind" name))
   | None ->
     let c = { Counter.name; v = 0 } in
-    Hashtbl.replace registry name (M_counter c);
+    Hashtbl.replace tbl name (M_counter c);
     c
 
-let gauge name =
-  match Hashtbl.find_opt registry name with
+let gauge_in (tbl : table) name =
+  match Hashtbl.find_opt tbl name with
   | Some (M_gauge g) -> g
   | Some _ -> raise (Error (Printf.sprintf "metric %s exists with another kind" name))
   | None ->
     let g = { Gauge.name; v = 0. } in
-    Hashtbl.replace registry name (M_gauge g);
+    Hashtbl.replace tbl name (M_gauge g);
     g
 
-let histogram name =
-  match Hashtbl.find_opt registry name with
+let histogram_in (tbl : table) name =
+  match Hashtbl.find_opt tbl name with
   | Some (M_histogram h) -> h
   | Some _ -> raise (Error (Printf.sprintf "metric %s exists with another kind" name))
   | None ->
     let h = Histogram.make name in
-    Hashtbl.replace registry name (M_histogram h);
+    Hashtbl.replace tbl name (M_histogram h);
     h
 
-let sorted_items () =
-  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry [])
+let counter name = counter_in registry name
+let gauge name = gauge_in registry name
+let histogram name = histogram_in registry name
+
+(* Fold every metric of [src] into [into], creating destination metrics
+   as needed: counters and gauges add, histograms bucket-merge.  Used by
+   the scope layer to retire a dropped child's distribution into its
+   parent without losing it from the roll-up.
+   @raise Error if a name exists in [into] with a different kind. *)
+let merge ~into (src : table) =
+  Hashtbl.iter
+    (fun name m ->
+      match m with
+      | M_counter c -> Counter.add (counter_in into name) (Counter.get c)
+      | M_gauge g -> Gauge.add (gauge_in into name) (Gauge.get g)
+      | M_histogram h -> Histogram.merge ~into:(histogram_in into name) h)
+    src
+
+let sorted_table_items (tbl : table) =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let sorted_items () = sorted_table_items registry
 
 (* Name -> value view of every counter (sorted); the unit of counter
    delta attribution: snapshot before a region, snapshot after, diff. *)
@@ -197,14 +238,24 @@ let diff_counters ~before ~after =
       if v - v0 <> 0 then Some (k, v - v0) else None)
     after
 
-let reset_all () =
+let reset_table (tbl : table) =
   Hashtbl.iter
     (fun _ m ->
       match m with
       | M_counter c -> Counter.set c 0
       | M_gauge g -> Gauge.set g 0.
       | M_histogram h -> Histogram.reset h)
-    registry
+    tbl
+
+(* Layers above (the scope tree) register here so a registry-wide reset
+   also zeroes their derived state instead of leaving it stale. *)
+let reset_hooks : (unit -> unit) list ref = ref []
+
+let on_reset f = reset_hooks := f :: !reset_hooks
+
+let reset_all () =
+  reset_table registry;
+  List.iter (fun f -> f ()) !reset_hooks
 
 (* --- export ----------------------------------------------------------- *)
 
@@ -240,9 +291,52 @@ let prom_name name =
     b;
   "rql_" ^ Bytes.to_string b
 
+(* Label values are free-form (scope and table names): the text
+   exposition format requires backslash, double-quote and newline to be
+   escaped inside the quoted value. *)
+let prom_label_value v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* Render a label set as [{k="v",...}]; label *names* share the metric-
+   name grammar, so they go through the same sanitizer (minus the
+   prefix). *)
+let prom_labels = function
+  | [] -> ""
+  | kvs ->
+    let clean_key k =
+      let pk = prom_name k in
+      String.sub pk 4 (String.length pk - 4)
+    in
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (clean_key k) (prom_label_value v)) kvs)
+    ^ "}"
+
 let prom_float f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.9g" f
+
+(* Extra sections appended to the exposition by higher layers (the
+   scope tree adds scope-labeled series and the page-heat matrix). *)
+let prom_exporters : (Buffer.t -> unit) list ref = ref []
+
+let add_prom_exporter f = prom_exporters := !prom_exporters @ [ f ]
+
+(* Extra labeled samples emitted inside a metric's family, keyed by
+   registry name — how per-scope values appear under the same family as
+   the root sample (the exposition format groups a family's samples). *)
+let prom_extra_samples : (string -> ((string * string) list * float) list) ref = ref (fun _ -> [])
+
+let set_prom_extra_samples f = prom_extra_samples := f
 
 (* The registry in Prometheus text exposition format: counters and
    gauges as single samples, histograms with cumulative [_bucket]
@@ -253,13 +347,20 @@ let to_prometheus () =
   List.iter
     (fun (name, m) ->
       let pn = prom_name name in
+      let extra () =
+        List.iter
+          (fun (labels, v) -> line "%s%s %s" pn (prom_labels labels) (prom_float v))
+          (!prom_extra_samples name)
+      in
       match m with
       | M_counter c ->
         line "# TYPE %s counter" pn;
-        line "%s %d" pn (Counter.get c)
+        line "%s %d" pn (Counter.get c);
+        extra ()
       | M_gauge g ->
         line "# TYPE %s gauge" pn;
-        line "%s %s" pn (prom_float (Gauge.get g))
+        line "%s %s" pn (prom_float (Gauge.get g));
+        extra ()
       | M_histogram h ->
         line "# TYPE %s histogram" pn;
         List.iter
@@ -269,6 +370,7 @@ let to_prometheus () =
         line "%s_sum %s" pn (prom_float (Histogram.sum h));
         line "%s_count %d" pn (Histogram.count h))
     (sorted_items ());
+  List.iter (fun f -> f buf) !prom_exporters;
   Buffer.contents buf
 
 let write_prometheus ~path =

@@ -1,0 +1,357 @@
+(* Hierarchical metric scopes.
+
+   A scope is a lightweight registry node: a named table of counters /
+   gauges / histograms with a parent pointer.  The process-wide
+   {!Metrics} registry is the *root* scope's table, so "global metrics"
+   and "root scope" are the same storage — the Storage.Stats and
+   Sqldb.Exec_stats shims remain views over it.
+
+   Charging is eager: an increment through a scope {!counter} handle
+   always bumps the pre-looked-up root metric (one mutable-field write,
+   same as before scopes existed) and, when a non-root scope is active,
+   the local metric of every scope on the chain from the active scope up
+   to (excluding) the root.  A scope's local totals are therefore
+   subtree-inclusive, and the root is exact by construction.  Handles
+   cache the resolved chain per active scope, so the unscoped hot path
+   costs one extra physical-equality test.
+
+   Attribution labels ride alongside: the executor marks the table being
+   scanned and the Retro layer marks the snapshot being read, and every
+   page read is charged to a (table, snapshot) *heat cell* in the root
+   and each active scope.  The same code path that increments the page
+   counters fills the cells, with fallback labels ("" / -1) for reads
+   outside any scan, so the root heat matrix partitions the global
+   [storage.page_reads] counter exactly — nothing double-counted,
+   nothing lost.
+
+   Scope lifecycle: {!drop} detaches a scope from the tree; its
+   distribution is folded (via {!Metrics.merge}) into a synthetic
+   "(dropped)" bucket under its parent so the roll-up keeps the detail
+   without retaining stale child rows.  A registry-wide
+   {!Metrics.reset_all} zeroes every scope's local table and heat via a
+   reset hook. *)
+
+module M = Metrics
+
+type heat_cell = { mutable ht_db : int; mutable ht_pagelog : int }
+
+type t = {
+  sc_id : int;
+  sc_name : string;
+  sc_parent : t option;
+  sc_depth : int;
+  sc_metrics : M.table; (* for the root: the process registry itself *)
+  sc_heat : (string * int, heat_cell) Hashtbl.t;
+  mutable sc_children : t list;
+  mutable sc_live : bool;
+}
+
+let root =
+  { sc_id = 0;
+    sc_name = "root";
+    sc_parent = None;
+    sc_depth = 0;
+    sc_metrics = M.registry;
+    sc_heat = Hashtbl.create 64;
+    sc_children = [];
+    sc_live = true }
+
+let next_id = ref 1
+
+(* The active scope: engine entry points set it from the handle's scope
+   for the duration of a statement.  Single-process, so one cell. *)
+let current = ref root
+
+(* Ambient attribution labels for heat cells: the table being scanned
+   ("" = none) and the snapshot being read (-1 = current state). *)
+let cur_table = ref ""
+let cur_snap = ref (-1)
+
+let create ?(parent = root) name =
+  let s =
+    { sc_id = !next_id;
+      sc_name = name;
+      sc_parent = Some parent;
+      sc_depth = parent.sc_depth + 1;
+      sc_metrics = M.make_table ();
+      sc_heat = Hashtbl.create 16;
+      sc_children = [];
+      sc_live = true }
+  in
+  incr next_id;
+  parent.sc_children <- s :: parent.sc_children;
+  s
+
+let id s = s.sc_id
+let scope_name s = s.sc_name
+let parent_id s = match s.sc_parent with None -> -1 | Some p -> p.sc_id
+let depth s = s.sc_depth
+let is_live s = s.sc_live
+let is_root s = s == root
+let current_scope () = !current
+let current_id () = (!current).sc_id
+
+let with_scope s f =
+  let prev = !current in
+  current := s;
+  match f () with
+  | r ->
+    current := prev;
+    r
+  | exception e ->
+    current := prev;
+    raise e
+
+let with_table name f =
+  let prev = !cur_table in
+  cur_table := name;
+  match f () with
+  | r ->
+    cur_table := prev;
+    r
+  | exception e ->
+    cur_table := prev;
+    raise e
+
+let with_snapshot sid f =
+  let prev = !cur_snap in
+  cur_snap := sid;
+  match f () with
+  | r ->
+    cur_snap := prev;
+    r
+  | exception e ->
+    cur_snap := prev;
+    raise e
+
+(* --- scoped metric handles --------------------------------------------- *)
+
+(* The chain of local metrics for the scopes from [s] up to (excluding)
+   the root, resolved once per (handle, active-scope) pair. *)
+let build_chain make name s =
+  let rec go s acc =
+    match s.sc_parent with None -> acc | Some p -> go p (make s.sc_metrics name :: acc)
+  in
+  Array.of_list (go s [])
+
+type counter = {
+  cn_name : string;
+  cn_root : M.Counter.t;
+  mutable cn_for : t;
+  mutable cn_chain : M.Counter.t array;
+}
+
+let counter name = { cn_name = name; cn_root = M.counter name; cn_for = root; cn_chain = [||] }
+
+let add h n =
+  M.Counter.add h.cn_root n;
+  let s = !current in
+  if s != root then begin
+    if h.cn_for != s then begin
+      h.cn_for <- s;
+      h.cn_chain <- build_chain M.counter_in h.cn_name s
+    end;
+    Array.iter (fun c -> M.Counter.add c n) h.cn_chain
+  end
+
+let incr h = add h 1
+let get h = M.Counter.get h.cn_root
+
+(* Root-level assignment (the reset path of the Stats shims); scope
+   locals are zeroed by the registry-wide reset hook, not here. *)
+let set h n = M.Counter.set h.cn_root n
+
+type gauge = {
+  ga_name : string;
+  ga_root : M.Gauge.t;
+  mutable ga_for : t;
+  mutable ga_chain : M.Gauge.t array;
+}
+
+let gauge name = { ga_name = name; ga_root = M.gauge name; ga_for = root; ga_chain = [||] }
+
+let gauge_add h x =
+  M.Gauge.add h.ga_root x;
+  let s = !current in
+  if s != root then begin
+    if h.ga_for != s then begin
+      h.ga_for <- s;
+      h.ga_chain <- build_chain M.gauge_in h.ga_name s
+    end;
+    Array.iter (fun g -> M.Gauge.add g x) h.ga_chain
+  end
+
+let gauge_get h = M.Gauge.get h.ga_root
+let gauge_set h x = M.Gauge.set h.ga_root x
+
+type histogram = {
+  hi_name : string;
+  hi_root : M.Histogram.t;
+  mutable hi_for : t;
+  mutable hi_chain : M.Histogram.t array;
+}
+
+let histogram name =
+  { hi_name = name; hi_root = M.histogram name; hi_for = root; hi_chain = [||] }
+
+let observe h v =
+  M.Histogram.observe h.hi_root v;
+  let s = !current in
+  if s != root then begin
+    if h.hi_for != s then begin
+      h.hi_for <- s;
+      h.hi_chain <- build_chain M.histogram_in h.hi_name s
+    end;
+    Array.iter (fun hg -> M.Histogram.observe hg v) h.hi_chain
+  end
+
+let hist_root h = h.hi_root
+
+(* --- page-read heat ---------------------------------------------------- *)
+
+type io = Db_read | Archive_read
+
+(* Combined page-read total (current-state + archive): the counter the
+   root heat matrix partitions exactly. *)
+let c_page_reads = counter "storage.page_reads"
+
+let heat_cell sc key =
+  match Hashtbl.find_opt sc.sc_heat key with
+  | Some c -> c
+  | None ->
+    let c = { ht_db = 0; ht_pagelog = 0 } in
+    Hashtbl.replace sc.sc_heat key c;
+    c
+
+(* A page read of kind [io] through handle [h]: bumps the per-device
+   counter and the combined total (both scope-charged), then fills the
+   (table, snapshot) heat cell of the root and of every active scope —
+   one code path, so attribution cannot drift from the counters. *)
+let page_read io h =
+  incr h;
+  incr c_page_reads;
+  let key = (!cur_table, !cur_snap) in
+  let charge sc =
+    let c = heat_cell sc key in
+    match io with
+    | Db_read -> c.ht_db <- c.ht_db + 1
+    | Archive_read -> c.ht_pagelog <- c.ht_pagelog + 1
+  in
+  charge root;
+  let rec up s = match s.sc_parent with None -> () | Some _ -> charge s; up (Option.get s.sc_parent) in
+  up !current
+
+(* --- lifecycle --------------------------------------------------------- *)
+
+let dropped_bucket_name = "(dropped)"
+
+let dropped_bucket parent =
+  match List.find_opt (fun c -> c.sc_name = dropped_bucket_name) parent.sc_children with
+  | Some b -> b
+  | None -> create ~parent dropped_bucket_name
+
+let rec detach s =
+  s.sc_live <- false;
+  List.iter detach s.sc_children;
+  s.sc_children <- []
+
+(* Detach [s] from the tree.  Its local totals (subtree-inclusive, so
+   its children's too) are merged into the parent's "(dropped)" bucket;
+   every ancestor — the root in particular — already holds them via
+   eager roll-up, so dropping a scope never loses counts. *)
+let drop s =
+  match s.sc_parent with
+  | None -> invalid_arg "Scope.drop: cannot drop the root scope"
+  | Some p ->
+    if s.sc_live then begin
+      p.sc_children <- List.filter (fun c -> c != s) p.sc_children;
+      let b = dropped_bucket p in
+      M.merge ~into:b.sc_metrics s.sc_metrics;
+      Hashtbl.iter
+        (fun key (c : heat_cell) ->
+          let d = heat_cell b key in
+          d.ht_db <- d.ht_db + c.ht_db;
+          d.ht_pagelog <- d.ht_pagelog + c.ht_pagelog)
+        s.sc_heat;
+      detach s;
+      if !current == s then current := root
+    end
+
+let rec reset_scope s =
+  if s != root then M.reset_table s.sc_metrics;
+  Hashtbl.reset s.sc_heat;
+  List.iter reset_scope s.sc_children
+
+(* Registry-wide reset (Metrics.reset_all) also zeroes every scope's
+   local table and all heat cells: sys_scopes reports zeroed children
+   after a reset, never stale totals. *)
+let () = M.on_reset (fun () -> reset_scope root)
+
+(* Zero the combined page-read counter and every heat cell together
+   (the Stats shim's global reset), keeping the partition invariant
+   [heat(root) = storage.page_reads] intact across partial resets. *)
+let reset_heat () =
+  set c_page_reads 0;
+  let rec clear s =
+    Hashtbl.reset s.sc_heat;
+    List.iter clear s.sc_children
+  in
+  clear root
+
+(* --- introspection (sys_scopes / sys_heat / Prometheus) ---------------- *)
+
+let rec fold_scopes f acc s = List.fold_left (fold_scopes f) (f acc s) s.sc_children
+
+(* Every scope in the tree, root first, parents before children. *)
+let scopes () = List.rev (fold_scopes (fun acc s -> s :: acc) [] root)
+
+let metric_items s = M.sorted_table_items s.sc_metrics
+
+(* ((table, snapshot), db_reads, archive_reads) rows, sorted. *)
+let heat_items s =
+  Hashtbl.fold (fun key c acc -> (key, c.ht_db, c.ht_pagelog) :: acc) s.sc_heat []
+  |> List.sort compare
+
+let heat_total s =
+  Hashtbl.fold (fun _ c acc -> acc + c.ht_db + c.ht_pagelog) s.sc_heat 0
+
+let page_reads_total () = get c_page_reads
+
+(* --- Prometheus integration -------------------------------------------- *)
+
+let scope_labels s =
+  [ ("scope", s.sc_name); ("scope_id", string_of_int s.sc_id) ]
+
+let () =
+  (* Scope-local counters and gauges as labeled samples inside the
+     metric's own family (grouping keeps the exposition parseable). *)
+  M.set_prom_extra_samples (fun name ->
+      List.concat_map
+        (fun s ->
+          if s == root then []
+          else
+            match Hashtbl.find_opt s.sc_metrics name with
+            | Some (M.M_counter c) -> [ (scope_labels s, float_of_int (M.Counter.get c)) ]
+            | Some (M.M_gauge g) -> [ (scope_labels s, M.Gauge.get g) ]
+            | _ -> [])
+        (scopes ()));
+  (* The heat matrix as its own family. *)
+  M.add_prom_exporter (fun buf ->
+      Buffer.add_string buf "# TYPE rql_page_reads_heat counter\n";
+      List.iter
+        (fun s ->
+          List.iter
+            (fun ((tbl, snap), db, pl) ->
+              let labels device =
+                M.prom_labels
+                  (scope_labels s
+                  @ [ ("table", (if tbl = "" then "-" else tbl));
+                      ("snapshot", string_of_int snap); ("device", device) ])
+              in
+              if db > 0 then
+                Buffer.add_string buf (Printf.sprintf "rql_page_reads_heat%s %d\n" (labels "db") db);
+              if pl > 0 then
+                Buffer.add_string buf
+                  (Printf.sprintf "rql_page_reads_heat%s %d\n" (labels "pagelog") pl))
+            (heat_items s))
+        (scopes ()))

@@ -51,7 +51,7 @@ let append t e =
   end;
   t.entries.(t.n_entries) <- e;
   t.n_entries <- t.n_entries + 1;
-  Obs.Metrics.Counter.incr Storage.Stats.c_maplog_appends
+  Obs.Scope.incr Storage.Stats.c_maplog_appends
 
 (* Record a snapshot declaration; returns the new snapshot id (1-based). *)
 let declare t ~db_pages ~ts =
@@ -158,7 +158,7 @@ let scan_from t snap_id ~f =
       end
     done
   end;
-  Obs.Metrics.Counter.add Storage.Stats.c_maplog_scanned !visited;
+  Obs.Scope.add Storage.Stats.c_maplog_scanned !visited;
   !visited
 
 let length t = t.n_entries

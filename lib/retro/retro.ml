@@ -67,7 +67,7 @@ let on_commit t (events : Storage.Pager.commit_event list) =
             let off = Pagelog.append t.pagelog before in
             Maplog.append t.maplog { Maplog.pid = ev.pid; pl_off = off };
             set_saved_epoch t ev.pid epoch;
-            Obs.Metrics.Counter.incr Storage.Stats.c_cow_archived
+            Obs.Scope.incr Storage.Stats.c_cow_archived
           end)
       events
 
@@ -122,11 +122,11 @@ let build_spt t snap_id =
   Obs.Trace.with_span ~name:"spt_build"
     ~attrs:[ ("snap_id", Obs.Trace.Int snap_id) ]
     (fun () ->
-      let scanned0 = Obs.Metrics.Counter.get Storage.Stats.c_maplog_scanned in
+      let scanned0 = Obs.Scope.get Storage.Stats.c_maplog_scanned in
       let spt = Spt.build t.maplog snap_id in
       Obs.Trace.set_attrs
         [ ("maplog_scanned",
-           Obs.Trace.Int (Obs.Metrics.Counter.get Storage.Stats.c_maplog_scanned - scanned0)) ];
+           Obs.Trace.Int (Obs.Scope.get Storage.Stats.c_maplog_scanned - scanned0)) ];
       t.last_spt <- Some (snap_id, Maplog.length t.maplog);
       spt)
 
@@ -161,16 +161,16 @@ let read_page t (spt : Spt.t) pid =
   | Some off -> (
     match Storage.Lru.find t.snap_cache off with
     | Some page ->
-      Obs.Metrics.Counter.incr Storage.Stats.c_snap_cache_hits;
+      Obs.Scope.incr Storage.Stats.c_snap_cache_hits;
       page
     | None ->
-      Obs.Metrics.Counter.incr Storage.Stats.c_snap_cache_misses;
+      Obs.Scope.incr Storage.Stats.c_snap_cache_misses;
       (match Pagelog.read t.pagelog off with
        | page ->
          Storage.Lru.add t.snap_cache off page;
          page
        | exception Storage.Disk.Corruption { block; detail; _ } ->
-         Obs.Metrics.Counter.incr Storage.Stats.c_checksum_failures;
+         Obs.Scope.incr Storage.Stats.c_checksum_failures;
          mark_damaged t spt.Spt.snap_id;
          raise
            (Snapshot_damaged

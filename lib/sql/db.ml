@@ -37,6 +37,11 @@ type t = {
   mutable analyze : bool;
   mutable slow_query_s : float option;
   mutable last_analysis : Plan.analysis option;
+  (* The metric scope charged for work done through this handle; the
+     engine activates it around every statement.  Defaults to the root
+     scope (process-wide accounting, exactly the pre-scope behavior);
+     a per-connection session would install a child scope here. *)
+  mutable scope : Obs.Scope.t;
 }
 
 (* Assemble a handle from restored parts (Backup). *)
@@ -55,7 +60,8 @@ let of_parts ~pager ~retro =
     plan_invalidations = 0;
     analyze = false;
     slow_query_s = None;
-    last_analysis = None }
+    last_analysis = None;
+    scope = Obs.Scope.root }
 
 let create ?(snapshots = true) () =
   let pager = Storage.Pager.create () in
@@ -109,7 +115,7 @@ let open_wal ?(group_commit = 1) ~path () : t * recovery option =
     Storage.Wal.replay ~pager
       ~declare:(fun ~db_pages ~ts -> ignore (Retro.declare_at retro ~db_pages ~ts))
       records;
-    Obs.Metrics.Counter.incr Storage.Stats.c_recoveries;
+    Obs.Scope.incr Storage.Stats.c_recoveries;
     let damaged = List.sort_uniq compare (List.map fst (Retro.scrub retro)) in
     let wal = Storage.Wal.open_append ~group_commit ~path () in
     Storage.Wal.attach wal pager;
@@ -135,6 +141,11 @@ let sync_wal t = Option.iter Storage.Wal.sync t.wal
 let close_wal t =
   Option.iter Storage.Wal.close t.wal;
   t.wal <- None
+
+(* Install the scope statements through this handle charge (root by
+   default); the engine wraps every execution in it. *)
+let set_scope t scope = t.scope <- scope
+let scope t = t.scope
 
 let register_fn t name fn = Hashtbl.replace t.funcs (String.lowercase_ascii name) fn
 

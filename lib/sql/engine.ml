@@ -134,14 +134,14 @@ let drop_index db ~name ~if_exists =
 
 (* --- statement dispatch ---------------------------------------------- *)
 
-let c_statements = Obs.Metrics.counter "sql.statements"
-let h_parse = Obs.Metrics.histogram "sql.parse_latency"
-let h_stmt = Obs.Metrics.histogram "sql.stmt_latency"
-let c_plan_hits = Obs.Metrics.counter "sql.plan_cache_hits"
-let c_plan_misses = Obs.Metrics.counter "sql.plan_cache_misses"
-let c_plan_invalidations = Obs.Metrics.counter "sql.plan_cache_invalidations"
-let c_analyzer_errors = Obs.Metrics.counter "sql.analyzer_errors"
-let c_analyzer_warnings = Obs.Metrics.counter "sql.analyzer_warnings"
+let c_statements = Obs.Scope.counter "sql.statements"
+let h_parse = Obs.Scope.histogram "sql.parse_latency"
+let h_stmt = Obs.Scope.histogram "sql.stmt_latency"
+let c_plan_hits = Obs.Scope.counter "sql.plan_cache_hits"
+let c_plan_misses = Obs.Scope.counter "sql.plan_cache_misses"
+let c_plan_invalidations = Obs.Scope.counter "sql.plan_cache_invalidations"
+let c_analyzer_errors = Obs.Scope.counter "sql.analyzer_errors"
+let c_analyzer_warnings = Obs.Scope.counter "sql.analyzer_warnings"
 
 (* --- static analysis gate --------------------------------------------- *)
 
@@ -156,7 +156,7 @@ let analyze_stmt db ?sql ?(mode = Analyzer.Stmt) (s : stmt) : Diag.t list =
 let count_and_raise (diags : Diag.t list) : unit =
   List.iter
     (fun d ->
-      Obs.Metrics.Counter.incr
+      Obs.Scope.incr
         (if Diag.is_error d then c_analyzer_errors else c_analyzer_warnings))
     diags;
   match List.filter Diag.is_error diags with
@@ -193,15 +193,15 @@ let plan_for db ?key (env : Exec.env) (sel : select) : Plan.t =
     in
     match Hashtbl.find_opt db.Db.plan_cache key with
     | Some c when c.Plan.cp_gen = db.Db.generation ->
-      Obs.Metrics.Counter.incr c_plan_hits;
+      Obs.Scope.incr c_plan_hits;
       db.Db.plan_hits <- db.Db.plan_hits + 1;
       c.Plan.cp_plan
     | Some _ ->
-      Obs.Metrics.Counter.incr c_plan_invalidations;
+      Obs.Scope.incr c_plan_invalidations;
       db.Db.plan_invalidations <- db.Db.plan_invalidations + 1;
       store (build ())
     | None ->
-      Obs.Metrics.Counter.incr c_plan_misses;
+      Obs.Scope.incr c_plan_misses;
       db.Db.plan_misses <- db.Db.plan_misses + 1;
       store (build ()))
 
@@ -244,11 +244,11 @@ let stmt_kind = function
   | Pragma _ -> "pragma"
 
 let parse_one sql =
-  Exec_stats.time_into (fun dt -> Obs.Metrics.Histogram.observe h_parse dt) (fun () ->
+  Exec_stats.time_into (fun dt -> Obs.Scope.observe h_parse dt) (fun () ->
       Parser.parse_one sql)
 
 let parse_many sql =
-  Exec_stats.time_into (fun dt -> Obs.Metrics.Histogram.observe h_parse dt) (fun () ->
+  Exec_stats.time_into (fun dt -> Obs.Scope.observe h_parse dt) (fun () ->
       Parser.parse_many sql)
 
 let run_insert db (i : stmt) =
@@ -544,25 +544,28 @@ let observe_stmt db ?key ?(params = [||]) ~(s : stmt) ~plan_hit ~elapsed_s (res 
 (* Every statement passes the analyzer gate first (errors raise before
    any planning or page access), then is counted, its end-to-end
    latency observed, and — when tracing is on — wrapped in a
-   [sql.stmt] span. *)
+   [sql.stmt] span.  The handle's metric scope is active for the whole
+   statement, so every counter increment, page read and slow-query
+   event below is attributed to it. *)
 let run_stmt db ?key (s : stmt) : result =
-  analyzer_gate db ?sql:key s;
-  Obs.Metrics.Counter.incr c_statements;
-  Obs.Timeseries.tick ();
-  let hits0 = db.Db.plan_hits in
-  let t0 = Unix.gettimeofday () in
-  let res =
-    Exec_stats.time_into
-      (fun dt -> Obs.Metrics.Histogram.observe h_stmt dt)
-      (fun () ->
-        Obs.Trace.with_span ~name:"sql.stmt"
-          ~attrs:[ ("kind", Obs.Trace.Str (stmt_kind s)) ]
-          (fun () -> run_stmt_core db ?key s))
-  in
-  observe_stmt db ?key ~s ~plan_hit:(db.Db.plan_hits > hits0)
-    ~elapsed_s:(Unix.gettimeofday () -. t0)
-    res;
-  res
+  Obs.Scope.with_scope db.Db.scope (fun () ->
+      analyzer_gate db ?sql:key s;
+      Obs.Scope.incr c_statements;
+      Obs.Timeseries.tick ();
+      let hits0 = db.Db.plan_hits in
+      let t0 = Unix.gettimeofday () in
+      let res =
+        Exec_stats.time_into
+          (fun dt -> Obs.Scope.observe h_stmt dt)
+          (fun () ->
+            Obs.Trace.with_span ~name:"sql.stmt"
+              ~attrs:[ ("kind", Obs.Trace.Str (stmt_kind s)) ]
+              (fun () -> run_stmt_core db ?key s))
+      in
+      observe_stmt db ?key ~s ~plan_hit:(db.Db.plan_hits > hits0)
+        ~elapsed_s:(Unix.gettimeofday () -. t0)
+        res;
+      res)
 
 let wrap_errors f =
   try f () with
@@ -603,9 +606,10 @@ let exec_rows db sql ~(f : string array -> R.row -> unit) : unit =
   wrap_errors (fun () ->
       match parse_one sql with
       | Select sel ->
-        analyzer_gate db ~sql (Select sel);
-        let header, run = run_select db ~key:sql sel in
-        run (fun row -> f header row)
+        Obs.Scope.with_scope db.Db.scope (fun () ->
+            analyzer_gate db ~sql (Select sel);
+            let header, run = run_select db ~key:sql sel in
+            run (fun row -> f header row))
       | other -> ignore (run_stmt db other))
 
 (* --- prepared statements --------------------------------------------- *)
@@ -633,23 +637,31 @@ let prepare db sql : prepared =
         { pr_db = db; pr_key = sql; pr_sel = sel }
       | _ -> error "only SELECT statements can be prepared")
 
-(* Stream a prepared statement's rows (no statement accounting). *)
+(* Stream a prepared statement's rows (no statement accounting).  Both
+   planning and the returned runner activate the handle's scope — the
+   runner is invoked later, outside this call. *)
 let prepared_stream ?(params = [||]) (p : prepared) :
     string array * ((R.row -> unit) -> unit) =
-  wrap_errors (fun () -> run_select p.pr_db ~key:p.pr_key ~params p.pr_sel)
+  wrap_errors (fun () ->
+      let header, run =
+        Obs.Scope.with_scope p.pr_db.Db.scope (fun () ->
+            run_select p.pr_db ~key:p.pr_key ~params p.pr_sel)
+      in
+      (header, fun f -> Obs.Scope.with_scope p.pr_db.Db.scope (fun () -> run f)))
 
 (* Execute a prepared statement with full statement accounting, like
    [exec] minus the parse. *)
 let exec_prepared ?(params = [||]) (p : prepared) : result =
   wrap_errors (fun () ->
-      Obs.Metrics.Counter.incr c_statements;
+      Obs.Scope.with_scope p.pr_db.Db.scope (fun () ->
+      Obs.Scope.incr c_statements;
       Obs.Timeseries.tick ();
       let db = p.pr_db in
       let hits0 = db.Db.plan_hits in
       let t0 = Unix.gettimeofday () in
       let res =
         Exec_stats.time_into
-          (fun dt -> Obs.Metrics.Histogram.observe h_stmt dt)
+          (fun dt -> Obs.Scope.observe h_stmt dt)
           (fun () ->
             Obs.Trace.with_span ~name:"sql.stmt"
               ~attrs:[ ("kind", Obs.Trace.Str "select") ]
@@ -659,7 +671,7 @@ let exec_prepared ?(params = [||]) (p : prepared) : result =
         ~plan_hit:(db.Db.plan_hits > hits0)
         ~elapsed_s:(Unix.gettimeofday () -. t0)
         res;
-      res)
+      res))
 
 (* Parse a single statement (timed into sql.parse_latency) without
    executing it; used by callers that prepare from a larger text. *)

@@ -39,7 +39,11 @@ let snapshot_env db sid =
   let retro = Db.retro_exn db in
   if sid < 1 || sid > Retro.snapshot_count retro then
     error "AS OF %d: no such snapshot" sid;
-  let spt = Exec_stats.time_spt (fun () -> Retro.build_spt retro sid) in
+  (* the SPT build's page reads (maplog scan) are charged to the snapshot *)
+  let spt =
+    Obs.Scope.with_snapshot sid (fun () ->
+        Exec_stats.time_spt (fun () -> Retro.build_spt retro sid))
+  in
   let read = Retro.read_ctx retro spt in
   { db; read; cat = Catalog.load read; as_of = Some sid; analyze = db.Db.analyze }
 
@@ -60,8 +64,8 @@ let heap_of env (tbl : Catalog.table) =
   | None -> Db.heap_handle env.db tbl.theap
   | Some _ -> Storage.Heap.open_existing tbl.theap
 
-let c_rows_scanned = Obs.Metrics.counter "sql.rows_scanned"
-let c_rows_returned = Obs.Metrics.counter "sql.rows_returned"
+let c_rows_scanned = Obs.Scope.counter "sql.rows_scanned"
+let c_rows_returned = Obs.Scope.counter "sql.rows_returned"
 
 (* --- operator instrumentation ------------------------------------------
 
@@ -69,13 +73,23 @@ let c_rows_returned = Obs.Metrics.counter "sql.rows_returned"
    per-operator page-read deltas are differences of this sum.  Counter
    reads are single field loads, so an instrumented run stays cheap. *)
 let pages_now () =
-  Obs.Metrics.Counter.get Storage.Stats.c_db_page_reads
-  + Obs.Metrics.Counter.get Storage.Stats.c_pagelog_reads
+  Obs.Scope.get Storage.Stats.c_db_page_reads
+  + Obs.Scope.get Storage.Stats.c_pagelog_reads
+
+(* Heat attribution: the scan marks its table (and, under AS OF, its
+   snapshot) for the duration, so every page read below lands in the
+   right (table, snapshot) cell. *)
+let attributed env (tbl : Catalog.table) f =
+  Obs.Scope.with_table tbl.Catalog.tname
+    (match env.as_of with
+    | Some sid -> fun () -> Obs.Scope.with_snapshot sid f
+    | None -> f)
 
 let scan_heap env tbl ~f =
-  Storage.Heap.iter env.read (heap_of env tbl) ~f:(fun rid data ->
-      Obs.Metrics.Counter.incr c_rows_scanned;
-      f rid (R.decode_row data))
+  attributed env tbl (fun () ->
+      Storage.Heap.iter env.read (heap_of env tbl) ~f:(fun rid data ->
+          Obs.Scope.incr c_rows_scanned;
+          f rid (R.decode_row data)))
 
 let is_virtual (tbl : Catalog.table) = tbl.theap < 0
 
@@ -88,15 +102,16 @@ let scan_rows env (tbl : Catalog.table) ~f =
   if is_virtual tbl then
     List.iter
       (fun row ->
-        Obs.Metrics.Counter.incr c_rows_scanned;
+        Obs.Scope.incr c_rows_scanned;
         f (-1) row)
       (Systables.rows env.db tbl)
   else scan_heap env tbl ~f
 
 let fetch_row env (tbl : Catalog.table) rid =
-  match Storage.Heap.get env.read (heap_of env tbl) rid with
-  | Some data -> Some (R.decode_row data)
-  | None -> None
+  attributed env tbl (fun () ->
+      match Storage.Heap.get env.read (heap_of env tbl) rid with
+      | Some data -> Some (R.decode_row data)
+      | None -> None)
 
 let col_pos (tbl : Catalog.table) name =
   let n = String.lowercase_ascii name in
@@ -112,7 +127,7 @@ let index_key (tbl : Catalog.table) (idx : Catalog.index) (row : R.row) : R.row 
 
 (* Iterate rids of [tbl] matching the (evaluated) leading-column bounds
    via [idx]. *)
-let index_scan env (_tbl : Catalog.table) (idx : Catalog.index) bounds ~f =
+let index_scan env (tbl : Catalog.table) (idx : Catalog.index) bounds ~f =
   let bt = Storage.Btree.open_existing idx.Catalog.iroot in
   let lo = ref ([||], min_int) and hi = ref None in
   List.iter
@@ -130,9 +145,10 @@ let index_scan env (_tbl : Catalog.table) (idx : Catalog.index) bounds ~f =
   (* The composite bounds are [lo, hi]; Gt uses ([v],max_int) so real
      entries ([v],rid) fall below it, and Lt uses ([v],min_int)
      symmetrically. *)
-  match !hi with
-  | Some hi -> Storage.Btree.range env.read bt ~lo:!lo ~hi ~f:(fun _k rid -> f rid; true)
-  | None -> Storage.Btree.iter_from env.read bt ~lo:!lo ~f:(fun _k rid -> f rid; true)
+  attributed env tbl (fun () ->
+      match !hi with
+      | Some hi -> Storage.Btree.range env.read bt ~lo:!lo ~hi ~f:(fun _k rid -> f rid; true)
+      | None -> Storage.Btree.iter_from env.read bt ~lo:!lo ~f:(fun _k rid -> f rid; true))
 
 (* Evaluate the bound expressions of an index search (parameters are
    already bound; values may come from constant function calls). *)
@@ -279,7 +295,7 @@ and stream_plan env (p : Plan.t) : string array * ((R.row -> unit) -> unit) =
   ( header,
     fun f ->
       run (fun row ->
-          Obs.Metrics.Counter.incr c_rows_returned;
+          Obs.Scope.incr c_rows_returned;
           f row) )
 
 (* UNION / UNION ALL, left-associative as in SQLite: each non-ALL member

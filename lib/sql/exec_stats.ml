@@ -3,17 +3,19 @@
    and query evaluation; the executor accumulates the SPT-build and
    index-creation components and the RQL layer reads the deltas.
 
-   The accumulators live in the Obs.Metrics registry (gauges for the
-   elapsed seconds, counters for the event counts, plus log-scale
-   latency histograms); this module is the compatibility shim over them,
-   mirroring Storage.Stats. *)
+   The accumulators live in the Obs.Metrics registry — the root metric
+   scope — reached through Obs.Scope handles (gauges for the elapsed
+   seconds, counters for the event counts, plus log-scale latency
+   histograms), so SPT and index builds are charged to whatever scope
+   is active.  This module holds no independent mutable totals; it is
+   the compatibility shim over the root scope, mirroring Storage.Stats. *)
 
-let g_spt_build_s = Obs.Metrics.gauge "sql.spt_build_s"
-let g_index_build_s = Obs.Metrics.gauge "sql.index_build_s"
-let c_spt_builds = Obs.Metrics.counter "sql.spt_builds"
-let c_index_builds = Obs.Metrics.counter "sql.index_builds"
-let h_spt_build = Obs.Metrics.histogram "sql.spt_build_latency"
-let h_index_build = Obs.Metrics.histogram "sql.index_build_latency"
+let g_spt_build_s = Obs.Scope.gauge "sql.spt_build_s"
+let g_index_build_s = Obs.Scope.gauge "sql.index_build_s"
+let c_spt_builds = Obs.Scope.counter "sql.spt_builds"
+let c_index_builds = Obs.Scope.counter "sql.index_builds"
+let h_spt_build = Obs.Scope.histogram "sql.spt_build_latency"
+let h_index_build = Obs.Scope.histogram "sql.index_build_latency"
 
 type t = {
   mutable spt_build_s : float;     (* snapshot page table construction *)
@@ -25,10 +27,10 @@ type t = {
 let make () = { spt_build_s = 0.; index_build_s = 0.; spt_builds = 0; index_builds = 0 }
 
 let snapshot () =
-  { spt_build_s = Obs.Metrics.Gauge.get g_spt_build_s;
-    index_build_s = Obs.Metrics.Gauge.get g_index_build_s;
-    spt_builds = Obs.Metrics.Counter.get c_spt_builds;
-    index_builds = Obs.Metrics.Counter.get c_index_builds }
+  { spt_build_s = Obs.Scope.gauge_get g_spt_build_s;
+    index_build_s = Obs.Scope.gauge_get g_index_build_s;
+    spt_builds = Obs.Scope.get c_spt_builds;
+    index_builds = Obs.Scope.get c_index_builds }
 
 (* Legacy global handle: [copy global] materializes the registry,
    [reset global] zeroes it (see Storage.Stats for the pattern). *)
@@ -36,10 +38,10 @@ let global = make ()
 
 let reset t =
   if t == global then begin
-    Obs.Metrics.Gauge.set g_spt_build_s 0.;
-    Obs.Metrics.Gauge.set g_index_build_s 0.;
-    Obs.Metrics.Counter.set c_spt_builds 0;
-    Obs.Metrics.Counter.set c_index_builds 0
+    Obs.Scope.gauge_set g_spt_build_s 0.;
+    Obs.Scope.gauge_set g_index_build_s 0.;
+    Obs.Scope.set c_spt_builds 0;
+    Obs.Scope.set c_index_builds 0
   end
   else begin
     t.spt_build_s <- 0.;
@@ -81,9 +83,9 @@ let time_into record f =
 let time_spt f =
   time_into
     (fun dt ->
-      Obs.Metrics.Gauge.add g_spt_build_s dt;
-      Obs.Metrics.Counter.incr c_spt_builds;
-      Obs.Metrics.Histogram.observe h_spt_build dt)
+      Obs.Scope.gauge_add g_spt_build_s dt;
+      Obs.Scope.incr c_spt_builds;
+      Obs.Scope.observe h_spt_build dt)
     f
 
 (* Account an automatic (covering) index construction; also emits a
@@ -92,7 +94,7 @@ let time_index f =
   Obs.Trace.with_span ~name:"index_build" (fun () ->
       time_into
         (fun dt ->
-          Obs.Metrics.Gauge.add g_index_build_s dt;
-          Obs.Metrics.Counter.incr c_index_builds;
-          Obs.Metrics.Histogram.observe h_index_build dt)
+          Obs.Scope.gauge_add g_index_build_s dt;
+          Obs.Scope.incr c_index_builds;
+          Obs.Scope.observe h_index_build dt)
         f)

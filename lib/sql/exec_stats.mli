@@ -1,8 +1,10 @@
 (** Executor-side timing attribution: the SPT-build and (automatic)
     index-creation components of the paper's per-iteration cost
     breakdown (Figs 8-13), accumulated in the {!Obs.Metrics} registry
-    and read as deltas by the RQL layer through this compatibility
-    shim. *)
+    (the root metric scope, charged through {!Obs.Scope} handles so
+    active scopes see the same attribution) and read as deltas by the
+    RQL layer through this compatibility shim, which holds no
+    independent mutable totals. *)
 
 type t = {
   mutable spt_build_s : float;

@@ -131,9 +131,73 @@ let event_rows _db =
   List.map
     (fun (e : Obs.Eventlog.event) ->
       [| R.Int e.Obs.Eventlog.ev_seq; R.Real e.Obs.Eventlog.ev_ts;
-         R.Text e.Obs.Eventlog.ev_kind;
+         R.Text e.Obs.Eventlog.ev_kind; R.Int e.Obs.Eventlog.ev_scope;
+         (if e.Obs.Eventlog.ev_run >= 0 then R.Int e.Obs.Eventlog.ev_run else R.Null);
          R.Text (Obs.Json.to_string (Obs.Eventlog.event_to_json e)) |])
     (Obs.Eventlog.events ())
+
+(* The scope tree in long format: one row per (scope, metric), with a
+   placeholder row for scopes that have charged nothing yet, so every
+   scope is visible.  After a metrics reset the children reappear with
+   zeroed values — the scope tree itself survives the reset. *)
+let scope_rows _db =
+  List.concat_map
+    (fun s ->
+      let head =
+        [| R.Int (Obs.Scope.id s); R.Int (Obs.Scope.parent_id s);
+           R.Text (Obs.Scope.scope_name s); R.Int (Obs.Scope.depth s);
+           R.Int (if Obs.Scope.is_live s then 1 else 0) |]
+      in
+      let with_metric tail = Array.append head tail in
+      match Obs.Scope.metric_items s with
+      | [] -> [ with_metric [| R.Null; R.Null; R.Null |] ]
+      | items ->
+        List.map
+          (fun (name, m) ->
+            match m with
+            | Obs.Metrics.M_counter c ->
+              with_metric
+                [| R.Text name; R.Text "counter"; R.Int (Obs.Metrics.Counter.get c) |]
+            | Obs.Metrics.M_gauge g ->
+              with_metric
+                [| R.Text name; R.Text "gauge"; R.Real (Obs.Metrics.Gauge.get g) |]
+            | Obs.Metrics.M_histogram h ->
+              with_metric
+                [| R.Text name; R.Text "histogram";
+                   R.Int (Obs.Metrics.Histogram.count h) |])
+          items)
+    (Obs.Scope.scopes ())
+
+(* The (scope, table, snapshot) page-read heat matrix.  Root rows
+   (scope_id = 0) partition storage.page_reads exactly; child rows
+   re-attribute subsets of the same reads to their scopes.  snapshot -1
+   is the current state; table '-' is work outside any table scan
+   (catalog, indexes, WAL replay). *)
+let heat_rows _db =
+  List.concat_map
+    (fun s ->
+      List.map
+        (fun ((tbl, snap), db_reads, pagelog_reads) ->
+          [| R.Int (Obs.Scope.id s); R.Text (Obs.Scope.scope_name s);
+             R.Text (if tbl = "" then "-" else tbl); R.Int snap;
+             R.Int db_reads; R.Int pagelog_reads;
+             R.Int (db_reads + pagelog_reads) |])
+        (Obs.Scope.heat_items s))
+    (Obs.Scope.scopes ())
+
+(* Live and recently finished RQL runs, oldest first (bounded
+   retention). *)
+let progress_rows _db =
+  List.map
+    (fun (p : Obs.Progress.t) ->
+      [| R.Int p.Obs.Progress.pr_id; R.Text p.Obs.Progress.pr_mechanism;
+         R.Text p.Obs.Progress.pr_detail; R.Int p.Obs.Progress.pr_scope;
+         R.Text (Obs.Progress.status_to_string p.Obs.Progress.pr_status);
+         R.Int p.Obs.Progress.pr_done; R.Int p.Obs.Progress.pr_total;
+         R.Int p.Obs.Progress.pr_pages; R.Real p.Obs.Progress.pr_elapsed;
+         R.Real p.Obs.Progress.pr_eta;
+         R.Int (if p.Obs.Progress.pr_cancel then 1 else 0) |])
+    (Obs.Progress.runs ())
 
 (* Long format: one row per (sample, metric), so SQL can slice a single
    metric's trajectory with WHERE name = '...'. *)
@@ -192,8 +256,30 @@ let all : vtable list =
            ("max_s", "REAL"); ("plan_hits", "INTEGER") |];
       vrows = statement_rows };
     { vname = "sys_events";
-      vcols = [| ("seq", "INTEGER"); ("ts", "REAL"); ("kind", "TEXT"); ("event", "TEXT") |];
+      vcols =
+        [| ("seq", "INTEGER"); ("ts", "REAL"); ("kind", "TEXT");
+           ("scope_id", "INTEGER"); ("rql_run", "INTEGER"); ("event", "TEXT") |];
       vrows = event_rows };
+    { vname = "sys_scopes";
+      vcols =
+        [| ("scope_id", "INTEGER"); ("parent", "INTEGER"); ("name", "TEXT");
+           ("depth", "INTEGER"); ("live", "INTEGER"); ("metric", "TEXT");
+           ("kind", "TEXT"); ("value", "REAL") |];
+      vrows = scope_rows };
+    { vname = "sys_heat";
+      vcols =
+        [| ("scope_id", "INTEGER"); ("scope", "TEXT"); ("table_name", "TEXT");
+           ("snapshot", "INTEGER"); ("db_reads", "INTEGER");
+           ("pagelog_reads", "INTEGER"); ("reads", "INTEGER") |];
+      vrows = heat_rows };
+    { vname = "sys_progress";
+      vcols =
+        [| ("run_id", "INTEGER"); ("mechanism", "TEXT"); ("detail", "TEXT");
+           ("scope_id", "INTEGER"); ("status", "TEXT");
+           ("iterations_done", "INTEGER"); ("iterations_total", "INTEGER");
+           ("pages_read", "INTEGER"); ("elapsed_s", "REAL"); ("eta_s", "REAL");
+           ("cancel_requested", "INTEGER") |];
+      vrows = progress_rows };
     { vname = "sys_timeseries";
       vcols = [| ("seq", "INTEGER"); ("ts", "REAL"); ("name", "TEXT"); ("value", "REAL") |];
       vrows = timeseries_rows } ]

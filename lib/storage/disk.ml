@@ -52,7 +52,7 @@ let append t (b : Bytes.t) =
   t.blocks.(t.n_blocks) <- Bytes.copy b;
   t.crcs.(t.n_blocks) <- Crc32.bytes b;
   t.n_blocks <- t.n_blocks + 1;
-  Obs.Metrics.Counter.incr Stats.c_pagelog_writes;
+  Obs.Scope.incr Stats.c_pagelog_writes;
   t.n_blocks - 1
 
 let read t i =
@@ -62,7 +62,7 @@ let read t i =
    | Some f when Fault.should_fail_read f ~device:t.name ~index:i ->
      raise (Read_error { device = t.name; block = i })
    | _ -> ());
-  Obs.Metrics.Counter.incr Stats.c_pagelog_reads;
+  Stats.record_pagelog_read ();
   let b = t.blocks.(i) in
   if Crc32.bytes b <> t.crcs.(i) then
     raise (Corruption { device = t.name; block = i; detail = "checksum mismatch" });

@@ -71,7 +71,7 @@ let grow t wanted =
 let read_committed t pid =
   if pid < 0 || pid >= t.n_pages then
     invalid_arg (Printf.sprintf "Pager.read_committed: page %d/%d" pid t.n_pages);
-  Obs.Metrics.Counter.incr Stats.c_db_page_reads;
+  Stats.record_db_page_read ();
   match t.pages.(pid) with
   | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Pager.read_committed: free page %d" pid)
@@ -97,7 +97,7 @@ let reserve t =
     let pid = t.n_pages in
     grow t pid;
     t.n_pages <- t.n_pages + 1;
-    Obs.Metrics.Counter.incr Stats.c_pages_allocated;
+    Obs.Scope.incr Stats.c_pages_allocated;
     (pid, None)
 
 (* Return a reserved id that was never committed (transaction abort). *)
@@ -108,7 +108,7 @@ let install t pid (bytes : Bytes.t) =
   if pid >= t.n_pages then t.n_pages <- pid + 1;
   t.pages.(pid) <- Some bytes;
   t.crcs.(pid) <- Crc32.bytes bytes;
-  Obs.Metrics.Counter.incr Stats.c_db_page_writes
+  Obs.Scope.incr Stats.c_db_page_writes
 
 let release t pid = t.free_list <- pid :: t.free_list
 

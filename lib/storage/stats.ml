@@ -1,42 +1,52 @@
 (* Global cost accounting for the storage manager and the Retro snapshot
    layer.
 
-   Counter state lives in the Obs.Metrics registry (one named counter
-   per field below); this module is a compatibility shim that exposes
-   the registry under the historical record-of-ints API the benchmarks
-   and the RQL layer were written against.  Reading [global] through
-   {!copy} (or {!snapshot}) materializes the registry counters into a
-   plain record; {!diff} then attributes counter deltas to a code
-   region exactly as before. *)
+   Counter state lives in the Obs.Metrics registry — the root metric
+   scope — reached through Obs.Scope handles (one named counter per
+   field below), so every increment also charges whatever scope is
+   active.  This module holds no independent mutable totals: it is a
+   compatibility shim that exposes the root scope under the historical
+   record-of-ints API the benchmarks and the RQL layer were written
+   against.  Reading [global] through {!copy} (or {!snapshot})
+   materializes the registry counters into a plain record; {!diff} then
+   attributes counter deltas to a code region exactly as before. *)
 
-module C = Obs.Metrics.Counter
+module C = Obs.Scope
 
-(* The registry-backed counters.  Instrumentation points in disk.ml,
-   pager.ml, txn.ml and lib/retro increment these directly: a pre-looked-
-   up counter increment is a single mutable-field write, so the hot
-   paths cost the same as the old struct fields. *)
-let c_db_page_reads = Obs.Metrics.counter "storage.db_page_reads"
-let c_db_page_writes = Obs.Metrics.counter "storage.db_page_writes"
-let c_pagelog_reads = Obs.Metrics.counter "storage.pagelog_reads"
-let c_pagelog_writes = Obs.Metrics.counter "storage.pagelog_writes"
-let c_maplog_appends = Obs.Metrics.counter "retro.maplog_appends"
-let c_maplog_scanned = Obs.Metrics.counter "retro.maplog_scanned"
-let c_snap_cache_hits = Obs.Metrics.counter "retro.snap_cache_hits"
-let c_snap_cache_misses = Obs.Metrics.counter "retro.snap_cache_misses"
-let c_pages_allocated = Obs.Metrics.counter "storage.pages_allocated"
-let c_txn_commits = Obs.Metrics.counter "storage.txn_commits"
-let c_txn_aborts = Obs.Metrics.counter "storage.txn_aborts"
-let c_cow_archived = Obs.Metrics.counter "retro.cow_archived"
-let c_wal_appends = Obs.Metrics.counter "storage.wal_appends"
-let c_wal_bytes = Obs.Metrics.counter "storage.wal_bytes"
-let c_wal_fsyncs = Obs.Metrics.counter "storage.wal_fsyncs"
+(* The scope-charged counters.  Instrumentation points in disk.ml,
+   pager.ml, txn.ml and lib/retro increment these directly: with no
+   child scope active a handle increment is a pre-looked-up mutable-
+   field write plus one physical-equality test, so the hot paths cost
+   what the old struct fields did. *)
+let c_db_page_reads = C.counter "storage.db_page_reads"
+let c_db_page_writes = C.counter "storage.db_page_writes"
+let c_pagelog_reads = C.counter "storage.pagelog_reads"
+let c_pagelog_writes = C.counter "storage.pagelog_writes"
+let c_maplog_appends = C.counter "retro.maplog_appends"
+let c_maplog_scanned = C.counter "retro.maplog_scanned"
+let c_snap_cache_hits = C.counter "retro.snap_cache_hits"
+let c_snap_cache_misses = C.counter "retro.snap_cache_misses"
+let c_pages_allocated = C.counter "storage.pages_allocated"
+let c_txn_commits = C.counter "storage.txn_commits"
+let c_txn_aborts = C.counter "storage.txn_aborts"
+let c_cow_archived = C.counter "retro.cow_archived"
+let c_wal_appends = C.counter "storage.wal_appends"
+let c_wal_bytes = C.counter "storage.wal_bytes"
+let c_wal_fsyncs = C.counter "storage.wal_fsyncs"
 
 (* Durability events outside the steady-state cost model: recoveries
    performed, torn/corrupt WAL tails discarded at recovery, and archive
    checksum verification failures (each one marks a snapshot damaged). *)
-let c_recoveries = Obs.Metrics.counter "storage.recoveries"
-let c_torn_tail_discards = Obs.Metrics.counter "storage.torn_tail_discards"
-let c_checksum_failures = Obs.Metrics.counter "retro.checksum_failures"
+let c_recoveries = C.counter "storage.recoveries"
+let c_torn_tail_discards = C.counter "storage.torn_tail_discards"
+let c_checksum_failures = C.counter "retro.checksum_failures"
+
+(* The two page-read instrumentation points (pager.ml and disk.ml call
+   these): one code path charges the per-device counter, the combined
+   storage.page_reads total, and the (table, snapshot) heat cell of
+   every active scope, so sys_heat partitions the total exactly. *)
+let record_db_page_read () = C.page_read C.Db_read c_db_page_reads
+let record_pagelog_read () = C.page_read C.Archive_read c_pagelog_reads
 
 type t = {
   mutable db_page_reads : int;      (* current-state pages, memory resident *)
@@ -116,7 +126,11 @@ let reset t =
     C.set c_cow_archived 0;
     C.set c_wal_appends 0;
     C.set c_wal_bytes 0;
-    C.set c_wal_fsyncs 0
+    C.set c_wal_fsyncs 0;
+    (* The combined page-read total and the heat matrix partition the
+       per-device counters just zeroed: zero them together or sys_heat
+       would no longer sum to storage.page_reads. *)
+    C.reset_heat ()
   end
   else begin
     t.db_page_reads <- 0;
@@ -165,12 +179,13 @@ let diff a b = {
    Appends are sequential and cheaper.  DESIGN.md documents this
    substitution. *)
 module Cost_model = struct
+  (* lint: allow — calibration knobs, not metric totals *)
   let ssd_read_s = ref 250e-6
   let ssd_write_s = ref 25e-6
 
   (* An fsync barrier on the WAL device: the dominant cost of a durable
      commit (a SATA SSD flush is on the order of half a millisecond).
-     Group commit amortizes it across batched transactions. *)
+     Group commit amortizes it.  lint: allow — calibration knob, not a metric total *)
   let fsync_s = ref 500e-6
 
   (* Modeled I/O seconds attributable to a counter delta.  WAL appends

@@ -2,31 +2,41 @@
     layer: the raw material for the per-iteration cost attribution
     (I/O / SPT build / query evaluation / UDF) used by the benchmarks.
 
-    Counter state lives in the {!Obs.Metrics} registry; this module is
-    a compatibility shim exposing it under the historical record API.
-    Instrumentation points increment the [c_*] counters directly. *)
+    Counter state lives in the {!Obs.Metrics} registry — the root
+    metric scope — reached through {!Obs.Scope} handles, so increments
+    also charge whatever scope is active.  This module holds no
+    independent mutable totals: it is a compatibility shim exposing the
+    root scope under the historical record API.  Instrumentation points
+    increment the [c_*] counters directly. *)
 
-(** Registry-backed counters (one per record field below). *)
-val c_db_page_reads : Obs.Metrics.Counter.t
-val c_db_page_writes : Obs.Metrics.Counter.t
-val c_pagelog_reads : Obs.Metrics.Counter.t
-val c_pagelog_writes : Obs.Metrics.Counter.t
-val c_maplog_appends : Obs.Metrics.Counter.t
-val c_maplog_scanned : Obs.Metrics.Counter.t
-val c_snap_cache_hits : Obs.Metrics.Counter.t
-val c_snap_cache_misses : Obs.Metrics.Counter.t
-val c_pages_allocated : Obs.Metrics.Counter.t
-val c_txn_commits : Obs.Metrics.Counter.t
-val c_txn_aborts : Obs.Metrics.Counter.t
-val c_cow_archived : Obs.Metrics.Counter.t
-val c_wal_appends : Obs.Metrics.Counter.t
-val c_wal_bytes : Obs.Metrics.Counter.t
-val c_wal_fsyncs : Obs.Metrics.Counter.t
+(** Scope-charged counters (one per record field below). *)
+val c_db_page_reads : Obs.Scope.counter
+val c_db_page_writes : Obs.Scope.counter
+val c_pagelog_reads : Obs.Scope.counter
+val c_pagelog_writes : Obs.Scope.counter
+val c_maplog_appends : Obs.Scope.counter
+val c_maplog_scanned : Obs.Scope.counter
+val c_snap_cache_hits : Obs.Scope.counter
+val c_snap_cache_misses : Obs.Scope.counter
+val c_pages_allocated : Obs.Scope.counter
+val c_txn_commits : Obs.Scope.counter
+val c_txn_aborts : Obs.Scope.counter
+val c_cow_archived : Obs.Scope.counter
+val c_wal_appends : Obs.Scope.counter
+val c_wal_bytes : Obs.Scope.counter
+val c_wal_fsyncs : Obs.Scope.counter
 
 (** Durability events outside the steady-state cost model. *)
-val c_recoveries : Obs.Metrics.Counter.t
-val c_torn_tail_discards : Obs.Metrics.Counter.t
-val c_checksum_failures : Obs.Metrics.Counter.t
+val c_recoveries : Obs.Scope.counter
+val c_torn_tail_discards : Obs.Scope.counter
+val c_checksum_failures : Obs.Scope.counter
+
+(** Record one current-state (resp. archive) page read: charges the
+    per-device counter, the combined [storage.page_reads] total, and
+    the (table, snapshot) heat cell of every active scope in one code
+    path, so the heat matrix partitions the total exactly. *)
+val record_db_page_read : unit -> unit
+val record_pagelog_read : unit -> unit
 
 type t = {
   mutable db_page_reads : int;      (** current-state pages (memory resident) *)

@@ -87,13 +87,13 @@ let commit t =
   List.iter (fun (pid, (e : entry)) -> Pager.install t.pager pid e.after) entries;
   List.iter (fun pid -> Pager.release t.pager pid) t.freed;
   t.state <- Committed;
-  Obs.Metrics.Counter.incr Stats.c_txn_commits
+  Obs.Scope.incr Stats.c_txn_commits
 
 let abort t =
   check_active t;
   List.iter (fun pid -> Pager.unreserve t.pager pid) t.reserved;
   t.state <- Aborted;
-  Obs.Metrics.Counter.incr Stats.c_txn_aborts
+  Obs.Scope.incr Stats.c_txn_aborts
 
 let is_active t = t.state = Active
 

@@ -176,8 +176,8 @@ let append t r =
   let frame_bytes = 9 + Bytes.length payload in
   t.appends <- t.appends + 1;
   t.bytes_logged <- t.bytes_logged + frame_bytes;
-  Obs.Metrics.Counter.incr Stats.c_wal_appends;
-  Obs.Metrics.Counter.add Stats.c_wal_bytes frame_bytes
+  Obs.Scope.incr Stats.c_wal_appends;
+  Obs.Scope.add Stats.c_wal_bytes frame_bytes
 
 let flush_pending t =
   if Buffer.length t.pending > 0 then begin
@@ -193,7 +193,7 @@ let flush_pending t =
 let modeled_fsync t =
   tick t;
   t.fsyncs <- t.fsyncs + 1;
-  Obs.Metrics.Counter.incr Stats.c_wal_fsyncs
+  Obs.Scope.incr Stats.c_wal_fsyncs
 
 (* Durability point after a commit or declare.  Under group commit the
    flush+fsync only happens every [group_commit] barriers — the batched
@@ -342,7 +342,7 @@ let recover ~path =
            end)
     done);
   if !torn || !corrupt then begin
-    Obs.Metrics.Counter.incr Stats.c_torn_tail_discards;
+    Obs.Scope.incr Stats.c_torn_tail_discards;
     Unix.truncate path !valid
   end;
   ( List.rev !records,

@@ -9,7 +9,7 @@ module W = Storage.Wal
 module F = Storage.Fault
 module S = Storage.Stats
 
-let cget = Obs.Metrics.Counter.get
+let cget = Obs.Scope.get
 
 let fresh name =
   let p = Filename.concat (Filename.get_temp_dir_name ()) name in

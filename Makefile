@@ -1,4 +1,4 @@
-.PHONY: all build test check lint crash bench shell clean
+.PHONY: all build test check lint crash bench concurrency shell clean
 
 all: build
 
@@ -30,6 +30,13 @@ check: lint
 
 bench:
 	dune exec bench/main.exe
+
+# Concurrency smoke: 4 reader domains over one shared core with real
+# archive-read latency must beat 1 reader by >= 1.5x, and the
+# Domain-parallel RQL loop must match the sequential loop byte-for-byte.
+concurrency:
+	dune exec bin/rql_serve.exe -- --self-test --clients 4
+	dune exec bench/concurrency.exe -- --readers 4 --gate 1.5
 
 shell:
 	dune exec bin/rql_shell.exe

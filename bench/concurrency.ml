@@ -1,0 +1,179 @@
+(* AS OF read-scaling benchmark: N reader sessions on N domains over
+   one shared core, each replaying the same historical-aggregate
+   workload against every snapshot of a UW history.
+
+   The container pins the process to one core, so the scaling being
+   measured is I/O overlap, not CPU parallelism: with
+   [Stats.Cost_model.real_read_latency] on, every snapshot-archive read
+   spends its modeled device time as a real sleep outside all locks —
+   exactly the wait a real SSD would impose — and concurrent readers
+   overlap those waits where a single session would serialize them.
+   The archive page cache is pinned tiny so the workload stays
+   read-dominated instead of converging to a warm cache.
+
+   The run also cross-checks the Domain-parallel RQL snapshot loop:
+   for each UW class, CollateData with [--domains] workers must produce
+   a byte-identical result table to the sequential loop.
+
+     concurrency.exe --readers 4 --json out.json
+
+   exits non-zero if any RQL cross-check diverges, if checksum
+   failures appear, or (with --gate X) if speedup < X. *)
+
+module E = Sqldb.Engine
+module R = Storage.Record
+module S = Sqldb.Session
+module Stats = Storage.Stats
+
+let now () = Unix.gettimeofday ()
+
+(* --- fixture ------------------------------------------------------------ *)
+
+let build ~sf ~uw ~snapshots =
+  let ctx, _st, sids = Tpch.Workload.build_history ~sf ~uw ~snapshots () in
+  (match Sqldb.Db.(ctx.Rql.data.retro) with
+  | Some retro -> Retro.set_cache_pages retro 2 (* keep reads archive-bound *)
+  | None -> ());
+  (ctx, sids)
+
+let asof_query sid =
+  Printf.sprintf "SELECT AS OF %d COUNT(*), SUM(o_totalprice) FROM orders" sid
+
+(* --- AS OF read scaling ------------------------------------------------- *)
+
+(* Each reader runs [rounds] passes over every snapshot on its own
+   session.  Work per domain is constant, so throughput(N readers) /
+   throughput(1 reader) isolates the overlap win. *)
+let run_readers ctx sids ~readers ~rounds =
+  let db = ctx.Rql.data in
+  let queries = ref 0 in
+  let reader () =
+    S.with_session db (fun s ->
+        let n = ref 0 in
+        for _ = 1 to rounds do
+          List.iter (fun sid -> ignore (E.exec s (asof_query sid)); Stdlib.incr n) sids
+        done;
+        !n)
+  in
+  let t0 = now () in
+  let counts =
+    if readers = 1 then [ reader () ]
+    else List.map Domain.join (List.init readers (fun _ -> Domain.spawn reader))
+  in
+  let dt = now () -. t0 in
+  queries := List.fold_left ( + ) 0 counts;
+  (!queries, dt, float_of_int !queries /. dt)
+
+(* --- parallel-vs-sequential RQL cross-check ----------------------------- *)
+
+let table_rows ctx table =
+  (E.exec ctx.Rql.meta (Printf.sprintf "SELECT * FROM %s" table)).E.rows
+
+let rql_identical ~sf ~domains uw =
+  let ctx, _sids = build ~sf ~uw ~snapshots:5 in
+  let qs = "SELECT snap_id FROM SnapIds" in
+  let qq = "SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice > 1000" in
+  ignore (Rql.collate_data ctx ~qs ~qq ~table:"Cseq");
+  ignore (Rql.collate_data ~domains ctx ~qs ~qq ~table:"Cpar");
+  table_rows ctx "Cseq" = table_rows ctx "Cpar"
+
+(* --- entry point -------------------------------------------------------- *)
+
+open Cmdliner
+
+let readers =
+  let doc = "Reader domains for the scaling measurement." in
+  Arg.(value & opt int 4 & info [ "readers" ] ~docv:"N" ~doc)
+
+let rounds =
+  let doc = "Passes over the snapshot set per reader." in
+  Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"N" ~doc)
+
+let domains =
+  let doc = "Worker domains for the parallel-RQL cross-check." in
+  Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N" ~doc)
+
+let sf =
+  let doc = "TPC-H scale factor of the fixture." in
+  Arg.(value & opt float 0.002 & info [ "sf" ] ~docv:"SF" ~doc)
+
+let latency_us =
+  let doc = "Simulated archive read latency in microseconds.  The default \
+             makes the workload read-dominated so the overlap win is \
+             stable against CPU noise; the engine default (250us, the \
+             paper's calibration) still applies outside this bench." in
+  Arg.(value & opt float 1000. & info [ "latency-us" ] ~docv:"US" ~doc)
+
+let gate =
+  let doc = "Fail unless speedup >= this factor (0 = report only)." in
+  Arg.(value & opt float 0. & info [ "gate" ] ~docv:"X" ~doc)
+
+let json_path =
+  let doc = "Write results as JSON to this path." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+
+let main readers rounds domains sf latency_us gate json_path =
+  Stats.Cost_model.real_read_latency := true;
+  Stats.Cost_model.ssd_read_s := latency_us *. 1e-6;
+  let cf0 = Obs.Metrics.Counter.get (Obs.Metrics.counter "retro.checksum_failures") in
+  let ctx, sids = build ~sf ~uw:Tpch.Workload.uw30 ~snapshots:8 in
+  Printf.printf "fixture: sf=%g snapshots=%d, archive read latency %gus\n%!" sf
+    (List.length sids)
+    (!Stats.Cost_model.ssd_read_s *. 1e6);
+  (* One untimed pass amortizes SPT builds and JIT-ish warmup equally
+     into both measurements. *)
+  ignore (run_readers ctx sids ~readers:1 ~rounds:1);
+  let q1, t1, thr1 = run_readers ctx sids ~readers:1 ~rounds in
+  Printf.printf "1 reader : %4d queries in %6.2fs  (%7.1f q/s)\n%!" q1 t1 thr1;
+  let qn, tn, thrn = run_readers ctx sids ~readers ~rounds in
+  Printf.printf "%d readers: %4d queries in %6.2fs  (%7.1f q/s)\n%!" readers qn tn thrn;
+  let speedup = thrn /. thr1 in
+  Printf.printf "speedup: %.2fx\n%!" speedup;
+  let uws = [ Tpch.Workload.uw15; Tpch.Workload.uw30; Tpch.Workload.uw60 ] in
+  let checks =
+    List.map
+      (fun uw ->
+        let ok = rql_identical ~sf ~domains uw in
+        Printf.printf "parallel RQL (%s): %s\n%!" uw.Tpch.Workload.uname
+          (if ok then "identical" else "DIVERGED");
+        (uw.Tpch.Workload.uname, ok))
+      uws
+  in
+  let failures =
+    Obs.Metrics.Counter.get (Obs.Metrics.counter "retro.checksum_failures") - cf0
+  in
+  Printf.printf "retro.checksum_failures: %d\n%!" failures;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n  \"readers\": %d,\n  \"rounds\": %d,\n  \"queries_1\": %d,\n  \
+       \"seconds_1\": %.4f,\n  \"throughput_1\": %.2f,\n  \"queries_n\": %d,\n  \
+       \"seconds_n\": %.4f,\n  \"throughput_n\": %.2f,\n  \"speedup\": %.3f,\n  \
+       \"checksum_failures\": %d,\n  \"rql_identical\": {%s}\n}\n"
+      readers rounds q1 t1 thr1 qn tn thrn speedup failures
+      (String.concat ", "
+         (List.map (fun (n, ok) -> Printf.sprintf "\"%s\": %b" n ok) checks));
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path);
+  let rql_ok = List.for_all snd checks in
+  if not rql_ok then begin
+    prerr_endline "FAIL: parallel RQL diverged from sequential";
+    exit 1
+  end;
+  if failures > 0 then begin
+    prerr_endline "FAIL: checksum failures during concurrent reads";
+    exit 1
+  end;
+  if gate > 0. && speedup < gate then begin
+    Printf.eprintf "FAIL: speedup %.2fx below gate %.2fx\n" speedup gate;
+    exit 1
+  end
+
+let cmd =
+  let doc = "AS OF read scaling across reader domains + parallel-RQL cross-check" in
+  Cmd.v (Cmd.info "concurrency" ~doc)
+    Term.(const main $ readers $ rounds $ domains $ sf $ latency_us $ gate $ json_path)
+
+let () = exit (Cmd.eval cmd)

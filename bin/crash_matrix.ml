@@ -89,7 +89,7 @@ let fresh_path path =
   path
 
 let wal_of db =
-  match db.Sqldb.Db.wal with
+  match Sqldb.Db.wal db with
   | Some w -> w
   | None -> failwith "crash_matrix: database has no WAL"
 

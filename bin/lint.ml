@@ -28,38 +28,62 @@ type rule = {
   needle : string;
   why : string;
   (* When non-empty, the rule applies only to files whose path ends
-     with one of these suffixes (path-scoped rules). *)
+     with one of these suffixes; an entry ending in "/" is instead a
+     directory prefix (path-scoped rules). *)
   paths : string list;
+  (* When true, only lines that start (after whitespace-squeezing) with
+     "let " are checked: module-level definitions, not local bindings. *)
+  anchored : bool;
 }
 
 let rules =
   [ { rid = "catch-all";
       needle = "with _ " ^ "->";
       why = "catch-all handler swallows asserts and OOM; match specific exceptions";
-      paths = [] };
+      paths = [];
+      anchored = false };
     { rid = "catch-all";
       needle = "with _" ^ "->";
       why = "catch-all handler swallows asserts and OOM; match specific exceptions";
-      paths = [] };
+      paths = [];
+      anchored = false };
     { rid = "obj-magic";
       needle = "Obj." ^ "magic";
       why = "defeats the type system";
-      paths = [] };
+      paths = [];
+      anchored = false };
     { rid = "assert-false";
       needle = "assert " ^ "false";
       why = "use a typed internal error that names the impossible state";
-      paths = [] };
+      paths = [];
+      anchored = false };
     (* The stats shims are views over the root metric scope: a fresh ref
        or hash table there would be an independent mutable total the
        scope tree cannot see, silently breaking scoped attribution. *)
     { rid = "stats-shadow-state";
       needle = "= " ^ "ref";
       why = "stats shims hold no independent mutable totals; use an Obs.Scope handle";
-      paths = [ "lib/storage/stats.ml"; "lib/sql/exec_stats.ml" ] };
+      paths = [ "lib/storage/stats.ml"; "lib/sql/exec_stats.ml" ];
+      anchored = false };
     { rid = "stats-shadow-state";
       needle = "Hashtbl." ^ "create";
       why = "stats shims hold no independent mutable totals; use an Obs.Scope handle";
-      paths = [ "lib/storage/stats.ml"; "lib/sql/exec_stats.ml" ] } ]
+      paths = [ "lib/storage/stats.ml"; "lib/sql/exec_stats.ml" ];
+      anchored = false };
+    (* The engine core is shared across session domains: module-level
+       refs and hash tables in lib/ are cross-domain shared state and
+       must sit behind a mutex (or be domain-local) — the waiver names
+       the guard, and is the audit trail for it. *)
+    { rid = "module-mutable-state";
+      needle = "= " ^ "ref";
+      why = "module-level mutable state in shared code; guard it and waive with the guard's name";
+      paths = [ "lib/" ];
+      anchored = true };
+    { rid = "module-mutable-state";
+      needle = "Hashtbl." ^ "create";
+      why = "module-level mutable state in shared code; guard it and waive with the guard's name";
+      paths = [ "lib/" ];
+      anchored = true } ]
 
 let waiver = "lint: " ^ "allow"
 
@@ -106,9 +130,21 @@ let rec collect path acc =
 
 let findings = ref 0
 
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
 let rule_applies path r =
+  (* collect_files yields paths as given on the command line; strip a
+     leading "./" so prefix entries match either spelling. *)
+  let path = if has_prefix ~prefix:"./" path then String.sub path 2 (String.length path - 2) else path in
   r.paths = []
-  || List.exists (fun suffix -> Filename.check_suffix path suffix) r.paths
+  || List.exists
+       (fun pat ->
+         if String.length pat > 0 && pat.[String.length pat - 1] = '/' then
+           has_prefix ~prefix:pat path
+         else Filename.check_suffix path pat)
+       r.paths
 
 let check_file path =
   let active = List.filter (rule_applies path) rules in
@@ -126,7 +162,8 @@ let check_file path =
           if !waived = 0 then
             List.iter
               (fun r ->
-                if contains ~needle:r.needle sq then begin
+                if (not r.anchored || has_prefix ~prefix:"let " sq)
+                   && contains ~needle:r.needle sq then begin
                   incr findings;
                   Printf.printf "%s:%d: [%s] %s\n" path !lineno r.rid r.why
                 end)

@@ -284,6 +284,19 @@ let () =
       { cname = ".slowlog"; cargs = "[on [MS] | off]";
         chelp = "slow-query log: set/clear the threshold, or print logged events";
         crun = (fun ~ctx_ref ~args -> run_slowlog !ctx_ref args) };
+      { cname = ".sessions"; cargs = "[@meta]";
+        chelp = "live sessions of the data (or @meta) database (sys_sessions)";
+        crun =
+          (fun ~ctx_ref ~args ->
+            let db =
+              match String.trim args with
+              | "@meta" -> !ctx_ref.Rql.meta
+              | _ -> !ctx_ref.Rql.data
+            in
+            print_result
+              (E.exec db
+                 "SELECT session_id, prepared, plans, hits, misses, scope_id, current \
+                  FROM sys_sessions ORDER BY session_id")) };
       { cname = ".progress"; cargs = "";
         chelp = "live + recent RQL runs (iterations, pages, ETA; sys_progress)";
         crun = (fun ~ctx_ref:_ ~args:_ -> run_progress ()) };

@@ -426,6 +426,8 @@ type run_report = {
   rr_ops : Sq.Plan.op_actual list; (* accumulated across all iterations *)
 }
 
+(* lint: allow — written by [run_mechanism] on the driving domain only;
+   worker domains never touch the report *)
 let last_run_report : run_report option ref = ref None
 let run_report () = !last_run_report
 
@@ -497,9 +499,35 @@ let make_run ?(analyze = false) ~kind ~data ~meta ~qq ~table () =
     cur_updates = 0;
     rs_progress = None }
 
+(* A snapshot's Qq output evaluated ahead of its loop-body application
+   by a worker domain (the parallel AS OF reader pool).  The worker
+   evaluates inside a private metric scope confined to its domain, so
+   the per-iteration I/O counters here are exact even while other
+   workers run — the main domain's global-counter diffs would interleave
+   every concurrent evaluation. *)
+type eval_result = {
+  ev_header : string array;
+  ev_rows : R.row list;
+  ev_pagelog_reads : int;
+  ev_db_reads : int;
+  ev_cache_hits : int;
+  ev_cache_misses : int;
+  ev_spt_entries : int;
+  ev_eval_s : float; (* wall-clock Qq evaluation time on the worker *)
+}
+
+let scope_counter sc name =
+  match List.assoc_opt name (Obs.Scope.metric_items sc) with
+  | Some (Obs.Metrics.M_counter c) -> Obs.Metrics.Counter.get c
+  | _ -> 0
+
 (* One RQL iteration over snapshot [sid].  [cold] empties the snapshot
-   page cache first (used by the all-cold baseline runs in §5.1). *)
-let step_body (rs : run_state) ~sid ~cold =
+   page cache first (used by the all-cold baseline runs in §5.1).
+   With [eval] the Qq was already evaluated by a worker domain: only
+   the loop-body application runs here (in snapshot order, so results
+   are byte-identical to the sequential loop), and the iteration's I/O
+   attribution comes from the worker's own measurements. *)
+let step_body ?eval (rs : run_state) ~sid ~cold =
   (* One timeseries sample per iteration, so sys_timeseries resolves the
      inside of a snapshot loop rather than only statement boundaries. *)
   Obs.Timeseries.tick ();
@@ -521,9 +549,12 @@ let step_body (rs : run_state) ~sid ~cold =
   rs.cur_inserts <- 0;
   rs.cur_updates <- 0;
   let header, run_rows =
-    match qq_prepared rs with
-    | Some p -> Sq.Engine.prepared_stream ~params:[| R.Int sid |] p
-    | None -> stream_select rs.data (Rewrite.rewrite rs.qq ~sid)
+    match eval with
+    | Some ev -> (ev.ev_header, fun f -> List.iter f ev.ev_rows)
+    | None -> (
+      match qq_prepared rs with
+      | Some p -> Sq.Engine.prepared_stream ~params:[| R.Int sid |] p
+      | None -> stream_select rs.data (Rewrite.rewrite rs.qq ~sid))
   in
   if first then udf_timed (fun () -> init_run rs header);
   (match rs.kind with
@@ -555,21 +586,43 @@ let step_body (rs : run_state) ~sid ~cold =
   let io_s = Storage.Stats.Cost_model.io_seconds sd in
   let other = ed.Sq.Exec_stats.spt_build_s +. ed.Sq.Exec_stats.index_build_s +. !udf_s in
   let it =
-    { Iter_stats.snap_id = sid;
-      cold = first || cold;
-      pagelog_reads = sd.Storage.Stats.pagelog_reads;
-      db_reads = sd.Storage.Stats.db_page_reads;
-      cache_hits = sd.Storage.Stats.snap_cache_hits;
-      cache_misses = sd.Storage.Stats.snap_cache_misses;
-      io_s;
-      spt_build_s = ed.Sq.Exec_stats.spt_build_s;
-      spt_entries = sd.Storage.Stats.maplog_scanned;
-      index_build_s = ed.Sq.Exec_stats.index_build_s;
-      query_eval_s = Float.max 0. (total -. other);
-      udf_s = !udf_s;
-      udf_rows = rs.cur_rows;
-      udf_inserts = rs.cur_inserts;
-      udf_updates = rs.cur_updates }
+    match eval with
+    | None ->
+      { Iter_stats.snap_id = sid;
+        cold = first || cold;
+        pagelog_reads = sd.Storage.Stats.pagelog_reads;
+        db_reads = sd.Storage.Stats.db_page_reads;
+        cache_hits = sd.Storage.Stats.snap_cache_hits;
+        cache_misses = sd.Storage.Stats.snap_cache_misses;
+        io_s;
+        spt_build_s = ed.Sq.Exec_stats.spt_build_s;
+        spt_entries = sd.Storage.Stats.maplog_scanned;
+        index_build_s = ed.Sq.Exec_stats.index_build_s;
+        query_eval_s = Float.max 0. (total -. other);
+        udf_s = !udf_s;
+        udf_rows = rs.cur_rows;
+        udf_inserts = rs.cur_inserts;
+        udf_updates = rs.cur_updates }
+    | Some ev ->
+      (* Worker-measured evaluation, main-measured application.  SPT
+         build and index-build time happen on the worker inside
+         [ev_eval_s]; the modeled I/O time comes from the worker's
+         exact read counters. *)
+      { Iter_stats.snap_id = sid;
+        cold = first || cold;
+        pagelog_reads = ev.ev_pagelog_reads;
+        db_reads = ev.ev_db_reads;
+        cache_hits = ev.ev_cache_hits;
+        cache_misses = ev.ev_cache_misses;
+        io_s = float_of_int ev.ev_pagelog_reads *. !Storage.Stats.Cost_model.ssd_read_s;
+        spt_build_s = 0.;
+        spt_entries = ev.ev_spt_entries;
+        index_build_s = 0.;
+        query_eval_s = ev.ev_eval_s;
+        udf_s = !udf_s;
+        udf_rows = rs.cur_rows;
+        udf_inserts = rs.cur_inserts;
+        udf_updates = rs.cur_updates }
   in
   Obs.Trace.set_attrs
     [ ("cold", Obs.Trace.Bool it.Iter_stats.cold);
@@ -628,12 +681,12 @@ let cancel_check (rs : run_state) =
 
 let progress (rs : run_state) = rs.rs_progress
 
-let step (rs : run_state) ~sid ~cold =
+let step ?eval (rs : run_state) ~sid ~cold =
   cancel_check rs;
   let body () =
     Obs.Trace.with_span ~name:"rql.iteration"
       ~attrs:[ ("snap_id", Obs.Trace.Int sid) ]
-      (fun () -> step_body rs ~sid ~cold)
+      (fun () -> step_body ?eval rs ~sid ~cold)
   in
   match rs.rs_progress with
   | None -> body ()
@@ -723,9 +776,144 @@ let snapshot_set (ctx : ctx) qs =
         | v -> error "Qs must return snapshot ids; got %s" (R.value_to_string v))
     res.Sq.Engine.rows
 
+(* --- parallel AS OF evaluation ----------------------------------------- *)
+
+(* Evaluate the Qq over one snapshot on a worker domain, collecting the
+   full row set.  [wdb] is the worker's private session (own plan cache
+   and prepared statement) over the shared data core.  The engine runs
+   every statement inside the session's metric scope, and that scope is
+   driven by exactly one domain, so diffing its local counters around
+   the evaluation gives the iteration's exact I/O attribution — the
+   global registry totals would interleave across concurrent domains. *)
+let eval_snapshot wdb prep (rs : run_state) sid =
+  let sc = wdb.Sq.Db.scope in
+  let c name = scope_counter sc name in
+  let plr0 = c "storage.pagelog_reads" in
+  let dbr0 = c "storage.db_page_reads" in
+  let hit0 = c "retro.snap_cache_hits" in
+  let mis0 = c "retro.snap_cache_misses" in
+  let spt0 = c "retro.maplog_scanned" in
+  let header = ref [||] in
+  let rows = ref [] in
+  let t0 = now () in
+  (* prepared_stream runs inside the session scope on its own; the
+     textual-rewrite fallback streams through Exec directly and needs
+     the scope installed here. *)
+  (match prep with
+  | Some p ->
+    let h, run = Sq.Engine.prepared_stream ~params:[| R.Int sid |] p in
+    header := h;
+    run (fun row -> rows := row :: !rows)
+  | None ->
+    Obs.Scope.with_scope sc (fun () ->
+        let h, run = stream_select wdb (Rewrite.rewrite rs.qq ~sid) in
+        header := h;
+        run (fun row -> rows := row :: !rows)));
+  { ev_header = !header;
+    ev_rows = List.rev !rows;
+    ev_pagelog_reads = c "storage.pagelog_reads" - plr0;
+    ev_db_reads = c "storage.db_page_reads" - dbr0;
+    ev_cache_hits = c "retro.snap_cache_hits" - hit0;
+    ev_cache_misses = c "retro.snap_cache_misses" - mis0;
+    ev_spt_entries = c "retro.maplog_scanned" - spt0;
+    ev_eval_s = now () -. t0 }
+
+(* The Domain-parallel snapshot loop: [domains] workers evaluate the Qq
+   over disjoint snapshots concurrently (overlapping their archive-read
+   waits), while the main domain applies each evaluated row set through
+   the ordinary loop body in snapshot order.  Ordered application makes
+   the result table byte-identical to the sequential loop for every
+   mechanism — including order-sensitive ones like intervals — because
+   the loop body never observes a reordering.
+
+   Shared SPT caching is enabled for the duration of the run so workers
+   re-reading the same declared snapshot share its table; the prior
+   setting is restored on exit. *)
+let parallel_loop (rs : run_state) ~domains ~sids =
+  let arr = Array.of_list sids in
+  let n = Array.length arr in
+  let slots : eval_result option array = Array.make n None in
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  let stop = ref false in
+  let failure : exn option ref = ref None in
+  let worker w () =
+    let wdb = Sq.Db.session rs.data in
+    Fun.protect
+      ~finally:(fun () -> Sq.Db.close_session wdb)
+      (fun () ->
+        (* Per-worker prepared Qq, mirroring [qq_prepared]'s fallback:
+           a Qq the rewriter cannot parameterize falls back to the
+           textual per-snapshot rewrite in [eval_snapshot]. *)
+        let prep =
+          try
+            match Sq.Engine.parse rs.qq with
+            | Sq.Ast.Select sel ->
+              Some (Sq.Engine.prepare_select wdb ~key:(qq_key rs) (Rewrite.parameterize sel))
+            | _ -> None
+          with
+          | Sq.Engine.Error _ | Rewrite.Error _ -> None
+        in
+        try
+          let i = ref w in
+          while !i < n && not !stop do
+            let ev = eval_snapshot wdb prep rs arr.(!i) in
+            Mutex.lock mu;
+            slots.(!i) <- Some ev;
+            Condition.broadcast cv;
+            Mutex.unlock mu;
+            i := !i + domains
+          done
+        with e ->
+          Mutex.lock mu;
+          if !failure = None then failure := Some e;
+          stop := true;
+          Condition.broadcast cv;
+          Mutex.unlock mu)
+  in
+  (match Sq.Db.(rs.data.retro) with
+  | Some retro -> Retro.set_spt_cache retro true
+  | None -> ());
+  let dms = List.init (min domains n) (fun w -> Domain.spawn (worker w)) in
+  let wait_slot i =
+    Mutex.lock mu;
+    let rec go () =
+      match slots.(i) with
+      | Some ev ->
+        slots.(i) <- None; (* free the rows once applied *)
+        Mutex.unlock mu;
+        ev
+      | None -> (
+        match !failure with
+        | Some e ->
+          Mutex.unlock mu;
+          raise e
+        | None ->
+          Condition.wait cv mu;
+          go ())
+    in
+    go ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock mu;
+      stop := true;
+      Condition.broadcast cv;
+      Mutex.unlock mu;
+      List.iter Domain.join dms;
+      match Sq.Db.(rs.data.retro) with
+      | Some retro -> Retro.set_spt_cache retro false
+      | None -> ())
+    (fun () ->
+      Array.iteri
+        (fun i sid ->
+          let ev = wait_slot i in
+          step ~eval:ev rs ~sid ~cold:false)
+        arr)
+
 (* --- public mechanisms -------------------------------------------------- *)
 
-let run_mechanism ?(all_cold = false) ?(analyze = false) ctx kind ~qs ~qq ~table =
+let run_mechanism ?(all_cold = false) ?(analyze = false) ?(domains = 1) ctx kind ~qs ~qq ~table =
   (* make_run first: its Qq gate must fire before the Qs executes (a
      bad Qq spends zero page reads, not even SnapIds ones). *)
   let rs = make_run ~analyze ~kind ~data:ctx.data ~meta:ctx.meta ~qq ~table () in
@@ -745,8 +933,13 @@ let run_mechanism ?(all_cold = false) ?(analyze = false) ctx kind ~qs ~qq ~table
       [ ("mechanism", Obs.Trace.Str (mech_name kind));
         ("snapshots", Obs.Trace.Int (List.length sids)) ]
     (fun () ->
+      (* The parallel loop needs per-iteration independence: the
+         all-cold baseline (a cache clear between iterations) and
+         EXPLAIN ANALYZE accumulation (per-operator actuals on one
+         shared plan) are driven sequentially by construction. *)
       let loop () =
-        List.iter (fun sid -> step rs ~sid ~cold:all_cold) sids;
+        if domains > 1 && (not all_cold) && not analyze then parallel_loop rs ~domains ~sids
+        else List.iter (fun sid -> step rs ~sid ~cold:all_cold) sids;
         finish rs
       in
       let run () =
@@ -774,18 +967,18 @@ let run_mechanism ?(all_cold = false) ?(analyze = false) ctx kind ~qs ~qq ~table
         end;
         raise e)
 
-let collate_data ?all_cold ?analyze ctx ~qs ~qq ~table =
-  run_mechanism ?all_cold ?analyze ctx Collate ~qs ~qq ~table
+let collate_data ?all_cold ?analyze ?domains ctx ~qs ~qq ~table =
+  run_mechanism ?all_cold ?analyze ?domains ctx Collate ~qs ~qq ~table
 
-let aggregate_data_in_variable ?all_cold ?analyze ctx ~qs ~qq ~table ~fn =
-  run_mechanism ?all_cold ?analyze ctx (Agg_var (Monoid.of_string fn)) ~qs ~qq ~table
+let aggregate_data_in_variable ?all_cold ?analyze ?domains ctx ~qs ~qq ~table ~fn =
+  run_mechanism ?all_cold ?analyze ?domains ctx (Agg_var (Monoid.of_string fn)) ~qs ~qq ~table
 
-let aggregate_data_in_table ?all_cold ?analyze ctx ~qs ~qq ~table ~aggs =
+let aggregate_data_in_table ?all_cold ?analyze ?domains ctx ~qs ~qq ~table ~aggs =
   let aggs = List.map (fun (c, fn) -> (c, Monoid.of_string fn)) aggs in
-  run_mechanism ?all_cold ?analyze ctx (Agg_table aggs) ~qs ~qq ~table
+  run_mechanism ?all_cold ?analyze ?domains ctx (Agg_table aggs) ~qs ~qq ~table
 
-let collate_data_into_intervals ?all_cold ?analyze ctx ~qs ~qq ~table =
-  run_mechanism ?all_cold ?analyze ctx Intervals ~qs ~qq ~table
+let collate_data_into_intervals ?all_cold ?analyze ?domains ctx ~qs ~qq ~table =
+  run_mechanism ?all_cold ?analyze ?domains ctx Intervals ~qs ~qq ~table
 
 (* --- SQL-form UDFs ------------------------------------------------------ *)
 

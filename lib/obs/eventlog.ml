@@ -21,41 +21,57 @@ type event = {
 }
 
 let default_capacity = 1024
+
+(* lint: allow — guarded by [mu] below (every read/write goes through [locked]) *)
 let capacity = ref default_capacity
 
 (* Ring storage: [buf] holds the most recent [count] events ending at
-   position [head - 1] (mod capacity). *)
+   position [head - 1] (mod capacity).
+   lint: allow — ring state guarded by [mu] below, accessed via [locked] *)
 let buf : event option array ref = ref (Array.make default_capacity None)
 let head = ref 0
+(* lint: allow — guarded by [mu] below *)
 let count = ref 0
 let seq = ref 0
 
-(* Optional JSON-lines sink: events are appended as they are logged. *)
+(* Optional JSON-lines sink: events are appended as they are logged.
+   lint: allow — guarded by [mu] below *)
 let sink : out_channel option ref = ref None
 
+(* The ring is shared across sessions and domains: every producer and
+   reader serializes on this lock, so interleaved slow-query events from
+   concurrent connections cannot tear the ring indices. *)
+let mu = Mutex.create ()
+
+let locked f = Mutex.lock mu; Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
 let clear () =
-  Array.fill !buf 0 (Array.length !buf) None;
-  head := 0;
-  count := 0
+  locked (fun () ->
+      Array.fill !buf 0 (Array.length !buf) None;
+      head := 0;
+      count := 0)
 
 let set_capacity n =
   let n = max 1 n in
-  capacity := n;
-  buf := Array.make n None;
-  head := 0;
-  count := 0
+  locked (fun () ->
+      capacity := n;
+      buf := Array.make n None;
+      head := 0;
+      count := 0)
 
 let close_sink () =
-  match !sink with
-  | Some oc ->
-    close_out_noerr oc;
-    sink := None
-  | None -> ()
+  locked (fun () ->
+      match !sink with
+      | Some oc ->
+        close_out_noerr oc;
+        sink := None
+      | None -> ())
 
 (* Open [path] in append mode and mirror every subsequent event to it. *)
 let set_sink_file path =
   close_sink ();
-  sink := Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+  locked (fun () ->
+      sink := Some (open_out_gen [ Open_append; Open_creat ] 0o644 path))
 
 let event_to_json (e : event) =
   Json.Obj
@@ -70,36 +86,40 @@ let event_to_json (e : event) =
    the RQL run id, so slowlog lines stay attributable when several
    sessions / long retrospective runs interleave. *)
 let log ~kind fields =
-  incr seq;
-  let e =
-    { ev_seq = !seq;
-      ev_ts = Unix.gettimeofday ();
-      ev_kind = kind;
-      ev_scope = Scope.current_id ();
-      ev_run = Progress.current_run_id ();
-      ev_fields = fields }
-  in
-  !buf.(!head) <- Some e;
-  head := (!head + 1) mod !capacity;
-  if !count < !capacity then incr count;
-  match !sink with
-  | Some oc ->
-    output_string oc (Json.to_string (event_to_json e));
-    output_char oc '\n';
-    flush oc
-  | None -> ()
+  (* Ambient ids are domain-local: resolve them outside the lock. *)
+  let scope_id = Scope.current_id () and run_id = Progress.current_run_id () in
+  locked (fun () ->
+      incr seq;
+      let e =
+        { ev_seq = !seq;
+          ev_ts = Unix.gettimeofday ();
+          ev_kind = kind;
+          ev_scope = scope_id;
+          ev_run = run_id;
+          ev_fields = fields }
+      in
+      !buf.(!head) <- Some e;
+      head := (!head + 1) mod !capacity;
+      if !count < !capacity then incr count;
+      match !sink with
+      | Some oc ->
+        output_string oc (Json.to_string (event_to_json e));
+        output_char oc '\n';
+        flush oc
+      | None -> ())
 
 (* Oldest-first list of retained events. *)
 let events () =
-  let cap = !capacity in
-  let start = (!head - !count + cap * 2) mod cap in
-  let out = ref [] in
-  for k = !count - 1 downto 0 do
-    match !buf.((start + k) mod cap) with
-    | Some e -> out := e :: !out
-    | None -> ()
-  done;
-  !out
+  locked (fun () ->
+      let cap = !capacity in
+      let start = (!head - !count + cap * 2) mod cap in
+      let out = ref [] in
+      for k = !count - 1 downto 0 do
+        match !buf.((start + k) mod cap) with
+        | Some e -> out := e :: !out
+        | None -> ()
+      done;
+      !out)
 
 let to_json () = Json.List (List.map event_to_json (events ()))
 

@@ -163,11 +163,22 @@ type metric =
    merging, reset and JSON rendering are shared. *)
 type table = (string, metric) Hashtbl.t
 
+(* lint: allow — constructor; each table is owned by one scope and its
+   entry creation is serialized by [create_mu] (see [counter_in]) *)
 let make_table () : table = Hashtbl.create 16
 
+(* lint: allow — entry creation serialized by [create_mu]; established
+   entries are immutable handles (their values are word-atomic) *)
 let registry : table = Hashtbl.create 64
 
 exception Error of string
+
+(* Guards metric *creation* (table inserts), which can race when two
+   domains materialize the same scope-local metric concurrently.
+   Increments on existing metrics stay lock-free mutable-field writes:
+   word-atomic in OCaml 5, with lost-update imprecision under contention
+   accepted (the documented counter semantics). *)
+let create_mu = Mutex.create ()
 
 (* Creation is idempotent: looking up an existing name of the same kind
    returns the registered instance, so modules can own their counters as
@@ -177,8 +188,16 @@ let counter_in (tbl : table) name =
   | Some (M_counter c) -> c
   | Some _ -> raise (Error (Printf.sprintf "metric %s exists with another kind" name))
   | None ->
-    let c = { Counter.name; v = 0 } in
-    Hashtbl.replace tbl name (M_counter c);
+    Mutex.lock create_mu;
+    let c =
+      match Hashtbl.find_opt tbl name with
+      | Some (M_counter c) -> c
+      | _ ->
+        let c = { Counter.name; v = 0 } in
+        Hashtbl.replace tbl name (M_counter c);
+        c
+    in
+    Mutex.unlock create_mu;
     c
 
 let gauge_in (tbl : table) name =
@@ -186,8 +205,16 @@ let gauge_in (tbl : table) name =
   | Some (M_gauge g) -> g
   | Some _ -> raise (Error (Printf.sprintf "metric %s exists with another kind" name))
   | None ->
-    let g = { Gauge.name; v = 0. } in
-    Hashtbl.replace tbl name (M_gauge g);
+    Mutex.lock create_mu;
+    let g =
+      match Hashtbl.find_opt tbl name with
+      | Some (M_gauge g) -> g
+      | _ ->
+        let g = { Gauge.name; v = 0. } in
+        Hashtbl.replace tbl name (M_gauge g);
+        g
+    in
+    Mutex.unlock create_mu;
     g
 
 let histogram_in (tbl : table) name =
@@ -195,8 +222,16 @@ let histogram_in (tbl : table) name =
   | Some (M_histogram h) -> h
   | Some _ -> raise (Error (Printf.sprintf "metric %s exists with another kind" name))
   | None ->
-    let h = Histogram.make name in
-    Hashtbl.replace tbl name (M_histogram h);
+    Mutex.lock create_mu;
+    let h =
+      match Hashtbl.find_opt tbl name with
+      | Some (M_histogram h) -> h
+      | _ ->
+        let h = Histogram.make name in
+        Hashtbl.replace tbl name (M_histogram h);
+        h
+    in
+    Mutex.unlock create_mu;
     h
 
 let counter name = counter_in registry name
@@ -249,6 +284,7 @@ let reset_table (tbl : table) =
 
 (* Layers above (the scope tree) register here so a registry-wide reset
    also zeroes their derived state instead of leaving it stale. *)
+(* lint: allow — registration happens at module init on the main domain *)
 let reset_hooks : (unit -> unit) list ref = ref []
 
 let on_reset f = reset_hooks := f :: !reset_hooks
@@ -327,6 +363,7 @@ let prom_float f =
 
 (* Extra sections appended to the exposition by higher layers (the
    scope tree adds scope-labeled series and the page-heat matrix). *)
+(* lint: allow — registration happens at module init on the main domain *)
 let prom_exporters : (Buffer.t -> unit) list ref = ref []
 
 let add_prom_exporter f = prom_exporters := !prom_exporters @ [ f ]
@@ -334,6 +371,7 @@ let add_prom_exporter f = prom_exporters := !prom_exporters @ [ f ]
 (* Extra labeled samples emitted inside a metric's family, keyed by
    registry name — how per-scope values appear under the same family as
    the root sample (the exposition format groups a family's samples). *)
+(* lint: allow — registration happens at module init on the main domain *)
 let prom_extra_samples : (string -> ((string * string) list * float) list) ref = ref (fun _ -> [])
 
 let set_prom_extra_samples f = prom_extra_samples := f

@@ -46,14 +46,25 @@ type t = {
    pushed out by newer ones. *)
 let max_retained = 64
 
+(* lint: allow — both guarded by [mu] below, accessed via [locked] *)
 let runs_newest_first : t list ref = ref []
 let next_id = ref 1
 
-(* The run currently executing an iteration (single process, at most
-   one): event-log lines produced during an iteration carry its id. *)
-let active : t option ref = ref None
+(* Guards the registry list and id allocation; per-run mutable fields
+   are written only by the domain driving that run, so they stay
+   unlocked (sys_progress may read an iteration count one step stale,
+   never a torn value). *)
+let mu = Mutex.create ()
 
-let current_run_id () = match !active with Some p -> p.pr_id | None -> -1
+let locked f = Mutex.lock mu; Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* The run currently executing an iteration, per domain: event-log
+   lines produced during an iteration carry its id.  Parallel RQL
+   worker domains evaluating on behalf of a run install it here. *)
+let active : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current_run_id () =
+  match Domain.DLS.get active with Some p -> p.pr_id | None -> -1
 
 let trim () =
   let rec take n = function
@@ -65,6 +76,7 @@ let trim () =
     runs_newest_first := take max_retained !runs_newest_first
 
 let start ?(total = 0) ~mechanism ~detail () =
+  locked (fun () ->
   let p =
     { pr_id = !next_id;
       pr_mechanism = mechanism;
@@ -83,20 +95,20 @@ let start ?(total = 0) ~mechanism ~detail () =
   incr next_id;
   runs_newest_first := p :: !runs_newest_first;
   trim ();
-  p
+  p)
 
 let set_total p n = p.pr_total <- n
 let set_weights p w = p.pr_weights <- w
 
 let with_active p f =
-  let prev = !active in
-  active := Some p;
+  let prev = Domain.DLS.get active in
+  Domain.DLS.set active (Some p);
   match f () with
   | r ->
-    active := prev;
+    Domain.DLS.set active prev;
     r
   | exception e ->
-    active := prev;
+    Domain.DLS.set active prev;
     raise e
 
 (* Weighted remaining-work extrapolation; falls back to a flat per-
@@ -149,14 +161,15 @@ let request_cancel ?id () =
         p.pr_cancel <- true;
         incr n
       end)
-    !runs_newest_first;
+    (locked (fun () -> !runs_newest_first));
   !n
 
 (* Oldest-first, so sys_progress reads chronologically. *)
-let runs () = List.rev !runs_newest_first
+let runs () = List.rev (locked (fun () -> !runs_newest_first))
 
-let find id = List.find_opt (fun p -> p.pr_id = id) !runs_newest_first
+let find id =
+  List.find_opt (fun p -> p.pr_id = id) (locked (fun () -> !runs_newest_first))
 
 let clear () =
-  runs_newest_first := [];
-  active := None
+  locked (fun () -> runs_newest_first := []);
+  Domain.DLS.set active None

@@ -56,18 +56,27 @@ let root =
     sc_children = [];
     sc_live = true }
 
+(* lint: allow — guarded by [mu]: ids are only drawn inside [create] *)
 let next_id = ref 1
 
+(* Guards structural mutation shared across domains: the scope tree
+   (id allocation, child lists) and every heat-cell table.  Counter
+   increments stay lock-free — a plain mutable-field add is word-atomic
+   in OCaml 5 (no torn values; a lost increment under contention is the
+   documented precision trade, matching plain Metrics counters). *)
+let mu = Mutex.create ()
+
 (* The active scope: engine entry points set it from the handle's scope
-   for the duration of a statement.  Single-process, so one cell. *)
-let current = ref root
+   for the duration of a statement.  Domain-local, so concurrent AS OF
+   readers on separate domains each carry their own ambient scope. *)
+let current = Domain.DLS.new_key (fun () -> root)
 
 (* Ambient attribution labels for heat cells: the table being scanned
    ("" = none) and the snapshot being read (-1 = current state). *)
-let cur_table = ref ""
-let cur_snap = ref (-1)
+let cur_table = Domain.DLS.new_key (fun () -> "")
+let cur_snap = Domain.DLS.new_key (fun () -> -1)
 
-let create ?(parent = root) name =
+let create_unlocked ?(parent = root) name =
   let s =
     { sc_id = !next_id;
       sc_name = name;
@@ -82,46 +91,52 @@ let create ?(parent = root) name =
   parent.sc_children <- s :: parent.sc_children;
   s
 
+let create ?parent name =
+  Mutex.lock mu;
+  let s = create_unlocked ?parent name in
+  Mutex.unlock mu;
+  s
+
 let id s = s.sc_id
 let scope_name s = s.sc_name
 let parent_id s = match s.sc_parent with None -> -1 | Some p -> p.sc_id
 let depth s = s.sc_depth
 let is_live s = s.sc_live
 let is_root s = s == root
-let current_scope () = !current
-let current_id () = (!current).sc_id
+let current_scope () = Domain.DLS.get current
+let current_id () = (Domain.DLS.get current).sc_id
 
 let with_scope s f =
-  let prev = !current in
-  current := s;
+  let prev = Domain.DLS.get current in
+  Domain.DLS.set current s;
   match f () with
   | r ->
-    current := prev;
+    Domain.DLS.set current prev;
     r
   | exception e ->
-    current := prev;
+    Domain.DLS.set current prev;
     raise e
 
 let with_table name f =
-  let prev = !cur_table in
-  cur_table := name;
+  let prev = Domain.DLS.get cur_table in
+  Domain.DLS.set cur_table name;
   match f () with
   | r ->
-    cur_table := prev;
+    Domain.DLS.set cur_table prev;
     r
   | exception e ->
-    cur_table := prev;
+    Domain.DLS.set cur_table prev;
     raise e
 
 let with_snapshot sid f =
-  let prev = !cur_snap in
-  cur_snap := sid;
+  let prev = Domain.DLS.get cur_snap in
+  Domain.DLS.set cur_snap sid;
   match f () with
   | r ->
-    cur_snap := prev;
+    Domain.DLS.set cur_snap prev;
     r
   | exception e ->
-    cur_snap := prev;
+    Domain.DLS.set cur_snap prev;
     raise e
 
 (* --- scoped metric handles --------------------------------------------- *)
@@ -134,24 +149,35 @@ let build_chain make name s =
   in
   Array.of_list (go s [])
 
+(* The (scope -> chain) cache is domain-local: with parallel reader
+   domains each under its own scope, a shared cache slot would race and
+   charge one domain's increments to another domain's scope. *)
 type counter = {
   cn_name : string;
   cn_root : M.Counter.t;
-  mutable cn_for : t;
-  mutable cn_chain : M.Counter.t array;
+  cn_cache : (t * M.Counter.t array) ref Domain.DLS.key;
 }
 
-let counter name = { cn_name = name; cn_root = M.counter name; cn_for = root; cn_chain = [||] }
+let counter name =
+  { cn_name = name;
+    cn_root = M.counter name;
+    cn_cache = Domain.DLS.new_key (fun () -> ref (root, [||])) }
 
 let add h n =
   M.Counter.add h.cn_root n;
-  let s = !current in
+  let s = Domain.DLS.get current in
   if s != root then begin
-    if h.cn_for != s then begin
-      h.cn_for <- s;
-      h.cn_chain <- build_chain M.counter_in h.cn_name s
-    end;
-    Array.iter (fun c -> M.Counter.add c n) h.cn_chain
+    let cache = Domain.DLS.get h.cn_cache in
+    let cs, cached = !cache in
+    let chain =
+      if cs == s then cached
+      else begin
+        let chain = build_chain M.counter_in h.cn_name s in
+        cache := (s, chain);
+        chain
+      end
+    in
+    Array.iter (fun c -> M.Counter.add c n) chain
   end
 
 let incr h = add h 1
@@ -172,7 +198,7 @@ let gauge name = { ga_name = name; ga_root = M.gauge name; ga_for = root; ga_cha
 
 let gauge_add h x =
   M.Gauge.add h.ga_root x;
-  let s = !current in
+  let s = Domain.DLS.get current in
   if s != root then begin
     if h.ga_for != s then begin
       h.ga_for <- s;
@@ -196,7 +222,7 @@ let histogram name =
 
 let observe h v =
   M.Histogram.observe h.hi_root v;
-  let s = !current in
+  let s = Domain.DLS.get current in
   if s != root then begin
     if h.hi_for != s then begin
       h.hi_for <- s;
@@ -230,16 +256,19 @@ let heat_cell sc key =
 let page_read io h =
   incr h;
   incr c_page_reads;
-  let key = (!cur_table, !cur_snap) in
+  let key = (Domain.DLS.get cur_table, Domain.DLS.get cur_snap) in
   let charge sc =
     let c = heat_cell sc key in
     match io with
     | Db_read -> c.ht_db <- c.ht_db + 1
     | Archive_read -> c.ht_pagelog <- c.ht_pagelog + 1
   in
+  (* Heat tables are shared Hashtbls: serialize cell creation/update. *)
+  Mutex.lock mu;
   charge root;
   let rec up s = match s.sc_parent with None -> () | Some _ -> charge s; up (Option.get s.sc_parent) in
-  up !current
+  up (Domain.DLS.get current);
+  Mutex.unlock mu
 
 (* --- lifecycle --------------------------------------------------------- *)
 
@@ -248,7 +277,7 @@ let dropped_bucket_name = "(dropped)"
 let dropped_bucket parent =
   match List.find_opt (fun c -> c.sc_name = dropped_bucket_name) parent.sc_children with
   | Some b -> b
-  | None -> create ~parent dropped_bucket_name
+  | None -> create_unlocked ~parent dropped_bucket_name
 
 let rec detach s =
   s.sc_live <- false;
@@ -263,6 +292,7 @@ let drop s =
   match s.sc_parent with
   | None -> invalid_arg "Scope.drop: cannot drop the root scope"
   | Some p ->
+    Mutex.lock mu;
     if s.sc_live then begin
       p.sc_children <- List.filter (fun c -> c != s) p.sc_children;
       let b = dropped_bucket p in
@@ -274,8 +304,9 @@ let drop s =
           d.ht_pagelog <- d.ht_pagelog + c.ht_pagelog)
         s.sc_heat;
       detach s;
-      if !current == s then current := root
-    end
+      if Domain.DLS.get current == s then Domain.DLS.set current root
+    end;
+    Mutex.unlock mu
 
 let rec reset_scope s =
   if s != root then M.reset_table s.sc_metrics;
@@ -292,28 +323,39 @@ let () = M.on_reset (fun () -> reset_scope root)
    [heat(root) = storage.page_reads] intact across partial resets. *)
 let reset_heat () =
   set c_page_reads 0;
+  Mutex.lock mu;
   let rec clear s =
     Hashtbl.reset s.sc_heat;
     List.iter clear s.sc_children
   in
-  clear root
+  clear root;
+  Mutex.unlock mu
 
 (* --- introspection (sys_scopes / sys_heat / Prometheus) ---------------- *)
 
 let rec fold_scopes f acc s = List.fold_left (fold_scopes f) (f acc s) s.sc_children
 
 (* Every scope in the tree, root first, parents before children. *)
-let scopes () = List.rev (fold_scopes (fun acc s -> s :: acc) [] root)
+let scopes () =
+  Mutex.lock mu;
+  let ss = List.rev (fold_scopes (fun acc s -> s :: acc) [] root) in
+  Mutex.unlock mu;
+  ss
 
 let metric_items s = M.sorted_table_items s.sc_metrics
 
 (* ((table, snapshot), db_reads, archive_reads) rows, sorted. *)
 let heat_items s =
-  Hashtbl.fold (fun key c acc -> (key, c.ht_db, c.ht_pagelog) :: acc) s.sc_heat []
-  |> List.sort compare
+  Mutex.lock mu;
+  let items = Hashtbl.fold (fun key c acc -> (key, c.ht_db, c.ht_pagelog) :: acc) s.sc_heat [] in
+  Mutex.unlock mu;
+  List.sort compare items
 
 let heat_total s =
-  Hashtbl.fold (fun _ c acc -> acc + c.ht_db + c.ht_pagelog) s.sc_heat 0
+  Mutex.lock mu;
+  let n = Hashtbl.fold (fun _ c acc -> acc + c.ht_db + c.ht_pagelog) s.sc_heat 0 in
+  Mutex.unlock mu;
+  n
 
 let page_reads_total () = get c_page_reads
 

@@ -37,12 +37,15 @@ type span = {
 let tid_wall = 1
 let tid_modeled = 2
 
+(* lint: allow — span tracing is a main-domain profiling facility (shell
+   .profile); worker domains do not record spans *)
 let enabled = ref false
 let is_enabled () = !enabled
 let set_enabled on = enabled := on
 
 (* Trace epoch: set when the first event is recorded, so timestamps are
    small and the dump starts near t=0. *)
+(* lint: allow — main-domain profiling facility (see [enabled]) *)
 let epoch = ref Float.nan
 
 let now_s = Unix.gettimeofday
@@ -66,6 +69,7 @@ type counter_event = {
 
 let counter_capacity = 4096
 let counter_slots : counter_event option array = Array.make counter_capacity None
+(* lint: allow — main-domain profiling facility (see [enabled]) *)
 let counters_recorded = ref 0
 
 let clear_counters () =
@@ -123,13 +127,15 @@ let spans () = spans_since 0
 
 (* --- span recording ---------------------------------------------------- *)
 
+(* lint: allow — main-domain profiling facility (see [enabled]) *)
 let next_id = ref 0
 
 let fresh_id () =
   incr next_id;
   !next_id
 
-(* Stack of open spans (innermost first). *)
+(* Stack of open spans (innermost first).
+   lint: allow — main-domain profiling facility (see [enabled]) *)
 let stack : span list ref = ref []
 
 let current_parent () = match !stack with sp :: _ -> sp.id | [] -> -1

@@ -25,6 +25,11 @@ type t = {
   mutable skippy : bool;
   l1 : (int, entry array) Hashtbl.t; (* segment index -> digest *)
   l2 : (int, entry array) Hashtbl.t;
+  (* Digests are memoized lazily by read-side scans, so concurrent SPT
+     builds race on the two tables above without this lock.  Appends and
+     declarations stay outside it: they are serialized by the pager's
+     writer lock, and scans only touch the immutable prefix. *)
+  dg_mu : Mutex.t;
 }
 
 (* L1 digests cover [l1_size] raw entries; L2 digests cover [l2_factor]
@@ -39,7 +44,8 @@ let create () =
     n_boundaries = 0;
     skippy = true;
     l1 = Hashtbl.create 64;
-    l2 = Hashtbl.create 16 }
+    l2 = Hashtbl.create 16;
+    dg_mu = Mutex.create () }
 
 let set_skippy t on = t.skippy <- on
 
@@ -86,8 +92,9 @@ let dedup_range t lo hi =
   Array.of_list (List.rev !out)
 
 (* Digest of the [n]-th full L1 segment (memoized; segments are
-   immutable once the log has grown past them). *)
-let l1_digest t n =
+   immutable once the log has grown past them).  [_unlocked]: caller
+   holds [dg_mu]. *)
+let l1_digest_unlocked t n =
   match Hashtbl.find_opt t.l1 n with
   | Some d -> d
   | None ->
@@ -95,26 +102,37 @@ let l1_digest t n =
     Hashtbl.add t.l1 n d;
     d
 
+let l1_digest t n =
+  Mutex.lock t.dg_mu;
+  let d = l1_digest_unlocked t n in
+  Mutex.unlock t.dg_mu;
+  d
+
 (* Digest of the [n]-th L2 segment: the merged first-wins digest of its
    L1 segments. *)
 let l2_digest t n =
-  match Hashtbl.find_opt t.l2 n with
-  | Some d -> d
-  | None ->
-    let seen = Hashtbl.create 256 in
-    let out = ref [] in
-    for k = n * l2_factor to ((n + 1) * l2_factor) - 1 do
-      Array.iter
-        (fun (e : entry) ->
-          if not (Hashtbl.mem seen e.pid) then begin
-            Hashtbl.add seen e.pid ();
-            out := e :: !out
-          end)
-        (l1_digest t k)
-    done;
-    let d = Array.of_list (List.rev !out) in
-    Hashtbl.add t.l2 n d;
-    d
+  Mutex.lock t.dg_mu;
+  let d =
+    match Hashtbl.find_opt t.l2 n with
+    | Some d -> d
+    | None ->
+      let seen = Hashtbl.create 256 in
+      let out = ref [] in
+      for k = n * l2_factor to ((n + 1) * l2_factor) - 1 do
+        Array.iter
+          (fun (e : entry) ->
+            if not (Hashtbl.mem seen e.pid) then begin
+              Hashtbl.add seen e.pid ();
+              out := e :: !out
+            end)
+          (l1_digest_unlocked t k)
+      done;
+      let d = Array.of_list (List.rev !out) in
+      Hashtbl.add t.l2 n d;
+      d
+  in
+  Mutex.unlock t.dg_mu;
+  d
 
 (* Scan the suffix starting at snapshot [snap_id]'s position, calling
    [f pid pl_off] for the *first* mapping of each page only.  Returns the
@@ -174,8 +192,11 @@ let skippy_enabled t = t.skippy
    total digest entries held).  Digests are built lazily by scans, so
    these numbers reflect actual SPT-build traffic, not log size. *)
 let skippy_stats t =
+  Mutex.lock t.dg_mu;
   let sum tbl = Hashtbl.fold (fun _ d acc -> acc + Array.length d) tbl 0 in
-  (Hashtbl.length t.l1, Hashtbl.length t.l2, sum t.l1 + sum t.l2)
+  let r = (Hashtbl.length t.l1, Hashtbl.length t.l2, sum t.l1 + sum t.l2) in
+  Mutex.unlock t.dg_mu;
+  r
 
 (* Portable image (for backup/restore); skip digests are rebuilt on
    demand after restore. *)

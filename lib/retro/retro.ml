@@ -31,6 +31,17 @@ type t = {
   damaged : (int, unit) Hashtbl.t;
       (* snapshots known to reference a corrupt Pagelog block; their AS
          OF reads fail typed, everything else keeps working *)
+  (* Guards the shared read-side mutable state: the snapshot page cache
+     (Lru.find reorders its recency list even on hits), the damaged set
+     and the SPT cache.  Never held across Pagelog reads — the simulated
+     device may sleep there (Cost_model.real_read_latency). *)
+  rt_mu : Mutex.t;
+  (* Opt-in cross-session SPT cache: snap_id -> (maplog length at
+     build, SPT).  Off by default so the paper's SPT-build cost
+     attribution is untouched; concurrent AS OF readers (bench, server)
+     turn it on to share builds of the same declared snapshot. *)
+  mutable spt_cache_on : bool;
+  spt_cache : (int, int * Spt.t) Hashtbl.t;
 }
 
 exception Snapshot_damaged of { snap_id : int; pl_off : int; reason : string }
@@ -81,7 +92,10 @@ let attach ?(cache_pages = default_cache_pages) pager =
       snap_cache = Storage.Lru.create cache_pages;
       clock = Unix.gettimeofday;
       last_spt = None;
-      damaged = Hashtbl.create 4 }
+      damaged = Hashtbl.create 4;
+      rt_mu = Mutex.create ();
+      spt_cache_on = false;
+      spt_cache = Hashtbl.create 16 }
   in
   pager.Storage.Pager.pre_commit_hook <- on_commit t;
   t
@@ -93,16 +107,19 @@ let attach ?(cache_pages = default_cache_pages) pager =
    logged, because replaying the commit/declare sequence reproduces
    them. *)
 let declare t =
-  let snap_id =
-    Maplog.declare t.maplog ~db_pages:(Storage.Pager.n_pages t.pager) ~ts:(t.clock ())
-  in
-  (match t.pager.Storage.Pager.wal with
-   | Some w ->
-     let b = Maplog.boundary t.maplog snap_id in
-     w.Storage.Pager.wal_declare ~db_pages:b.Maplog.db_pages ~ts:b.Maplog.ts;
-     w.Storage.Pager.wal_barrier ()
-   | None -> ());
-  snap_id
+  (* A declaration moves the maplog boundary concurrent SPT builds scan
+     against: run it as the pager's writer, like a commit body. *)
+  Storage.Pager.with_write_lock t.pager (fun () ->
+      let snap_id =
+        Maplog.declare t.maplog ~db_pages:(Storage.Pager.n_pages t.pager) ~ts:(t.clock ())
+      in
+      (match t.pager.Storage.Pager.wal with
+       | Some w ->
+         let b = Maplog.boundary t.maplog snap_id in
+         w.Storage.Pager.wal_declare ~db_pages:b.Maplog.db_pages ~ts:b.Maplog.ts;
+         w.Storage.Pager.wal_barrier ()
+       | None -> ());
+      snap_id)
 
 (* Replay path: re-declare a snapshot with its WAL-logged boundary
    values.  Never logged (the record being replayed IS the log);
@@ -119,16 +136,48 @@ let snapshot_ts t snap_id = (Maplog.boundary t.maplog snap_id).Maplog.ts
    attributed cost components, and the span lets EXPLAIN PROFILE and
    trace dumps show it nested under the statement / RQL iteration. *)
 let build_spt t snap_id =
-  Obs.Trace.with_span ~name:"spt_build"
-    ~attrs:[ ("snap_id", Obs.Trace.Int snap_id) ]
-    (fun () ->
-      let scanned0 = Obs.Scope.get Storage.Stats.c_maplog_scanned in
-      let spt = Spt.build t.maplog snap_id in
-      Obs.Trace.set_attrs
-        [ ("maplog_scanned",
-           Obs.Trace.Int (Obs.Scope.get Storage.Stats.c_maplog_scanned - scanned0)) ];
-      t.last_spt <- Some (snap_id, Maplog.length t.maplog);
-      spt)
+  let cached =
+    if not t.spt_cache_on then None
+    else begin
+      Mutex.lock t.rt_mu;
+      let r =
+        match Hashtbl.find_opt t.spt_cache snap_id with
+        | Some (len, spt) when len = Maplog.length t.maplog -> Some spt
+        | _ -> None
+      in
+      Mutex.unlock t.rt_mu;
+      r
+    end
+  in
+  match cached with
+  | Some spt -> spt
+  | None ->
+    Obs.Trace.with_span ~name:"spt_build"
+      ~attrs:[ ("snap_id", Obs.Trace.Int snap_id) ]
+      (fun () ->
+        let scanned0 = Obs.Scope.get Storage.Stats.c_maplog_scanned in
+        let spt = Spt.build t.maplog snap_id in
+        Obs.Trace.set_attrs
+          [ ("maplog_scanned",
+             Obs.Trace.Int (Obs.Scope.get Storage.Stats.c_maplog_scanned - scanned0)) ];
+        let len = Maplog.length t.maplog in
+        t.last_spt <- Some (snap_id, len);
+        if t.spt_cache_on then begin
+          Mutex.lock t.rt_mu;
+          Hashtbl.replace t.spt_cache snap_id (len, spt);
+          Mutex.unlock t.rt_mu
+        end;
+        spt)
+
+(* Enable/disable sharing built SPTs across sessions (declared
+   snapshots are immutable, so a cached SPT is valid until the maplog
+   grows).  Off by default: caching would hide the per-iteration SPT
+   build cost the paper attributes. *)
+let set_spt_cache t on =
+  Mutex.lock t.rt_mu;
+  t.spt_cache_on <- on;
+  if not on then Hashtbl.reset t.spt_cache;
+  Mutex.unlock t.rt_mu
 
 (* Whether the most recently built SPT belongs to [snap_id] and is still
    current (no mappings appended since the build).  Reported by
@@ -144,10 +193,22 @@ let set_skippy t on = Maplog.set_skippy t.maplog on
 
 (* --- damage tracking ----------------------------------------------------- *)
 
-let mark_damaged t snap_id = Hashtbl.replace t.damaged snap_id ()
-let is_damaged t snap_id = Hashtbl.mem t.damaged snap_id
+let mark_damaged t snap_id =
+  Mutex.lock t.rt_mu;
+  Hashtbl.replace t.damaged snap_id ();
+  Mutex.unlock t.rt_mu
+
+let is_damaged t snap_id =
+  Mutex.lock t.rt_mu;
+  let r = Hashtbl.mem t.damaged snap_id in
+  Mutex.unlock t.rt_mu;
+  r
+
 let damaged_snapshots t =
-  Hashtbl.fold (fun s () acc -> s :: acc) t.damaged [] |> List.sort compare
+  Mutex.lock t.rt_mu;
+  let l = Hashtbl.fold (fun s () acc -> s :: acc) t.damaged [] in
+  Mutex.unlock t.rt_mu;
+  List.sort compare l
 
 (* Fetch page [pid] as of the snapshot described by [spt].  A corrupt
    archived block fails only this snapshot (typed, and recorded as
@@ -159,7 +220,17 @@ let read_page t (spt : Spt.t) pid =
          spt.Spt.snap_id spt.Spt.db_pages);
   match Spt.find spt pid with
   | Some off -> (
-    match Storage.Lru.find t.snap_cache off with
+    (* Lru.find reorders the recency list even on a hit: lock around
+       cache probes and inserts, but never across the Pagelog read —
+       that is where the simulated device may sleep, and concurrent
+       readers overlapping those sleeps is the whole point. *)
+    let hit =
+      Mutex.lock t.rt_mu;
+      let h = Storage.Lru.find t.snap_cache off in
+      Mutex.unlock t.rt_mu;
+      h
+    in
+    match hit with
     | Some page ->
       Obs.Scope.incr Storage.Stats.c_snap_cache_hits;
       page
@@ -167,7 +238,9 @@ let read_page t (spt : Spt.t) pid =
       Obs.Scope.incr Storage.Stats.c_snap_cache_misses;
       (match Pagelog.read t.pagelog off with
        | page ->
+         Mutex.lock t.rt_mu;
          Storage.Lru.add t.snap_cache off page;
+         Mutex.unlock t.rt_mu;
          page
        | exception Storage.Disk.Corruption { block; detail; _ } ->
          Obs.Scope.incr Storage.Stats.c_checksum_failures;
@@ -187,9 +260,16 @@ let read_ctx t spt : Storage.Pager.read = fun pid -> read_page t spt pid
 
 (* Empty the snapshot page cache: the paper's experiments assume the
    cache is cold at the start of each RQL query. *)
-let clear_cache t = Storage.Lru.clear t.snap_cache
+let clear_cache t =
+  Mutex.lock t.rt_mu;
+  Storage.Lru.clear t.snap_cache;
+  Hashtbl.reset t.spt_cache;
+  Mutex.unlock t.rt_mu
 
-let set_cache_pages t n = Storage.Lru.set_capacity t.snap_cache n
+let set_cache_pages t n =
+  Mutex.lock t.rt_mu;
+  Storage.Lru.set_capacity t.snap_cache n;
+  Mutex.unlock t.rt_mu
 
 (* Per-instance snapshot-cache statistics; also refreshes the
    corresponding gauges in the metrics registry so Prometheus scrapes
@@ -199,7 +279,9 @@ let g_cache_occupancy = Obs.Metrics.gauge "retro.snap_cache.occupancy"
 let g_cache_evictions = Obs.Metrics.gauge "retro.snap_cache.evictions"
 
 let cache_stats t =
+  Mutex.lock t.rt_mu;
   let s = Storage.Lru.stat_record t.snap_cache in
+  Mutex.unlock t.rt_mu;
   Obs.Metrics.Gauge.set g_cache_capacity (float_of_int s.Storage.Lru.s_capacity);
   Obs.Metrics.Gauge.set g_cache_occupancy (float_of_int s.Storage.Lru.s_occupancy);
   Obs.Metrics.Gauge.set g_cache_evictions (float_of_int s.Storage.Lru.s_evictions);
@@ -412,7 +494,10 @@ let import ?(cache_pages = default_cache_pages) pager img =
       snap_cache = Storage.Lru.create cache_pages;
       clock = Unix.gettimeofday;
       last_spt = None;
-      damaged = Hashtbl.create 4 }
+      damaged = Hashtbl.create 4;
+      rt_mu = Mutex.create ();
+      spt_cache_on = false;
+      spt_cache = Hashtbl.create 16 }
   in
   pager.Storage.Pager.pre_commit_hook <- on_commit t;
   t

@@ -1,6 +1,19 @@
-(* Database handle: a pager (optionally with a Retro snapshot system
-   attached), the current explicit transaction, registered functions and
-   cached handles.
+(* Database handle: a per-session view over a shared database core.
+
+   The [core] owns everything that is a property of the database itself
+   — the pager (optionally with a Retro snapshot system attached), the
+   WAL, registered functions, the one explicit transaction, the
+   current-state catalog cache and the schema generation counter.  A
+   [t] is a session over that core: it owns the prepared-plan cache and
+   its hit/miss counters, the observability knobs (EXPLAIN ANALYZE
+   state, slow-query threshold), the metric scope statements charge,
+   and a private heap-handle cache.  [session] derives a fresh session
+   from any handle; [create] returns the database's root session.
+
+   Cross-session plan invalidation rides on the shared generation
+   counter: DDL through any session bumps [core.generation], and every
+   session's cached plans carry the generation they were built under,
+   so they re-plan on next use no matter which session compiled them.
 
    A handle created with [snapshots:false] is a non-snapshottable
    database; RQL stores SnapIds and result tables in such a database, as
@@ -14,21 +27,42 @@ let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
 type fn = R.value array -> R.value
 
-type t = {
+type core = {
+  c_pager : Storage.Pager.t;
+  c_retro : Retro.t option;
+  mutable c_wal : Storage.Wal.t option;       (* durability log (open_wal) *)
+  c_funcs : (string, fn) Hashtbl.t;
+  mutable c_txn : Storage.Txn.t option;       (* explicit BEGIN..COMMIT *)
+  (* Catalog cache tagged with the epoch it was loaded under; a commit
+     or schema change from any session advances the epoch, so a slow
+     concurrent loader cannot install a stale catalog afterwards. *)
+  mutable c_catalog_cache : (int * Catalog.t) option;
+  mutable c_catalog_epoch : int;
+  mutable c_generation : int;                 (* plan-cache schema generation *)
+  (* Guards the mutable core fields above plus the session registry;
+     never held across page I/O or statement execution. *)
+  c_lock : Mutex.t;
+  mutable c_next_session : int;
+  mutable c_sessions : session_info list;
+}
+
+and t = {
+  core : core;
+  (* The shared structures, re-exposed as handle fields: they are
+     immutable properties of the core, and nearly every consumer
+     reaches them as [db.Db.pager] / [db.Db.retro]. *)
   pager : Storage.Pager.t;
   retro : Retro.t option;
-  mutable wal : Storage.Wal.t option;         (* durability log (open_wal) *)
-  funcs : (string, fn) Hashtbl.t;
-  mutable txn : Storage.Txn.t option;         (* explicit BEGIN..COMMIT *)
-  mutable catalog_cache : Catalog.t option;   (* current-state catalog *)
-  heap_handles : (int, Storage.Heap.t) Hashtbl.t; (* first page -> handle *)
-  (* Prepared-plan cache, keyed by statement text.  [generation] counts
-     schema changes; a cached plan whose generation differs is stale. *)
+  session_id : int;
+  mutable prepared_count : int;               (* statements prepared here *)
+  (* Prepared-plan cache, keyed by statement text.  [core.c_generation]
+     counts schema changes; a cached plan whose generation differs is
+     stale. *)
   plan_cache : (string, Plan.cached) Hashtbl.t;
-  mutable generation : int;
   mutable plan_hits : int;
   mutable plan_misses : int;
   mutable plan_invalidations : int;
+  heap_handles : (int, Storage.Heap.t) Hashtbl.t; (* first page -> handle *)
   (* Observability knobs.  [analyze] turns on per-operator plan
      instrumentation for executions through this handle (EXPLAIN
      ANALYZE / analyzed RQL runs flip it for the duration);
@@ -40,28 +74,83 @@ type t = {
   (* The metric scope charged for work done through this handle; the
      engine activates it around every statement.  Defaults to the root
      scope (process-wide accounting, exactly the pre-scope behavior);
-     a per-connection session would install a child scope here. *)
+     a per-connection session installs a child scope here. *)
   mutable scope : Obs.Scope.t;
 }
 
+and session_info = { si_id : int; si_handle : t }
+
+let make_session core =
+  Mutex.lock core.c_lock;
+  let id = core.c_next_session in
+  core.c_next_session <- id + 1;
+  let db =
+    { core;
+      pager = core.c_pager;
+      retro = core.c_retro;
+      session_id = id;
+      prepared_count = 0;
+      plan_cache = Hashtbl.create 32;
+      plan_hits = 0;
+      plan_misses = 0;
+      plan_invalidations = 0;
+      heap_handles = Hashtbl.create 16;
+      analyze = false;
+      slow_query_s = None;
+      last_analysis = None;
+      scope = Obs.Scope.root }
+  in
+  core.c_sessions <- { si_id = id; si_handle = db } :: core.c_sessions;
+  Mutex.unlock core.c_lock;
+  db
+
 (* Assemble a handle from restored parts (Backup). *)
 let of_parts ~pager ~retro =
-  { pager;
-    retro;
-    wal = None;
-    funcs = Hashtbl.create 16;
-    txn = None;
-    catalog_cache = None;
-    heap_handles = Hashtbl.create 16;
-    plan_cache = Hashtbl.create 32;
-    generation = 0;
-    plan_hits = 0;
-    plan_misses = 0;
-    plan_invalidations = 0;
-    analyze = false;
-    slow_query_s = None;
-    last_analysis = None;
-    scope = Obs.Scope.root }
+  let core =
+    { c_pager = pager;
+      c_retro = retro;
+      c_wal = None;
+      c_funcs = Hashtbl.create 16;
+      c_txn = None;
+      c_catalog_cache = None;
+      c_catalog_epoch = 0;
+      c_generation = 0;
+      c_lock = Mutex.create ();
+      c_next_session = 1;
+      c_sessions = [] }
+  in
+  make_session core
+
+(* Derive a fresh session over the same core: shared pages, snapshots,
+   functions and schema generation; private plan cache, scope and
+   observability state.  Derived sessions charge a child scope named
+   after their id, so sys_scopes / sys_sessions attribute per-connection
+   load; the root session keeps the root scope (process-wide totals,
+   exactly the single-handle behavior). *)
+let session t =
+  let s = make_session t.core in
+  s.scope <- Obs.Scope.create (Printf.sprintf "session:%d" s.session_id);
+  s
+
+let session_id t = t.session_id
+let note_prepared t = t.prepared_count <- t.prepared_count + 1
+
+(* Live sessions of this handle's core, oldest first (sys_sessions). *)
+let sessions t =
+  Mutex.lock t.core.c_lock;
+  let ss = List.rev t.core.c_sessions in
+  Mutex.unlock t.core.c_lock;
+  List.map (fun si -> si.si_handle) ss
+
+(* Forget a derived session (a disconnected client); its plan cache and
+   counters drop out of sys_sessions. *)
+let close_session t =
+  Mutex.lock t.core.c_lock;
+  t.core.c_sessions <-
+    List.filter (fun si -> si.si_id <> t.session_id) t.core.c_sessions;
+  Mutex.unlock t.core.c_lock
+
+let generation t = t.core.c_generation
 
 let create ?(snapshots = true) () =
   let pager = Storage.Pager.create () in
@@ -105,7 +194,7 @@ let open_wal ?(group_commit = 1) ~path () : t * recovery option =
     let wal = Storage.Wal.create ~group_commit ~path () in
     Storage.Wal.attach wal pager;
     let db = of_parts ~pager ~retro:(Some retro) in
-    db.wal <- Some wal;
+    db.core.c_wal <- Some wal;
     Storage.Txn.with_txn pager (fun txn -> Catalog.bootstrap txn);
     (db, None)
   end
@@ -120,7 +209,7 @@ let open_wal ?(group_commit = 1) ~path () : t * recovery option =
     let wal = Storage.Wal.open_append ~group_commit ~path () in
     Storage.Wal.attach wal pager;
     let db = of_parts ~pager ~retro:(Some retro) in
-    db.wal <- Some wal;
+    db.core.c_wal <- Some wal;
     (* If no commit survived (the catalog-bootstrap commit itself was
        lost to an unflushed batch or a damaged tail), the valid prefix
        describes an empty database: bootstrap again, through the log. *)
@@ -133,25 +222,37 @@ let open_wal ?(group_commit = 1) ~path () : t * recovery option =
           rec_damaged = damaged } )
   end
 
-let wal_status t = Option.map Storage.Wal.status t.wal
+let wal t = t.core.c_wal
+let wal_status t = Option.map Storage.Wal.status t.core.c_wal
 
 (* Flush + fsync any pending WAL tail (e.g. group-commit remainder). *)
-let sync_wal t = Option.iter Storage.Wal.sync t.wal
+let sync_wal t = Option.iter Storage.Wal.sync t.core.c_wal
 
 let close_wal t =
-  Option.iter Storage.Wal.close t.wal;
-  t.wal <- None
+  Option.iter Storage.Wal.close t.core.c_wal;
+  t.core.c_wal <- None
 
 (* Install the scope statements through this handle charge (root by
    default); the engine wraps every execution in it. *)
 let set_scope t scope = t.scope <- scope
 let scope t = t.scope
 
-let register_fn t name fn = Hashtbl.replace t.funcs (String.lowercase_ascii name) fn
+(* Function registry is core-wide: a UDF registered through any session
+   is visible to all of them (RQL registers its loop-body UDFs once and
+   evaluates through derived sessions).  Registration is expected at
+   setup time — it is not synchronized against concurrent lookups. *)
+let register_fn t name fn =
+  Hashtbl.replace t.core.c_funcs (String.lowercase_ascii name) fn
+
+(* A handle-registered function (as opposed to a pure builtin).  UDFs
+   run arbitrary code — the RQL mechanisms registered on the meta
+   database write tables — so the engine must not classify a SELECT
+   calling one as a pure reader. *)
+let is_udf t name = Hashtbl.mem t.core.c_funcs (String.lowercase_ascii name)
 
 let lookup_fn t name =
   let name = String.lowercase_ascii name in
-  match Hashtbl.find_opt t.funcs name with
+  match Hashtbl.find_opt t.core.c_funcs name with
   | Some f -> Some f
   | None -> Func.find name
 
@@ -160,34 +261,50 @@ let fn_ctx t : Expr.fn_ctx = { Expr.lookup_fn = (fun name -> lookup_fn t name) }
 (* Read context for the current state: the open transaction's view if
    one is active, otherwise the committed state. *)
 let read_current t : Storage.Pager.read =
-  match t.txn with
+  match t.core.c_txn with
   | Some txn when Storage.Txn.is_active txn -> Storage.Txn.read_ctx txn
   | _ -> Storage.Pager.read t.pager
 
-let invalidate_catalog t = t.catalog_cache <- None
+let invalidate_catalog t =
+  Mutex.lock t.core.c_lock;
+  t.core.c_catalog_cache <- None;
+  t.core.c_catalog_epoch <- t.core.c_catalog_epoch + 1;
+  Mutex.unlock t.core.c_lock
 
 (* The schema changed (DDL or rollback of possible DDL): drop the
    catalog cache and advance the plan-cache generation so every cached
-   plan re-plans on next use. *)
+   plan — in every session — re-plans on next use. *)
 let schema_changed t =
-  t.catalog_cache <- None;
-  t.generation <- t.generation + 1
+  Mutex.lock t.core.c_lock;
+  t.core.c_catalog_cache <- None;
+  t.core.c_catalog_epoch <- t.core.c_catalog_epoch + 1;
+  t.core.c_generation <- t.core.c_generation + 1;
+  Mutex.unlock t.core.c_lock
 
 let catalog t =
-  match t.txn with
+  match t.core.c_txn with
   | Some txn when Storage.Txn.is_active txn ->
     (* Inside a transaction the catalog may contain uncommitted DDL;
        don't cache. *)
     Catalog.load (Storage.Txn.read_ctx txn)
   | _ -> (
-    match t.catalog_cache with
-    | Some c -> c
-    | None ->
+    let core = t.core in
+    Mutex.lock core.c_lock;
+    let cached = core.c_catalog_cache and epoch = core.c_catalog_epoch in
+    Mutex.unlock core.c_lock;
+    match cached with
+    | Some (e, c) when e = epoch -> c
+    | _ ->
       let c = Catalog.load (Storage.Pager.read t.pager) in
-      t.catalog_cache <- Some c;
+      Mutex.lock core.c_lock;
+      (* Only install if nothing invalidated the catalog while we were
+         loading it — otherwise we would cache a stale schema. *)
+      if core.c_catalog_epoch = epoch then core.c_catalog_cache <- Some (epoch, c);
+      Mutex.unlock core.c_lock;
       c)
 
-(* Cached heap handle (keeps insert hints warm across statements). *)
+(* Cached heap handle (keeps insert hints warm across statements);
+   session-private, so concurrent readers never share insert hints. *)
 let heap_handle t first_page =
   match Hashtbl.find_opt t.heap_handles first_page with
   | Some h -> h
@@ -201,24 +318,27 @@ let drop_heap_handle t first_page = Hashtbl.remove t.heap_handles first_page
 (* Run [f] in the open transaction, or wrap it in an autocommit
    transaction if none is open. *)
 let with_write_txn t f =
-  match t.txn with
+  match t.core.c_txn with
   | Some txn when Storage.Txn.is_active txn -> f txn
   | _ -> Storage.Txn.with_txn t.pager f
 
+(* The explicit transaction slot is a property of the database, not the
+   session: a second BEGIN — from this session or any other — errors
+   rather than blocks (one writer at a time, detected, never deadlocked). *)
 let begin_txn t =
-  (match t.txn with
+  (match t.core.c_txn with
   | Some txn when Storage.Txn.is_active txn -> error "transaction already open"
   | _ -> ());
-  t.txn <- Some (Storage.Txn.begin_txn t.pager)
+  t.core.c_txn <- Some (Storage.Txn.begin_txn t.pager)
 
 (* Commit; with [snapshot] also declares a Retro snapshot reflecting the
    committed state and returns its id. *)
 let commit t ~snapshot =
   let sid =
-    match t.txn with
+    match t.core.c_txn with
     | Some txn when Storage.Txn.is_active txn ->
       Storage.Txn.commit txn;
-      t.txn <- None;
+      t.core.c_txn <- None;
       if snapshot then Some (Retro.declare (retro_exn t)) else None
     | _ ->
       (* COMMIT WITH SNAPSHOT outside BEGIN declares a snapshot of the
@@ -230,11 +350,12 @@ let commit t ~snapshot =
   sid
 
 let rollback t =
-  (match t.txn with
+  (match t.core.c_txn with
   | Some txn when Storage.Txn.is_active txn ->
     Storage.Txn.abort txn;
-    t.txn <- None
+    t.core.c_txn <- None
   | _ -> error "no transaction is open");
   schema_changed t
 
-let in_txn t = match t.txn with Some txn -> Storage.Txn.is_active txn | None -> false
+let in_txn t =
+  match t.core.c_txn with Some txn -> Storage.Txn.is_active txn | None -> false

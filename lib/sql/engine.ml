@@ -188,11 +188,11 @@ let plan_for db ?key (env : Exec.env) (sel : select) : Plan.t =
   | Some key -> (
     let store p =
       if Hashtbl.length db.Db.plan_cache >= plan_cache_cap then Hashtbl.reset db.Db.plan_cache;
-      Hashtbl.replace db.Db.plan_cache key { Plan.cp_plan = p; cp_gen = db.Db.generation };
+      Hashtbl.replace db.Db.plan_cache key { Plan.cp_plan = p; cp_gen = Db.generation db };
       p
     in
     match Hashtbl.find_opt db.Db.plan_cache key with
-    | Some c when c.Plan.cp_gen = db.Db.generation ->
+    | Some c when c.Plan.cp_gen = Db.generation db ->
       Obs.Scope.incr c_plan_hits;
       db.Db.plan_hits <- db.Db.plan_hits + 1;
       c.Plan.cp_plan
@@ -223,6 +223,37 @@ let collect (columns, run) =
   let rows = ref [] in
   run (fun r -> rows := r :: !rows);
   { empty_result with columns; rows = List.rev !rows }
+
+(* Does this select call a handle-registered UDF anywhere (including
+   subqueries)?  A UDF body is arbitrary code — the RQL mechanisms
+   registered on the meta database create and commit tables — so such a
+   select cannot hold the statement-level read lock: its inner commits
+   take the same lock in write mode and would deadlock on the
+   statement's own read hold. *)
+let select_calls_udf db (sel : select) =
+  let found = ref false in
+  ignore
+    (Expr.map_select
+       (fun e ->
+         (match e with
+          | Call (n, _) when Db.is_udf db n -> found := true
+          | _ -> ());
+         e)
+       sel);
+  !found
+
+(* Statements that never mutate committed pages run as readers of the
+   pager's rwlock, so concurrent sessions can overlap them; mutating
+   statements take the lock in write mode inside Txn.commit (holding a
+   read lock across a whole write statement would self-deadlock at its
+   own commit).  The lock is reader-preferring, so the nested read
+   sections this classification produces (e.g. a prepared statement
+   evaluated inside a read statement) are safe. *)
+let stmt_takes_read_lock db = function
+  | Select s | Explain_profile s | Explain_analyze s -> not (select_calls_udf db s)
+  | Explain _ | Explain_lint _ | Analyze_archive | Pragma _ -> true
+  | Insert _ | Delete _ | Update _ | Create_table _ | Create_index _
+  | Drop_table _ | Drop_index _ | Begin_txn | Commit _ | Rollback -> false
 
 let stmt_kind = function
   | Select _ -> "select"
@@ -560,7 +591,11 @@ let run_stmt db ?key (s : stmt) : result =
           (fun () ->
             Obs.Trace.with_span ~name:"sql.stmt"
               ~attrs:[ ("kind", Obs.Trace.Str (stmt_kind s)) ]
-              (fun () -> run_stmt_core db ?key s))
+              (fun () ->
+                if stmt_takes_read_lock db s then
+                  Storage.Pager.with_read_lock db.Db.pager (fun () ->
+                      run_stmt_core db ?key s)
+                else run_stmt_core db ?key s))
       in
       observe_stmt db ?key ~s ~plan_hit:(db.Db.plan_hits > hits0)
         ~elapsed_s:(Unix.gettimeofday () -. t0)
@@ -608,8 +643,13 @@ let exec_rows db sql ~(f : string array -> R.row -> unit) : unit =
       | Select sel ->
         Obs.Scope.with_scope db.Db.scope (fun () ->
             analyzer_gate db ~sql (Select sel);
-            let header, run = run_select db ~key:sql sel in
-            run (fun row -> f header row))
+            let locked g =
+              if select_calls_udf db sel then g ()
+              else Storage.Pager.with_read_lock db.Db.pager g
+            in
+            locked (fun () ->
+                let header, run = run_select db ~key:sql sel in
+                run (fun row -> f header row)))
       | other -> ignore (run_stmt db other))
 
 (* --- prepared statements --------------------------------------------- *)
@@ -623,19 +663,28 @@ type prepared = {
   pr_db : db;
   pr_key : string; (* plan-cache key *)
   pr_sel : select;
+  pr_read_lock : bool; (* false when the select calls a UDF (may write) *)
 }
 
 let prepare_select db ~key (sel : select) : prepared =
   analyzer_gate db (Select sel);
-  { pr_db = db; pr_key = key; pr_sel = sel }
+  Db.note_prepared db;
+  { pr_db = db; pr_key = key; pr_sel = sel;
+    pr_read_lock = not (select_calls_udf db sel) }
 
 let prepare db sql : prepared =
   wrap_errors (fun () ->
       match parse_one sql with
       | Select sel ->
         analyzer_gate db ~sql (Select sel);
-        { pr_db = db; pr_key = sql; pr_sel = sel }
+        Db.note_prepared db;
+        { pr_db = db; pr_key = sql; pr_sel = sel;
+          pr_read_lock = not (select_calls_udf db sel) }
       | _ -> error "only SELECT statements can be prepared")
+
+let prepared_locked (p : prepared) g =
+  if p.pr_read_lock then Storage.Pager.with_read_lock p.pr_db.Db.pager g
+  else g ()
 
 (* Stream a prepared statement's rows (no statement accounting).  Both
    planning and the returned runner activate the handle's scope — the
@@ -645,9 +694,13 @@ let prepared_stream ?(params = [||]) (p : prepared) :
   wrap_errors (fun () ->
       let header, run =
         Obs.Scope.with_scope p.pr_db.Db.scope (fun () ->
-            run_select p.pr_db ~key:p.pr_key ~params p.pr_sel)
+            prepared_locked p (fun () ->
+                run_select p.pr_db ~key:p.pr_key ~params p.pr_sel))
       in
-      (header, fun f -> Obs.Scope.with_scope p.pr_db.Db.scope (fun () -> run f)))
+      ( header,
+        fun f ->
+          Obs.Scope.with_scope p.pr_db.Db.scope (fun () ->
+              prepared_locked p (fun () -> run f)) ))
 
 (* Execute a prepared statement with full statement accounting, like
    [exec] minus the parse. *)
@@ -665,7 +718,9 @@ let exec_prepared ?(params = [||]) (p : prepared) : result =
           (fun () ->
             Obs.Trace.with_span ~name:"sql.stmt"
               ~attrs:[ ("kind", Obs.Trace.Str "select") ]
-              (fun () -> collect (run_select db ~key:p.pr_key ~params p.pr_sel)))
+              (fun () ->
+                prepared_locked p (fun () ->
+                    collect (run_select db ~key:p.pr_key ~params p.pr_sel))))
       in
       observe_stmt db ~key:p.pr_key ~params ~s:(Select p.pr_sel)
         ~plan_hit:(db.Db.plan_hits > hits0)
@@ -741,5 +796,5 @@ let set_analyze db on = db.Db.analyze <- on
    repeated statements (the RQL run report reads its Qq plan here). *)
 let cached_plan db ~key : Plan.t option =
   match Hashtbl.find_opt db.Db.plan_cache key with
-  | Some c when c.Plan.cp_gen = db.Db.generation -> Some c.Plan.cp_plan
+  | Some c when c.Plan.cp_gen = Db.generation db -> Some c.Plan.cp_plan
   | _ -> None

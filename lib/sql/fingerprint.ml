@@ -60,21 +60,32 @@ let fingerprint_of (norm : string) : string =
     norm;
   Printf.sprintf "%016Lx" !h
 
+(* lint: allow — guarded by [mu] below, accessed via [locked] *)
 let capacity = ref 512
 
-(* norm text -> stat *)
+(* The registry is process-wide and fed by every session on every
+   domain: all access to the two tables below goes through [mu].
+   Per-stat field bumps also happen under it — [record] is one lock
+   round-trip per statement, far off the page-read hot path. *)
+let mu = Mutex.create ()
+
+let locked f = Mutex.lock mu; Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* norm text -> stat.  lint: allow — all access mutex-protected above *)
 let registry : (string, stat) Hashtbl.t = Hashtbl.create 64
 
 (* raw sql -> norm memo, so the per-statement hot path re-lexes only
-   texts it has never seen.  Reset wholesale when it outgrows its cap. *)
+   texts it has never seen.  Reset wholesale when it outgrows its cap.
+   lint: allow — all access mutex-protected above *)
 let memo : (string, string) Hashtbl.t = Hashtbl.create 256
 let memo_cap = 2048
 
 let reset () =
-  Hashtbl.reset registry;
-  Hashtbl.reset memo
+  locked (fun () ->
+      Hashtbl.reset registry;
+      Hashtbl.reset memo)
 
-let normalized_of sql =
+let normalized_of_unlocked sql =
   match Hashtbl.find_opt memo sql with
   | Some n -> n
   | None ->
@@ -82,6 +93,8 @@ let normalized_of sql =
     if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
     Hashtbl.add memo sql n;
     n
+
+let normalized_of sql = locked (fun () -> normalized_of_unlocked sql)
 
 let evict_coldest () =
   let victim = ref None in
@@ -95,28 +108,30 @@ let evict_coldest () =
 
 (* Record one completed execution of [sql]. *)
 let record ~sql ~rows ~elapsed_s ~plan_hit =
-  let norm = normalized_of sql in
-  let st =
-    match Hashtbl.find_opt registry norm with
-    | Some st -> st
-    | None ->
-      if Hashtbl.length registry >= !capacity then evict_coldest ();
+  locked (fun () ->
+      let norm = normalized_of_unlocked sql in
       let st =
-        { fp = fingerprint_of norm; norm; calls = 0; rows = 0; total_s = 0.; max_s = 0.;
-          plan_hits = 0 }
+        match Hashtbl.find_opt registry norm with
+        | Some st -> st
+        | None ->
+          if Hashtbl.length registry >= !capacity then evict_coldest ();
+          let st =
+            { fp = fingerprint_of norm; norm; calls = 0; rows = 0; total_s = 0.;
+              max_s = 0.; plan_hits = 0 }
+          in
+          Hashtbl.add registry norm st;
+          st
       in
-      Hashtbl.add registry norm st;
-      st
-  in
-  st.calls <- st.calls + 1;
-  st.rows <- st.rows + rows;
-  st.total_s <- st.total_s +. elapsed_s;
-  if elapsed_s > st.max_s then st.max_s <- elapsed_s;
-  if plan_hit then st.plan_hits <- st.plan_hits + 1
+      st.calls <- st.calls + 1;
+      st.rows <- st.rows + rows;
+      st.total_s <- st.total_s +. elapsed_s;
+      if elapsed_s > st.max_s then st.max_s <- elapsed_s;
+      if plan_hit then st.plan_hits <- st.plan_hits + 1)
 
 (* All fingerprints, most total time first. *)
 let stats () : stat list =
-  let all = Hashtbl.fold (fun _ st acc -> st :: acc) registry [] in
+  let all = locked (fun () -> Hashtbl.fold (fun _ st acc -> st :: acc) registry []) in
   List.sort (fun a b -> compare b.total_s a.total_s) all
 
-let find ~sql = Hashtbl.find_opt registry (normalized_of sql)
+let find ~sql =
+  locked (fun () -> Hashtbl.find_opt registry (normalized_of_unlocked sql))

@@ -111,7 +111,20 @@ let table_rows db =
 let plan_rows (db : Db.t) =
   [ [| R.Int (Hashtbl.length db.Db.plan_cache); R.Int db.Db.plan_hits;
        R.Int db.Db.plan_misses; R.Int db.Db.plan_invalidations;
-       R.Int db.Db.generation |] ]
+       R.Int (Db.generation db) |] ]
+
+(* Every live session over this handle's core, oldest first: its
+   private plan cache and counters, its prepared-statement count and
+   the scope its statements charge (mirrors sys_plans / sys_scopes). *)
+let session_rows (db : Db.t) =
+  List.map
+    (fun s ->
+      [| R.Int (Db.session_id s); R.Int s.Db.prepared_count;
+         R.Int (Hashtbl.length s.Db.plan_cache); R.Int s.Db.plan_hits;
+         R.Int s.Db.plan_misses; R.Int s.Db.plan_invalidations;
+         R.Int (Obs.Scope.id s.Db.scope);
+         R.Int (if s == db then 1 else 0) |])
+    (Db.sessions db)
 
 (* Per-fingerprint statement statistics (process-wide, like the metrics
    registry), most total time first. *)
@@ -249,6 +262,12 @@ let all : vtable list =
         [| ("size", "INTEGER"); ("hits", "INTEGER"); ("misses", "INTEGER");
            ("invalidations", "INTEGER"); ("generation", "INTEGER") |];
       vrows = plan_rows };
+    { vname = "sys_sessions";
+      vcols =
+        [| ("session_id", "INTEGER"); ("prepared", "INTEGER"); ("plans", "INTEGER");
+           ("hits", "INTEGER"); ("misses", "INTEGER"); ("invalidations", "INTEGER");
+           ("scope_id", "INTEGER"); ("current", "INTEGER") |];
+      vrows = session_rows };
     { vname = "sys_statements";
       vcols =
         [| ("fingerprint", "TEXT"); ("query", "TEXT"); ("calls", "INTEGER");

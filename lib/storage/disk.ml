@@ -63,6 +63,10 @@ let read t i =
      raise (Read_error { device = t.name; block = i })
    | _ -> ());
   Stats.record_pagelog_read ();
+  (* Opt-in real device latency: spend the modeled per-read time as an
+     actual sleep so concurrent reader domains overlap their waits.
+     Must stay outside every lock (see Retro's cache locking). *)
+  if !Stats.Cost_model.real_read_latency then Unix.sleepf !Stats.Cost_model.ssd_read_s;
   let b = t.blocks.(i) in
   if Crc32.bytes b <> t.crcs.(i) then
     raise (Corruption { device = t.name; block = i; detail = "checksum mismatch" });

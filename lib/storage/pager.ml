@@ -37,6 +37,11 @@ type t = {
   mutable free_list : int list;
   mutable pre_commit_hook : commit_event list -> unit;
   mutable wal : wal_sink option;
+  (* Readers-writer lock for cross-session access: whole read statements
+     hold it in read mode, commit bodies (install + COW archiving) and
+     snapshot declarations in write mode, so a reader never observes a
+     half-installed commit.  See DESIGN.md §15. *)
+  lock : Rwlock.t;
 }
 
 (* A read context: how a storage structure (heap, B+tree) resolves a page
@@ -50,7 +55,14 @@ let create () =
     n_pages = 0;
     free_list = [];
     pre_commit_hook = (fun _ -> ());
-    wal = None }
+    wal = None;
+    lock = Rwlock.create () }
+
+(* Run [f] as a reader / writer over this database's committed state.
+   Read sections nest (the lock is reader-preferring); the engine wraps
+   read statements, Txn.commit wraps the install sequence. *)
+let with_read_lock t f = Rwlock.with_read t.lock f
+let with_write_lock t f = Rwlock.with_write t.lock f
 
 let n_pages t = t.n_pages
 

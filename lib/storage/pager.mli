@@ -29,6 +29,9 @@ type t = {
   mutable free_list : int list;
   mutable pre_commit_hook : commit_event list -> unit;
   mutable wal : wal_sink option;
+  lock : Rwlock.t;
+      (** readers = whole read statements, writers = commit bodies /
+          snapshot declarations (see DESIGN.md §15) *)
 }
 
 (** A read context: how a storage structure resolves a page id to bytes.
@@ -37,6 +40,15 @@ type t = {
 type read = int -> Bytes.t
 
 val create : unit -> t
+
+(** Run [f] holding this database's lock in read mode (nests: the lock
+    is reader-preferring, so a read section inside a read section never
+    deadlocks).  The engine wraps whole read statements in it. *)
+val with_read_lock : t -> (unit -> 'a) -> 'a
+
+(** Run [f] holding the lock in write mode: transaction commit bodies
+    and snapshot declarations, which mutate the committed state. *)
+val with_write_lock : t -> (unit -> 'a) -> 'a
 
 val n_pages : t -> int
 

@@ -1,0 +1,54 @@
+(* A small readers-writer lock built on the stdlib Mutex/Condition.
+
+   Reader-preferring by design: a thread that already holds the lock in
+   read mode may re-acquire it in read mode without deadlocking (the
+   engine nests read sections when a prepared statement runs inside a
+   read statement), which rules out writer priority — a waiting writer
+   must not block an arriving reader, or recursive read acquisition
+   would self-deadlock.  Writers are rare and short here (a transaction
+   commit installing its page set, a snapshot declaration appending to
+   the maplog), so writer starvation is not a practical concern.
+
+   The protected state is the committed page store and the snapshot
+   archive: readers are whole read statements, writers are commit
+   bodies.  Simulated device sleeps must happen outside this lock. *)
+
+type t = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable readers : int;    (* active read-mode holders *)
+  mutable writer : bool;    (* a write-mode holder is active *)
+}
+
+let create () = { m = Mutex.create (); c = Condition.create (); readers = 0; writer = false }
+
+let read_lock t =
+  Mutex.lock t.m;
+  while t.writer do
+    Condition.wait t.c t.m
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.m
+
+let read_unlock t =
+  Mutex.lock t.m;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.broadcast t.c;
+  Mutex.unlock t.m
+
+let write_lock t =
+  Mutex.lock t.m;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.c t.m
+  done;
+  t.writer <- true;
+  Mutex.unlock t.m
+
+let write_unlock t =
+  Mutex.lock t.m;
+  t.writer <- false;
+  Condition.broadcast t.c;
+  Mutex.unlock t.m
+
+let with_read t f = read_lock t; Fun.protect ~finally:(fun () -> read_unlock t) f
+let with_write t f = write_lock t; Fun.protect ~finally:(fun () -> write_unlock t) f

@@ -188,6 +188,15 @@ module Cost_model = struct
      Group commit amortizes it.  lint: allow — calibration knob, not a metric total *)
   let fsync_s = ref 500e-6
 
+  (* When set, every archive (Pagelog) read also *spends* its modeled
+     latency as real wall-clock time (Unix.sleepf outside any lock)
+     instead of only counting it.  Off by default — tests and the
+     evaluation harness keep modeled-only costs — and switched on by
+     bench/concurrency, where concurrently sleeping domains are exactly
+     the overlapped-I/O effect a real SATA SSD gives the paper's setup.
+     lint: allow — calibration knob, not a metric total *)
+  let real_read_latency = ref false
+
   (* Modeled I/O seconds attributable to a counter delta.  WAL appends
      are sequential writes, charged per page-equivalent of logged
      bytes; each fsync pays the full barrier. *)

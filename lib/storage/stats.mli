@@ -82,6 +82,12 @@ module Cost_model : sig
       commit). *)
   val fsync_s : float ref
 
+  (** When true, each archive read also sleeps [!ssd_read_s] of real
+      wall-clock time (outside any lock), so concurrent readers overlap
+      their simulated device waits like they would on a real SSD.  Off
+      by default; bench/concurrency turns it on. *)
+  val real_read_latency : bool ref
+
   (** Modeled I/O seconds for a counter delta. *)
   val io_seconds : t -> float
 end

@@ -74,18 +74,22 @@ let dirty_count t = Hashtbl.length t.writes
    makes WAL replay reproduce Retro state deterministically. *)
 let commit t =
   check_active t;
-  let entries = Hashtbl.fold (fun pid (e : entry) acc -> (pid, e) :: acc) t.writes [] in
-  let events = List.map (fun (pid, (e : entry)) -> { Pager.pid; before = e.before }) entries in
-  t.pager.Pager.pre_commit_hook events;
-  (match t.pager.Pager.wal with
-   | Some w when entries <> [] || t.freed <> [] ->
-     w.Pager.wal_commit
-       ~writes:(List.map (fun (pid, (e : entry)) -> (pid, e.after)) entries)
-       ~freed:t.freed;
-     w.Pager.wal_barrier ()
-   | _ -> ());
-  List.iter (fun (pid, (e : entry)) -> Pager.install t.pager pid e.after) entries;
-  List.iter (fun pid -> Pager.release t.pager pid) t.freed;
+  (* The whole commit body runs as the pager's writer: concurrent read
+     statements (which hold the lock in read mode) either see the state
+     before every install or after all of them, never a torn commit. *)
+  Pager.with_write_lock t.pager (fun () ->
+      let entries = Hashtbl.fold (fun pid (e : entry) acc -> (pid, e) :: acc) t.writes [] in
+      let events = List.map (fun (pid, (e : entry)) -> { Pager.pid; before = e.before }) entries in
+      t.pager.Pager.pre_commit_hook events;
+      (match t.pager.Pager.wal with
+       | Some w when entries <> [] || t.freed <> [] ->
+         w.Pager.wal_commit
+           ~writes:(List.map (fun (pid, (e : entry)) -> (pid, e.after)) entries)
+           ~freed:t.freed;
+         w.Pager.wal_barrier ()
+       | _ -> ());
+      List.iter (fun (pid, (e : entry)) -> Pager.install t.pager pid e.after) entries;
+      List.iter (fun pid -> Pager.release t.pager pid) t.freed);
   t.state <- Committed;
   Obs.Scope.incr Stats.c_txn_commits
 

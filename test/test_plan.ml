@@ -179,6 +179,53 @@ let rql_tests =
         Alcotest.(check bool) "run completed correctly" true
           ((Rql.exec_meta ctx "SELECT COUNT(*) FROM R2").E.rows = [ [| R.Int 10 |] ])) ]
 
+(* Cross-session invalidation: the schema generation lives on the
+   shared core, so DDL through ANY session must re-plan statements
+   cached (or prepared) by every other session. *)
+let session_tests =
+  [ Alcotest.test_case "DDL in one session invalidates another session's plan" `Quick
+      (fun () ->
+        let db = fresh_emp () in
+        Sqldb.Session.with_session db (fun a ->
+            Sqldb.Session.with_session db (fun b ->
+                let sql = "SELECT name FROM emp WHERE id = 3" in
+                exec a sql;
+                exec a sql;
+                let b0 = get c_built in
+                (* DDL through session [b] bumps the shared generation *)
+                exec b "CREATE INDEX ix_emp ON emp (id)";
+                exec a sql;
+                Alcotest.(check bool) "replanned in a" true (get c_built - b0 >= 1);
+                Alcotest.(check (list string)) "still correct" [ "cat" ]
+                  (texts (E.exec a sql).E.rows))));
+    Alcotest.test_case "prepared statement survives DDL from a sibling session" `Quick
+      (fun () ->
+        let db = fresh_emp () in
+        Sqldb.Session.with_session db (fun a ->
+            Sqldb.Session.with_session db (fun b ->
+                let p = E.prepare a "SELECT name FROM emp WHERE id = ?" in
+                Alcotest.(check (list string)) "before" [ "bob" ]
+                  (texts (E.exec_prepared ~params:[| R.Int 2 |] p).E.rows);
+                exec b "CREATE INDEX ix2_emp ON emp (id)";
+                exec b "INSERT INTO emp VALUES (6, 'fay')";
+                Alcotest.(check (list string)) "transparently replanned" [ "fay" ]
+                  (texts (E.exec_prepared ~params:[| R.Int 6 |] p).E.rows))));
+    Alcotest.test_case "sessions keep independent hit/miss accounting" `Quick (fun () ->
+        let db = fresh_emp () in
+        Sqldb.Session.with_session db (fun a ->
+            Sqldb.Session.with_session db (fun b ->
+                let sql = "SELECT COUNT(*) FROM emp" in
+                exec a sql;
+                exec a sql;
+                exec a sql;
+                (* b never ran the statement: its private cache is cold *)
+                let b0 = get c_built in
+                exec b sql;
+                Alcotest.(check bool) "b plans its own copy" true (get c_built - b0 >= 1)))) ]
+
 let () =
   Alcotest.run "plan"
-    [ ("prepared", prepared_tests); ("cache", cache_tests); ("rql", rql_tests) ]
+    [ ("prepared", prepared_tests);
+      ("cache", cache_tests);
+      ("rql", rql_tests);
+      ("sessions", session_tests) ]

@@ -1,0 +1,179 @@
+(* Session-oriented engine tests: per-connection session state over a
+   shared core, Domain-parallel AS OF readers checked against a
+   sequential oracle, and the parallel RQL snapshot loop checked
+   byte-identical to the sequential one over the UW fixture. *)
+
+module R = Storage.Record
+module E = Sqldb.Engine
+module S = Sqldb.Session
+module IS = Rql.Iter_stats
+
+let value = Alcotest.testable R.pp_value R.equal_value
+let row = Alcotest.(list value)
+
+let rows_of res = List.map Array.to_list res.E.rows
+let q db sql = rows_of (E.exec db sql)
+
+(* --- session lifecycle over a shared core ------------------------------ *)
+
+let lifecycle =
+  [ Alcotest.test_case "sessions share tables and catalog with the root" `Quick (fun () ->
+        let db = Sqldb.Db.create () in
+        ignore (E.exec db "CREATE TABLE t (k INTEGER, v TEXT)");
+        ignore (E.exec db "INSERT INTO t VALUES (1,'a'), (2,'b')");
+        S.with_session db (fun s ->
+            Alcotest.(check (list row)) "reads committed data"
+              [ [ R.Int 1; R.Text "a" ]; [ R.Int 2; R.Text "b" ] ]
+              (q s "SELECT * FROM t ORDER BY k");
+            ignore (E.exec s "INSERT INTO t VALUES (3,'c')"));
+        Alcotest.(check int) "write visible on root" 3
+          (match E.scalar db "SELECT COUNT(*) FROM t" with R.Int n -> n | _ -> -1));
+    Alcotest.test_case "session ids are distinct; close unregisters" `Quick (fun () ->
+        let db = Sqldb.Db.create () in
+        let a = S.create db and b = S.create db in
+        Alcotest.(check bool) "distinct ids" true (S.id a <> S.id b);
+        Alcotest.(check int) "three live sessions" 3 (List.length (S.all db));
+        S.close a;
+        Alcotest.(check int) "two after close" 2 (List.length (S.all db));
+        S.close a (* idempotent *);
+        Alcotest.(check int) "still two" 2 (List.length (S.all db));
+        S.close b);
+    Alcotest.test_case "prepared statements and plan cache are per-session" `Quick (fun () ->
+        let db = Sqldb.Db.create () in
+        ignore (E.exec db "CREATE TABLE t (k INTEGER)");
+        S.with_session db (fun s ->
+            let p = E.prepare s "SELECT k FROM t" in
+            ignore (E.exec_prepared p);
+            Alcotest.(check int) "session prepared one" 1 s.Sqldb.Db.prepared_count;
+            Alcotest.(check int) "root prepared none" 0 db.Sqldb.Db.prepared_count));
+    Alcotest.test_case "sys_sessions lists every live session" `Quick (fun () ->
+        let db = Sqldb.Db.create () in
+        S.with_session db (fun s ->
+            ignore s;
+            let ids =
+              List.map
+                (function [ R.Int id ] -> id | _ -> -1)
+                (q db "SELECT session_id FROM sys_sessions ORDER BY session_id")
+            in
+            Alcotest.(check (list int)) "root + derived"
+              (List.map S.id (S.all db) |> List.sort compare)
+              ids));
+    Alcotest.test_case "explicit transaction is core-owned: second BEGIN errors" `Quick
+      (fun () ->
+        let db = Sqldb.Db.create () in
+        ignore (E.exec db "CREATE TABLE t (k INTEGER)");
+        S.with_session db (fun s ->
+            ignore (E.exec db "BEGIN");
+            Alcotest.check_raises "nested begin rejected"
+              (E.Error "transaction already open") (fun () ->
+                ignore (E.exec s "BEGIN"));
+            ignore (E.exec db "COMMIT"))) ]
+
+(* --- Domain-parallel AS OF readers vs a sequential oracle -------------- *)
+
+(* Build the UW history once; every reader session re-runs the same
+   AS OF aggregate per snapshot and must reproduce the oracle exactly. *)
+let parallel_asof =
+  [ Alcotest.test_case "4 parallel reader sessions match the sequential oracle" `Quick
+      (fun () ->
+        let ctx, _st, sids =
+          Tpch.Workload.build_history ~sf:0.002 ~uw:Tpch.Workload.uw30 ~snapshots:6 ()
+        in
+        let db = ctx.Rql.data in
+        let query sid =
+          Printf.sprintf
+            "SELECT AS OF %d COUNT(*), SUM(o_totalprice) FROM orders" sid
+        in
+        let oracle = List.map (fun sid -> (sid, q db (query sid))) sids in
+        let readers = 4 in
+        let results = Array.make readers [] in
+        let doms =
+          List.init readers (fun w ->
+              Domain.spawn (fun () ->
+                  S.with_session db (fun s ->
+                      results.(w) <- List.map (fun sid -> (sid, q s (query sid))) sids)))
+        in
+        List.iter Domain.join doms;
+        Array.iteri
+          (fun w got ->
+            List.iter2
+              (fun (sid, want) (sid', have) ->
+                Alcotest.(check int) "same sid" sid sid';
+                Alcotest.(check (list row))
+                  (Printf.sprintf "reader %d, snapshot %d" w sid)
+                  want have)
+              oracle got)
+          results) ]
+
+(* --- parallel RQL loop vs the sequential loop --------------------------- *)
+
+let sorted_table ctx table =
+  List.sort compare (q ctx.Rql.meta (Printf.sprintf "SELECT * FROM %s" table))
+
+let parallel_rql =
+  [ Alcotest.test_case "parallel CollateData is byte-identical to sequential" `Quick
+      (fun () ->
+        let ctx, _st, _ =
+          Tpch.Workload.build_history ~sf:0.002 ~uw:Tpch.Workload.uw30 ~snapshots:6 ()
+        in
+        let qs = "SELECT snap_id FROM SnapIds" in
+        let qq = "SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice > 1000" in
+        let seq = Rql.collate_data ctx ~qs ~qq ~table:"Cs" in
+        let par = Rql.collate_data ~domains:4 ctx ~qs ~qq ~table:"Cp" in
+        Alcotest.(check int) "same row count" seq.IS.result_rows par.IS.result_rows;
+        Alcotest.(check (list row)) "same rows" (sorted_table ctx "Cs")
+          (sorted_table ctx "Cp");
+        Alcotest.(check (list int)) "same snapshot order"
+          (List.map (fun it -> it.IS.snap_id) seq.IS.iterations)
+          (List.map (fun it -> it.IS.snap_id) par.IS.iterations));
+    Alcotest.test_case "parallel AggTable and intervals match sequential" `Quick (fun () ->
+        let ctx, _st, _ =
+          Tpch.Workload.build_history ~sf:0.002 ~uw:Tpch.Workload.uw30 ~snapshots:5 ()
+        in
+        let qs = "SELECT snap_id FROM SnapIds" in
+        ignore
+          (Rql.aggregate_data_in_table ctx ~qs
+             ~qq:"SELECT o_orderstatus, COUNT(*) AS c FROM orders GROUP BY o_orderstatus"
+             ~table:"As" ~aggs:[ ("c", "sum") ]);
+        ignore
+          (Rql.aggregate_data_in_table ~domains:3 ctx ~qs
+             ~qq:"SELECT o_orderstatus, COUNT(*) AS c FROM orders GROUP BY o_orderstatus"
+             ~table:"Ap" ~aggs:[ ("c", "sum") ]);
+        Alcotest.(check (list row)) "agg rows" (sorted_table ctx "As")
+          (sorted_table ctx "Ap");
+        ignore
+          (Rql.collate_data_into_intervals ctx ~qs
+             ~qq:"SELECT o_orderkey FROM orders WHERE o_totalprice > 50000" ~table:"Is");
+        ignore
+          (Rql.collate_data_into_intervals ~domains:4 ctx ~qs
+             ~qq:"SELECT o_orderkey FROM orders WHERE o_totalprice > 50000" ~table:"Ip");
+        (* Intervals are order-sensitive: ordered application must make
+           even the unsorted tables identical. *)
+        Alcotest.(check (list row)) "interval rows (raw order)"
+          (q ctx.Rql.meta "SELECT * FROM Is")
+          (q ctx.Rql.meta "SELECT * FROM Ip"));
+    Alcotest.test_case "parallel run attributes archive reads to iterations" `Quick
+      (fun () ->
+        let ctx, _st, _ =
+          Tpch.Workload.build_history ~sf:0.002 ~uw:Tpch.Workload.uw30 ~snapshots:5 ()
+        in
+        let run =
+          Rql.collate_data ~domains:4 ctx ~qs:"SELECT snap_id FROM SnapIds"
+            ~qq:"SELECT o_orderkey FROM orders" ~table:"T"
+        in
+        let reads =
+          List.fold_left (fun a it -> a + it.IS.pagelog_reads) 0 run.IS.iterations
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "archive reads counted (%d)" reads)
+          true (reads > 0);
+        List.iter
+          (fun (it : IS.iteration) ->
+            Alcotest.(check bool) "io_s >= 0" true (it.IS.io_s >= 0.))
+          run.IS.iterations) ]
+
+let () =
+  Alcotest.run "session"
+    [ ("lifecycle", lifecycle);
+      ("parallel-asof", parallel_asof);
+      ("parallel-rql", parallel_rql) ]

@@ -22,7 +22,7 @@ let count db sql = E.int_scalar db sql
 
 let check_clean name db = Alcotest.(check (list string)) name [] (Sqldb.Integrity.check db)
 
-let wal_of db = Option.get db.Sqldb.Db.wal
+let wal_of db = Option.get (Sqldb.Db.wal db)
 
 let retro_of db = Option.get db.Sqldb.Db.retro
 

@@ -1,4 +1,4 @@
-.PHONY: all build test check lint crash bench concurrency shell clean
+.PHONY: all build test check lint crash bench concurrency opt-diff shell clean
 
 all: build
 
@@ -37,6 +37,14 @@ bench:
 concurrency:
 	dune exec bin/rql_serve.exe -- --self-test --clients 4
 	dune exec bench/concurrency.exe -- --readers 4 --gate 1.5
+
+# Optimizer differential gate: `PRAGMA optimize` on vs off must be
+# byte-identical over random expressions and the fixed statement matrix
+# (test_opt.ml), and the bench smoke must show the fold/hoist counters
+# advancing with no latency regression on a foldable Qq_cpu.
+opt-diff:
+	dune exec test/test_opt.exe
+	dune exec bench/main.exe -- --only micro --opt-smoke
 
 shell:
 	dune exec bin/rql_shell.exe

@@ -59,6 +59,14 @@ let scope_smoke =
   in
   Arg.(value & flag & info [ "scope-smoke" ] ~doc)
 
+let opt_smoke =
+  let doc =
+    "Replace the bechamel micro suite with the plan-IR optimizer smoke: a foldable \
+     Qq_cpu through the snapshot loop must advance the fold/hoist counters, match \
+     the $(b,PRAGMA optimize=off) results exactly, and not run slower (p50 gate)."
+  in
+  Arg.(value & flag & info [ "opt-smoke" ] ~doc)
+
 let json_path =
   let doc = "Write recorded runs and the metrics registry as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
@@ -71,7 +79,7 @@ let sample_every =
   let doc = "Sample the metrics registry into the time-series ring every $(docv) SQL statements (0 = only the final sample)." in
   Arg.(value & opt int 1000 & info [ "sample-every" ] ~docv:"N" ~doc)
 
-let main full only skip_micro analyze scope_smoke json_path prom_path sample_every =
+let main full only skip_micro analyze scope_smoke opt_smoke json_path prom_path sample_every =
   if full then Params.current := Params.full;
   Obs.Timeseries.set_interval sample_every;
   let selected =
@@ -90,6 +98,7 @@ let main full only skip_micro analyze scope_smoke json_path prom_path sample_eve
   if (not skip_micro) && wanted "micro" then
     if analyze then Micro.run_analyze ()
     else if scope_smoke then Micro.run_scope_smoke ()
+    else if opt_smoke then Micro.run_opt_smoke ()
     else Micro.run ();
   (match json_path with Some path -> Util.write_json path | None -> ());
   (match prom_path with
@@ -104,7 +113,7 @@ let cmd =
   Cmd.v
     (Cmd.info "rql-bench" ~doc)
     Term.(
-      const main $ full $ only $ skip_micro $ analyze $ scope_smoke $ json_path $ prom_path
-      $ sample_every)
+      const main $ full $ only $ skip_micro $ analyze $ scope_smoke $ opt_smoke $ json_path
+      $ prom_path $ sample_every)
 
 let () = exit (Cmd.eval cmd)

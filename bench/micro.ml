@@ -238,6 +238,104 @@ let run_scope_smoke () =
       (Printf.sprintf "scope smoke: scoped overhead %.1f%% exceeds the 5%% gate"
          ((ratio -. 1.) *. 100.))
 
+(* --- optimizer smoke (bench --opt-smoke) -------------------------------- *)
+
+(* Qq_cpu with foldable constants: the multiplier, the concatenated
+   type literal and the tautological conjunct are all compile-time
+   facts the optimizer removes (§16).  Result-identical to Qq_cpu. *)
+let qq_cpu_opt =
+  "SELECT SUM(l_extendedprice * (1.0 + 0.0)) AS revenue FROM part, lineitem \
+   WHERE p_partkey = l_partkey AND p_type = 'STANDARD' || ' POLISHED TIN' \
+   AND 1 + 1 = 2"
+
+(* CI gate for the plan-IR optimizer: running the foldable Qq_cpu
+   through the snapshot loop must advance sql.opt_folds and — because
+   the prepared Qq carries AS OF, so the folds are amortized over the
+   loop — sql.opt_invariant_hoists; the optimized run must not be
+   slower than `PRAGMA optimize = off` (gate: p50 on <= 1.05 x off);
+   and both settings must produce the identical result table (the
+   differential contract of test_opt.ml, re-checked on TPC-H data). *)
+let run_opt_smoke () =
+  Util.section "Optimizer smoke: fold/hoist counters + optimized Qq_cpu latency";
+  let fx =
+    Fixtures.get
+      { Fixtures.uw = Tpch.Workload.uw30; snapshots = 8; native_lineitem_index = false }
+  in
+  let ctx = fx.Fixtures.ctx in
+  let db = ctx.Rql.data in
+  let set on =
+    ignore (E.exec db (if on then "PRAGMA optimize = on" else "PRAGMA optimize = off"))
+  in
+  let workload () =
+    ignore
+      (Rql.aggregate_data_in_variable ctx ~qs:(Queries.qs_n 5) ~qq:qq_cpu_opt
+         ~table:"bench_opt" ~fn:"sum")
+  in
+  let result () =
+    let res = E.exec ctx.Rql.meta "SELECT * FROM bench_opt ORDER BY 1" in
+    String.concat "\n"
+      (List.map
+         (fun row ->
+           String.concat "|" (Array.to_list (Array.map R.value_to_string row)))
+         res.E.rows)
+  in
+  let c_folds = Obs.Metrics.counter "sql.opt_folds" in
+  let c_hoists = Obs.Metrics.counter "sql.opt_invariant_hoists" in
+  let folds0 = Obs.Metrics.Counter.get c_folds in
+  let hoists0 = Obs.Metrics.Counter.get c_hoists in
+  (* Warm both variants (covering-index build, snapshot cache) and take
+     the differential identity check from the warm runs. *)
+  set true;
+  workload ();
+  let rows_on = result () in
+  set false;
+  workload ();
+  let rows_off = result () in
+  let identical = rows_on = rows_off in
+  let folds = Obs.Metrics.Counter.get c_folds - folds0 in
+  let hoists = Obs.Metrics.Counter.get c_hoists - hoists0 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let reps = 5 in
+  let sample on =
+    set on;
+    time workload
+  in
+  let p50 samples =
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  (* Interleave the two settings so slow drift (cache warming, CPU
+     frequency) biases neither side. *)
+  let pairs = List.init reps (fun _ -> let on = sample true in (on, sample false)) in
+  let on_times = List.map fst pairs and off_times = List.map snd pairs in
+  set true;
+  let p50_on = p50 on_times and p50_off = p50 off_times in
+  let ratio = p50_on /. p50_off in
+  Printf.printf "optimizer counters over the smoke: folds=%d invariant_hoists=%d\n" folds hoists;
+  Printf.printf "Qq_cpu(foldable) p50-of-%d: optimize=on %.4fs, off %.4fs, ratio %.3f (gate: <= 1.05)\n"
+    reps p50_on p50_off ratio;
+  Printf.printf "result tables identical across settings: %b\n" identical;
+  Util.record_analysis ~label:"opt_smoke"
+    (Obs.Json.Obj
+       [ ("opt_folds", Obs.Json.Int folds);
+         ("opt_invariant_hoists", Obs.Json.Int hoists);
+         ("p50_on_s", Obs.Json.Float p50_on);
+         ("p50_off_s", Obs.Json.Float p50_off);
+         ("ratio", Obs.Json.Float ratio);
+         ("identical", Obs.Json.Bool identical) ]);
+  if folds <= 0 then failwith "opt smoke: sql.opt_folds did not advance";
+  if hoists <= 0 then failwith "opt smoke: sql.opt_invariant_hoists did not advance";
+  if not identical then failwith "opt smoke: optimize=on and off results diverge";
+  if ratio > 1.05 then
+    failwith
+      (Printf.sprintf "opt smoke: optimized p50 %.1f%% over the optimize=off baseline"
+         ((ratio -. 1.) *. 100.))
+
 let run () =
   Util.section "Micro-benchmarks (bechamel): primitive operation costs";
   (* force the fixtures outside the measured region *)

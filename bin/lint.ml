@@ -8,7 +8,15 @@
      - unsafe casts through the Obj module, which defeat the type system;
      - asserting falsehood as a dispatch fallback — the engine has a
        typed Internal_error for impossible arms, so reaching one should
-       name the statement kind that got there, not abort the process.
+       name the statement kind that got there, not abort the process;
+     - raw mutex acquisition in lib/ outside a [Fun.protect] guard —
+       an exception between lock and unlock leaves the mutex held
+       forever, so every section goes through a locked_* helper (the
+       condition-variable sites that genuinely need the raw form carry
+       waivers naming why);
+     - archive reads inside a Retro [locked_rt] section — the simulated
+       device sleeps in Pagelog reads, and holding rt_mu across one
+       serializes every concurrent AS OF reader behind the sleep.
 
    A site may opt out with a waiver comment containing the marker
    spelled in [waiver] below plus a justification; the waiver covers
@@ -146,32 +154,116 @@ let rule_applies path r =
          else Filename.check_suffix path pat)
        r.paths
 
+(* --- lock discipline (stateful, so not expressible as a needle rule) --- *)
+
+(* Both the plain mutex and the readers-writer lock count as raw
+   acquisition; [with_read]/[with_write] are the guarded forms. *)
+let lock_needles =
+  [ "Mutex." ^ "lock"; "Rwlock." ^ "read_lock"; "Rwlock." ^ "write_lock" ]
+
+let protect_needle = "Fun." ^ "protect"
+let rt_guard = "locked" ^ "_rt"
+let archive_needle = "Pagelog." ^ "read"
+
+(* A waiver on line [i], [i-1] or [i-2] covers line [i] — the same
+   window the needle rules use. *)
+let waived_at lines i =
+  let covers k = k >= 0 && contains ~needle:waiver (squeeze lines.(k)) in
+  covers i || covers (i - 1) || covers (i - 2)
+
+(* Raw mutex acquisition must be the first half of a guard: the very
+   next line (or the same one) holds the [Fun.protect] that releases it
+   on every exit path.  Anything else either goes through a locked_*
+   helper or carries a waiver saying why it cannot (Condition.wait). *)
+let check_lock_guards path lines =
+  Array.iteri
+    (fun i line ->
+      let sq = squeeze line in
+      if List.exists (fun needle -> contains ~needle sq) lock_needles
+         && not (waived_at lines i) then
+        let next = if i + 1 < Array.length lines then squeeze lines.(i + 1) else "" in
+        if not (contains ~needle:protect_needle sq || contains ~needle:protect_needle next)
+        then begin
+          incr findings;
+          Printf.printf
+            "%s:%d: [lock-guard] raw mutex acquisition outside a Fun.protect guard; use a locked_* helper or waive with the reason\n"
+            path (i + 1)
+        end)
+    lines
+
+(* Track the extent of each [locked_rt t (fun () -> ...)] closure by
+   parenthesis balance and flag archive reads inside it.  The balance
+   starts at the guard call site, so nested parens within the guarded
+   closure keep the span open across lines. *)
+let find_sub hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = if i + nl > hl then None else if String.sub hay i nl = needle then Some i else at (i + 1) in
+  at 0
+
+let check_archive_reads path lines =
+  let depth = ref 0 in
+  Array.iteri
+    (fun i line ->
+      let scan_from =
+        if !depth > 0 then Some 0
+        else
+          match find_sub line rt_guard with
+          | Some j -> Some (j + String.length rt_guard)
+          | None -> None
+      in
+      match scan_from with
+      | None -> ()
+      | Some j ->
+        let inside = ref (!depth > 0) in
+        String.iteri
+          (fun k c ->
+            if k >= j then
+              if c = '(' then begin incr depth; inside := true end
+              else if c = ')' then decr depth)
+          line;
+        if (!inside || !depth > 0)
+           && contains ~needle:archive_needle (squeeze line)
+           && not (waived_at lines i)
+        then begin
+          incr findings;
+          Printf.printf
+            "%s:%d: [archive-read-under-lock] Pagelog read while holding rt_mu; the simulated device sleep would serialize concurrent AS OF readers\n"
+            path (i + 1)
+        end;
+        if !depth < 0 then depth := 0)
+    lines
+
+(* Path-scoped like the needle rules: a leading "lib/" or any "/lib/"
+   segment, so fixture trees (the CI bite test) scope the same way. *)
+let under dir path =
+  let path = if has_prefix ~prefix:"./" path then String.sub path 2 (String.length path - 2) else path in
+  has_prefix ~prefix:dir path || contains ~needle:("/" ^ dir) path
+
 let check_file path =
   let active = List.filter (rule_applies path) rules in
-  In_channel.with_open_text path (fun ic ->
-      let lineno = ref 0 in
-      (* > 0 while a waiver is in force (its line plus the two after) *)
-      let waived = ref 0 in
-      let rec go () =
-        match In_channel.input_line ic with
-        | None -> ()
-        | Some line ->
-          incr lineno;
-          let sq = squeeze line in
-          if contains ~needle:waiver sq then waived := 3;
-          if !waived = 0 then
-            List.iter
-              (fun r ->
-                if (not r.anchored || has_prefix ~prefix:"let " sq)
-                   && contains ~needle:r.needle sq then begin
-                  incr findings;
-                  Printf.printf "%s:%d: [%s] %s\n" path !lineno r.rid r.why
-                end)
-              active
-          else decr waived;
-          go ()
-      in
-      go ())
+  let lines =
+    In_channel.with_open_text path (fun ic ->
+        Array.of_list (In_channel.input_lines ic))
+  in
+  (* > 0 while a waiver is in force (its line plus the two after) *)
+  let waived = ref 0 in
+  Array.iteri
+    (fun i line ->
+      let sq = squeeze line in
+      if contains ~needle:waiver sq then waived := 3;
+      if !waived = 0 then
+        List.iter
+          (fun r ->
+            if (not r.anchored || has_prefix ~prefix:"let " sq)
+               && contains ~needle:r.needle sq then begin
+              incr findings;
+              Printf.printf "%s:%d: [%s] %s\n" path (i + 1) r.rid r.why
+            end)
+          active
+      else decr waived)
+    lines;
+  if under "lib/" path then check_lock_guards path lines;
+  if under "lib/retro/" path then check_archive_reads path lines
 
 let () =
   let dirs =

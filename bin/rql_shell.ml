@@ -230,7 +230,7 @@ let () =
         chelp = "metrics registry; prom = Prometheus text exposition (to stdout or PATH)";
         crun = (fun ~ctx_ref:_ ~args -> run_metrics args) };
       { cname = ".plans"; cargs = "[@meta]";
-        chelp = "plan-cache statistics (sys_plans) of the data or @meta database";
+        chelp = "plan-cache statistics incl. delta-safe plan count (sys_plans)";
         crun =
           (fun ~ctx_ref ~args ->
             let db =

@@ -180,6 +180,11 @@ exception Error of string
    accepted (the documented counter semantics). *)
 let create_mu = Mutex.create ()
 
+(* Guarded section helper — lock-discipline lint keys on [Fun.protect]. *)
+let locked_create f =
+  Mutex.lock create_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock create_mu) f
+
 (* Creation is idempotent: looking up an existing name of the same kind
    returns the registered instance, so modules can own their counters as
    top-level bindings. *)
@@ -188,51 +193,39 @@ let counter_in (tbl : table) name =
   | Some (M_counter c) -> c
   | Some _ -> raise (Error (Printf.sprintf "metric %s exists with another kind" name))
   | None ->
-    Mutex.lock create_mu;
-    let c =
-      match Hashtbl.find_opt tbl name with
-      | Some (M_counter c) -> c
-      | _ ->
-        let c = { Counter.name; v = 0 } in
-        Hashtbl.replace tbl name (M_counter c);
-        c
-    in
-    Mutex.unlock create_mu;
-    c
+    locked_create (fun () ->
+        match Hashtbl.find_opt tbl name with
+        | Some (M_counter c) -> c
+        | _ ->
+          let c = { Counter.name; v = 0 } in
+          Hashtbl.replace tbl name (M_counter c);
+          c)
 
 let gauge_in (tbl : table) name =
   match Hashtbl.find_opt tbl name with
   | Some (M_gauge g) -> g
   | Some _ -> raise (Error (Printf.sprintf "metric %s exists with another kind" name))
   | None ->
-    Mutex.lock create_mu;
-    let g =
-      match Hashtbl.find_opt tbl name with
-      | Some (M_gauge g) -> g
-      | _ ->
-        let g = { Gauge.name; v = 0. } in
-        Hashtbl.replace tbl name (M_gauge g);
-        g
-    in
-    Mutex.unlock create_mu;
-    g
+    locked_create (fun () ->
+        match Hashtbl.find_opt tbl name with
+        | Some (M_gauge g) -> g
+        | _ ->
+          let g = { Gauge.name; v = 0. } in
+          Hashtbl.replace tbl name (M_gauge g);
+          g)
 
 let histogram_in (tbl : table) name =
   match Hashtbl.find_opt tbl name with
   | Some (M_histogram h) -> h
   | Some _ -> raise (Error (Printf.sprintf "metric %s exists with another kind" name))
   | None ->
-    Mutex.lock create_mu;
-    let h =
-      match Hashtbl.find_opt tbl name with
-      | Some (M_histogram h) -> h
-      | _ ->
-        let h = Histogram.make name in
-        Hashtbl.replace tbl name (M_histogram h);
-        h
-    in
-    Mutex.unlock create_mu;
-    h
+    locked_create (fun () ->
+        match Hashtbl.find_opt tbl name with
+        | Some (M_histogram h) -> h
+        | _ ->
+          let h = Histogram.make name in
+          Hashtbl.replace tbl name (M_histogram h);
+          h)
 
 let counter name = counter_in registry name
 let gauge name = gauge_in registry name

@@ -66,6 +66,12 @@ let next_id = ref 1
    documented precision trade, matching plain Metrics counters). *)
 let mu = Mutex.create ()
 
+(* All [mu] sections go through this guard (the lock-discipline lint
+   rule keys on the [Fun.protect] spelling). *)
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
 (* The active scope: engine entry points set it from the handle's scope
    for the duration of a statement.  Domain-local, so concurrent AS OF
    readers on separate domains each carry their own ambient scope. *)
@@ -91,11 +97,7 @@ let create_unlocked ?(parent = root) name =
   parent.sc_children <- s :: parent.sc_children;
   s
 
-let create ?parent name =
-  Mutex.lock mu;
-  let s = create_unlocked ?parent name in
-  Mutex.unlock mu;
-  s
+let create ?parent name = locked (fun () -> create_unlocked ?parent name)
 
 let id s = s.sc_id
 let scope_name s = s.sc_name
@@ -264,11 +266,10 @@ let page_read io h =
     | Archive_read -> c.ht_pagelog <- c.ht_pagelog + 1
   in
   (* Heat tables are shared Hashtbls: serialize cell creation/update. *)
-  Mutex.lock mu;
-  charge root;
-  let rec up s = match s.sc_parent with None -> () | Some _ -> charge s; up (Option.get s.sc_parent) in
-  up (Domain.DLS.get current);
-  Mutex.unlock mu
+  locked (fun () ->
+      charge root;
+      let rec up s = match s.sc_parent with None -> () | Some _ -> charge s; up (Option.get s.sc_parent) in
+      up (Domain.DLS.get current))
 
 (* --- lifecycle --------------------------------------------------------- *)
 
@@ -292,7 +293,7 @@ let drop s =
   match s.sc_parent with
   | None -> invalid_arg "Scope.drop: cannot drop the root scope"
   | Some p ->
-    Mutex.lock mu;
+    locked @@ fun () ->
     if s.sc_live then begin
       p.sc_children <- List.filter (fun c -> c != s) p.sc_children;
       let b = dropped_bucket p in
@@ -305,8 +306,7 @@ let drop s =
         s.sc_heat;
       detach s;
       if Domain.DLS.get current == s then Domain.DLS.set current root
-    end;
-    Mutex.unlock mu
+    end
 
 let rec reset_scope s =
   if s != root then M.reset_table s.sc_metrics;
@@ -323,13 +323,12 @@ let () = M.on_reset (fun () -> reset_scope root)
    [heat(root) = storage.page_reads] intact across partial resets. *)
 let reset_heat () =
   set c_page_reads 0;
-  Mutex.lock mu;
-  let rec clear s =
-    Hashtbl.reset s.sc_heat;
-    List.iter clear s.sc_children
-  in
-  clear root;
-  Mutex.unlock mu
+  locked (fun () ->
+      let rec clear s =
+        Hashtbl.reset s.sc_heat;
+        List.iter clear s.sc_children
+      in
+      clear root)
 
 (* --- introspection (sys_scopes / sys_heat / Prometheus) ---------------- *)
 
@@ -337,25 +336,20 @@ let rec fold_scopes f acc s = List.fold_left (fold_scopes f) (f acc s) s.sc_chil
 
 (* Every scope in the tree, root first, parents before children. *)
 let scopes () =
-  Mutex.lock mu;
-  let ss = List.rev (fold_scopes (fun acc s -> s :: acc) [] root) in
-  Mutex.unlock mu;
-  ss
+  locked (fun () -> List.rev (fold_scopes (fun acc s -> s :: acc) [] root))
 
 let metric_items s = M.sorted_table_items s.sc_metrics
 
 (* ((table, snapshot), db_reads, archive_reads) rows, sorted. *)
 let heat_items s =
-  Mutex.lock mu;
-  let items = Hashtbl.fold (fun key c acc -> (key, c.ht_db, c.ht_pagelog) :: acc) s.sc_heat [] in
-  Mutex.unlock mu;
+  let items =
+    locked (fun () ->
+        Hashtbl.fold (fun key c acc -> (key, c.ht_db, c.ht_pagelog) :: acc) s.sc_heat [])
+  in
   List.sort compare items
 
 let heat_total s =
-  Mutex.lock mu;
-  let n = Hashtbl.fold (fun _ c acc -> acc + c.ht_db + c.ht_pagelog) s.sc_heat 0 in
-  Mutex.unlock mu;
-  n
+  locked (fun () -> Hashtbl.fold (fun _ c acc -> acc + c.ht_db + c.ht_pagelog) s.sc_heat 0)
 
 let page_reads_total () = get c_page_reads
 

@@ -102,18 +102,19 @@ let l1_digest_unlocked t n =
     Hashtbl.add t.l1 n d;
     d
 
-let l1_digest t n =
+(* Digest-memo guard: every dg_mu section takes it (lock-discipline
+   lint rule keys on the [Fun.protect] spelling). *)
+let locked_dg t f =
   Mutex.lock t.dg_mu;
-  let d = l1_digest_unlocked t n in
-  Mutex.unlock t.dg_mu;
-  d
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.dg_mu) f
+
+let l1_digest t n = locked_dg t (fun () -> l1_digest_unlocked t n)
 
 (* Digest of the [n]-th L2 segment: the merged first-wins digest of its
    L1 segments. *)
 let l2_digest t n =
-  Mutex.lock t.dg_mu;
-  let d =
-    match Hashtbl.find_opt t.l2 n with
+  locked_dg t @@ fun () ->
+  match Hashtbl.find_opt t.l2 n with
     | Some d -> d
     | None ->
       let seen = Hashtbl.create 256 in
@@ -130,9 +131,6 @@ let l2_digest t n =
       let d = Array.of_list (List.rev !out) in
       Hashtbl.add t.l2 n d;
       d
-  in
-  Mutex.unlock t.dg_mu;
-  d
 
 (* Scan the suffix starting at snapshot [snap_id]'s position, calling
    [f pid pl_off] for the *first* mapping of each page only.  Returns the
@@ -192,11 +190,9 @@ let skippy_enabled t = t.skippy
    total digest entries held).  Digests are built lazily by scans, so
    these numbers reflect actual SPT-build traffic, not log size. *)
 let skippy_stats t =
-  Mutex.lock t.dg_mu;
-  let sum tbl = Hashtbl.fold (fun _ d acc -> acc + Array.length d) tbl 0 in
-  let r = (Hashtbl.length t.l1, Hashtbl.length t.l2, sum t.l1 + sum t.l2) in
-  Mutex.unlock t.dg_mu;
-  r
+  locked_dg t (fun () ->
+      let sum tbl = Hashtbl.fold (fun _ d acc -> acc + Array.length d) tbl 0 in
+      (Hashtbl.length t.l1, Hashtbl.length t.l2, sum t.l1 + sum t.l2))
 
 (* Portable image (for backup/restore); skip digests are rebuilt on
    demand after restore. *)

@@ -128,6 +128,14 @@ let declare t =
    without ever reaching the log). *)
 let declare_at t ~db_pages ~ts = Maplog.declare t.maplog ~db_pages ~ts
 
+(* Every rt_mu section goes through this guard: the lock is released on
+   any exit path, and the lint gate's lock-discipline rule keys on the
+   [Fun.protect] spelling.  Keep the guarded closure free of Pagelog
+   reads — the simulated device may sleep there. *)
+let locked_rt t f =
+  Mutex.lock t.rt_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.rt_mu) f
+
 let snapshot_count t = Maplog.snapshot_count t.maplog
 
 let snapshot_ts t snap_id = (Maplog.boundary t.maplog snap_id).Maplog.ts
@@ -139,14 +147,10 @@ let build_spt t snap_id =
   let cached =
     if not t.spt_cache_on then None
     else begin
-      Mutex.lock t.rt_mu;
-      let r =
-        match Hashtbl.find_opt t.spt_cache snap_id with
-        | Some (len, spt) when len = Maplog.length t.maplog -> Some spt
-        | _ -> None
-      in
-      Mutex.unlock t.rt_mu;
-      r
+      locked_rt t (fun () ->
+          match Hashtbl.find_opt t.spt_cache snap_id with
+          | Some (len, spt) when len = Maplog.length t.maplog -> Some spt
+          | _ -> None)
     end
   in
   match cached with
@@ -162,11 +166,8 @@ let build_spt t snap_id =
              Obs.Trace.Int (Obs.Scope.get Storage.Stats.c_maplog_scanned - scanned0)) ];
         let len = Maplog.length t.maplog in
         t.last_spt <- Some (snap_id, len);
-        if t.spt_cache_on then begin
-          Mutex.lock t.rt_mu;
-          Hashtbl.replace t.spt_cache snap_id (len, spt);
-          Mutex.unlock t.rt_mu
-        end;
+        if t.spt_cache_on then
+          locked_rt t (fun () -> Hashtbl.replace t.spt_cache snap_id (len, spt));
         spt)
 
 (* Enable/disable sharing built SPTs across sessions (declared
@@ -174,10 +175,9 @@ let build_spt t snap_id =
    grows).  Off by default: caching would hide the per-iteration SPT
    build cost the paper attributes. *)
 let set_spt_cache t on =
-  Mutex.lock t.rt_mu;
-  t.spt_cache_on <- on;
-  if not on then Hashtbl.reset t.spt_cache;
-  Mutex.unlock t.rt_mu
+  locked_rt t (fun () ->
+      t.spt_cache_on <- on;
+      if not on then Hashtbl.reset t.spt_cache)
 
 (* Whether the most recently built SPT belongs to [snap_id] and is still
    current (no mappings appended since the build).  Reported by
@@ -193,21 +193,12 @@ let set_skippy t on = Maplog.set_skippy t.maplog on
 
 (* --- damage tracking ----------------------------------------------------- *)
 
-let mark_damaged t snap_id =
-  Mutex.lock t.rt_mu;
-  Hashtbl.replace t.damaged snap_id ();
-  Mutex.unlock t.rt_mu
+let mark_damaged t snap_id = locked_rt t (fun () -> Hashtbl.replace t.damaged snap_id ())
 
-let is_damaged t snap_id =
-  Mutex.lock t.rt_mu;
-  let r = Hashtbl.mem t.damaged snap_id in
-  Mutex.unlock t.rt_mu;
-  r
+let is_damaged t snap_id = locked_rt t (fun () -> Hashtbl.mem t.damaged snap_id)
 
 let damaged_snapshots t =
-  Mutex.lock t.rt_mu;
-  let l = Hashtbl.fold (fun s () acc -> s :: acc) t.damaged [] in
-  Mutex.unlock t.rt_mu;
+  let l = locked_rt t (fun () -> Hashtbl.fold (fun s () acc -> s :: acc) t.damaged []) in
   List.sort compare l
 
 (* Fetch page [pid] as of the snapshot described by [spt].  A corrupt
@@ -224,12 +215,7 @@ let read_page t (spt : Spt.t) pid =
        cache probes and inserts, but never across the Pagelog read —
        that is where the simulated device may sleep, and concurrent
        readers overlapping those sleeps is the whole point. *)
-    let hit =
-      Mutex.lock t.rt_mu;
-      let h = Storage.Lru.find t.snap_cache off in
-      Mutex.unlock t.rt_mu;
-      h
-    in
+    let hit = locked_rt t (fun () -> Storage.Lru.find t.snap_cache off) in
     match hit with
     | Some page ->
       Obs.Scope.incr Storage.Stats.c_snap_cache_hits;
@@ -238,9 +224,7 @@ let read_page t (spt : Spt.t) pid =
       Obs.Scope.incr Storage.Stats.c_snap_cache_misses;
       (match Pagelog.read t.pagelog off with
        | page ->
-         Mutex.lock t.rt_mu;
-         Storage.Lru.add t.snap_cache off page;
-         Mutex.unlock t.rt_mu;
+         locked_rt t (fun () -> Storage.Lru.add t.snap_cache off page);
          page
        | exception Storage.Disk.Corruption { block; detail; _ } ->
          Obs.Scope.incr Storage.Stats.c_checksum_failures;
@@ -261,15 +245,11 @@ let read_ctx t spt : Storage.Pager.read = fun pid -> read_page t spt pid
 (* Empty the snapshot page cache: the paper's experiments assume the
    cache is cold at the start of each RQL query. *)
 let clear_cache t =
-  Mutex.lock t.rt_mu;
-  Storage.Lru.clear t.snap_cache;
-  Hashtbl.reset t.spt_cache;
-  Mutex.unlock t.rt_mu
+  locked_rt t (fun () ->
+      Storage.Lru.clear t.snap_cache;
+      Hashtbl.reset t.spt_cache)
 
-let set_cache_pages t n =
-  Mutex.lock t.rt_mu;
-  Storage.Lru.set_capacity t.snap_cache n;
-  Mutex.unlock t.rt_mu
+let set_cache_pages t n = locked_rt t (fun () -> Storage.Lru.set_capacity t.snap_cache n)
 
 (* Per-instance snapshot-cache statistics; also refreshes the
    corresponding gauges in the metrics registry so Prometheus scrapes
@@ -279,9 +259,7 @@ let g_cache_occupancy = Obs.Metrics.gauge "retro.snap_cache.occupancy"
 let g_cache_evictions = Obs.Metrics.gauge "retro.snap_cache.evictions"
 
 let cache_stats t =
-  Mutex.lock t.rt_mu;
-  let s = Storage.Lru.stat_record t.snap_cache in
-  Mutex.unlock t.rt_mu;
+  let s = locked_rt t (fun () -> Storage.Lru.stat_record t.snap_cache) in
   Obs.Metrics.Gauge.set g_cache_capacity (float_of_int s.Storage.Lru.s_capacity);
   Obs.Metrics.Gauge.set g_cache_occupancy (float_of_int s.Storage.Lru.s_occupancy);
   Obs.Metrics.Gauge.set g_cache_evictions (float_of_int s.Storage.Lru.s_evictions);

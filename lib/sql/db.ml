@@ -71,6 +71,9 @@ and t = {
   mutable analyze : bool;
   mutable slow_query_s : float option;
   mutable last_analysis : Plan.analysis option;
+  (* Plan-IR optimizer gate (PRAGMA optimize=off flips it).  Cached
+     plans are optimized, so toggling also resets [plan_cache]. *)
+  mutable optimize : bool;
   (* The metric scope charged for work done through this handle; the
      engine activates it around every statement.  Defaults to the root
      scope (process-wide accounting, exactly the pre-scope behavior);
@@ -80,8 +83,14 @@ and t = {
 
 and session_info = { si_id : int; si_handle : t }
 
-let make_session core =
+(* Every c_lock section goes through this guard (the lint gate's
+   lock-discipline rule keys on the [Fun.protect] spelling). *)
+let locked_core (core : core) f =
   Mutex.lock core.c_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock core.c_lock) f
+
+let make_session core =
+  locked_core core @@ fun () ->
   let id = core.c_next_session in
   core.c_next_session <- id + 1;
   let db =
@@ -98,10 +107,10 @@ let make_session core =
       analyze = false;
       slow_query_s = None;
       last_analysis = None;
+      optimize = true;
       scope = Obs.Scope.root }
   in
   core.c_sessions <- { si_id = id; si_handle = db } :: core.c_sessions;
-  Mutex.unlock core.c_lock;
   db
 
 (* Assemble a handle from restored parts (Backup). *)
@@ -137,18 +146,15 @@ let note_prepared t = t.prepared_count <- t.prepared_count + 1
 
 (* Live sessions of this handle's core, oldest first (sys_sessions). *)
 let sessions t =
-  Mutex.lock t.core.c_lock;
-  let ss = List.rev t.core.c_sessions in
-  Mutex.unlock t.core.c_lock;
+  let ss = locked_core t.core (fun () -> List.rev t.core.c_sessions) in
   List.map (fun si -> si.si_handle) ss
 
 (* Forget a derived session (a disconnected client); its plan cache and
    counters drop out of sys_sessions. *)
 let close_session t =
-  Mutex.lock t.core.c_lock;
-  t.core.c_sessions <-
-    List.filter (fun si -> si.si_id <> t.session_id) t.core.c_sessions;
-  Mutex.unlock t.core.c_lock
+  locked_core t.core (fun () ->
+      t.core.c_sessions <-
+        List.filter (fun si -> si.si_id <> t.session_id) t.core.c_sessions)
 
 let generation t = t.core.c_generation
 
@@ -266,20 +272,18 @@ let read_current t : Storage.Pager.read =
   | _ -> Storage.Pager.read t.pager
 
 let invalidate_catalog t =
-  Mutex.lock t.core.c_lock;
-  t.core.c_catalog_cache <- None;
-  t.core.c_catalog_epoch <- t.core.c_catalog_epoch + 1;
-  Mutex.unlock t.core.c_lock
+  locked_core t.core (fun () ->
+      t.core.c_catalog_cache <- None;
+      t.core.c_catalog_epoch <- t.core.c_catalog_epoch + 1)
 
 (* The schema changed (DDL or rollback of possible DDL): drop the
    catalog cache and advance the plan-cache generation so every cached
    plan — in every session — re-plans on next use. *)
 let schema_changed t =
-  Mutex.lock t.core.c_lock;
-  t.core.c_catalog_cache <- None;
-  t.core.c_catalog_epoch <- t.core.c_catalog_epoch + 1;
-  t.core.c_generation <- t.core.c_generation + 1;
-  Mutex.unlock t.core.c_lock
+  locked_core t.core (fun () ->
+      t.core.c_catalog_cache <- None;
+      t.core.c_catalog_epoch <- t.core.c_catalog_epoch + 1;
+      t.core.c_generation <- t.core.c_generation + 1)
 
 let catalog t =
   match t.core.c_txn with
@@ -289,18 +293,17 @@ let catalog t =
     Catalog.load (Storage.Txn.read_ctx txn)
   | _ -> (
     let core = t.core in
-    Mutex.lock core.c_lock;
-    let cached = core.c_catalog_cache and epoch = core.c_catalog_epoch in
-    Mutex.unlock core.c_lock;
+    let cached, epoch =
+      locked_core core (fun () -> (core.c_catalog_cache, core.c_catalog_epoch))
+    in
     match cached with
     | Some (e, c) when e = epoch -> c
     | _ ->
       let c = Catalog.load (Storage.Pager.read t.pager) in
-      Mutex.lock core.c_lock;
       (* Only install if nothing invalidated the catalog while we were
          loading it — otherwise we would cache a stale schema. *)
-      if core.c_catalog_epoch = epoch then core.c_catalog_cache <- Some (epoch, c);
-      Mutex.unlock core.c_lock;
+      locked_core core (fun () ->
+          if core.c_catalog_epoch = epoch then core.c_catalog_cache <- Some (epoch, c));
       c)
 
 (* Cached heap handle (keeps insert hints warm across statements);

@@ -181,8 +181,37 @@ let plan_cache_cap = 512
    entry is valid while the handle's catalog generation is unchanged;
    DDL and rollback advance the generation, so stale plans re-plan on
    next use and are counted as invalidations. *)
+(* Plan and run the abstract-interpretation optimizer over the result
+   (unless PRAGMA optimize=off disabled it on this handle).  Everything
+   downstream — execution, EXPLAIN rendering, the plan cache — sees the
+   optimized tree, so cached plans are cached *optimized*. *)
+let plan_optimized db ~cat (sel : select) : Plan.t =
+  let plan = Planner.plan ~cat ~fnctx:(Db.fn_ctx db) sel in
+  if db.Db.optimize then
+    fst (Opt.optimize ~fnctx:(Db.fn_ctx db) ~is_udf:(fun n -> Db.is_udf db n) plan)
+  else plan
+
+(* Optimizer diagnostics (W2xx) for lint paths: plan the select against
+   the current catalog and collect what the optimizer would warn about.
+   Planning failures are the analyzer's department, not lint's, so any
+   error here just yields no extra diagnostics. *)
+let opt_diags db (s : stmt) : Diag.t list =
+  if not db.Db.optimize then []
+  else
+    let of_sel sel =
+      match
+        let plan = Planner.plan ~cat:(Db.catalog db) ~fnctx:(Db.fn_ctx db) sel in
+        snd (Opt.optimize ~fnctx:(Db.fn_ctx db) ~is_udf:(fun n -> Db.is_udf db n) plan)
+      with
+      | ds -> ds
+      | exception (Planner.Error _ | Exec.Error _ | Db.Error _ | Expr.Error _) -> []
+    in
+    match s with
+    | Select sel | Explain sel | Explain_analyze sel | Explain_profile sel -> of_sel sel
+    | _ -> []
+
 let plan_for db ?key (env : Exec.env) (sel : select) : Plan.t =
-  let build () = Planner.plan ~cat:env.Exec.cat ~fnctx:(Db.fn_ctx db) sel in
+  let build () = plan_optimized db ~cat:env.Exec.cat sel in
   match key with
   | None -> build ()
   | Some key -> (
@@ -334,7 +363,7 @@ let run_stmt_core db ?key (s : stmt) : result =
     (* Render the real plan tree (the one execution would use), built
        fresh against the statement's environment. *)
     let env = Exec.env_of_select db sel in
-    let plan = Planner.plan ~cat:env.Exec.cat ~fnctx:(Db.fn_ctx db) sel in
+    let plan = plan_optimized db ~cat:env.Exec.cat sel in
     { empty_result with
       columns = [| "detail" |];
       rows = List.map (fun n -> [| R.Text n |]) (Plan.render plan) }
@@ -344,7 +373,7 @@ let run_stmt_core db ?key (s : stmt) : result =
        plan is built fresh (not through the cache), so its slots start
        at zero and the actuals belong to exactly this execution. *)
     let env0 = Exec.env_of_select db sel in
-    let plan = Planner.plan ~cat:env0.Exec.cat ~fnctx:(Db.fn_ctx db) sel in
+    let plan = plan_optimized db ~cat:env0.Exec.cat sel in
     let was = db.Db.analyze in
     db.Db.analyze <- true;
     let env = { env0 with Exec.analyze = true } in
@@ -421,7 +450,7 @@ let run_stmt_core db ?key (s : stmt) : result =
     (* Analyze only — nothing plans or executes.  Rendered as rows so
        every client (shell, exec_rows, tests) consumes diagnostics like
        any other result set; zero rows means the statement is clean. *)
-    let diags = analyze_stmt db ?sql:key inner in
+    let diags = analyze_stmt db ?sql:key inner @ opt_diags db inner in
     { empty_result with
       columns = [| "severity"; "code"; "pos"; "message" |];
       rows =
@@ -515,6 +544,23 @@ let run_stmt_core db ?key (s : stmt) : result =
           (match problems with
           | [] -> [ [| R.Text "ok" |] ]
           | ps -> List.map (fun p -> [| R.Text p |]) ps) }
+    | "optimize" ->
+      { empty_result with
+        columns = [| "optimize" |];
+        rows = [ [| R.Text (if db.Db.optimize then "on" else "off") |] ] }
+    | ("optimize=on" | "optimize=1" | "optimize=true" | "optimize=off" | "optimize=0"
+      | "optimize=false") as kv ->
+      let on = match kv with
+        | "optimize=on" | "optimize=1" | "optimize=true" -> true
+        | _ -> false
+      in
+      (* Cached plans were built under the old setting; drop them so the
+         next use replans under the new one. *)
+      if db.Db.optimize <> on then Hashtbl.reset db.Db.plan_cache;
+      db.Db.optimize <- on;
+      { empty_result with
+        columns = [| "optimize" |];
+        rows = [ [| R.Text (if on then "on" else "off") |] ] }
     | other -> error "unknown pragma: %s" other)
 
 (* --- per-statement observability -------------------------------------- *)
@@ -740,8 +786,8 @@ let parse sql : stmt = wrap_errors (fun () -> parse_one sql)
 let analyze db sql : Diag.t list =
   wrap_errors (fun () ->
       match parse_one sql with
-      | Explain_lint inner -> analyze_stmt db ~sql inner
-      | s -> analyze_stmt db ~sql s)
+      | Explain_lint inner -> analyze_stmt db ~sql inner @ opt_diags db inner
+      | s -> analyze_stmt db ~sql s @ opt_diags db s)
 
 (* RQL front doors: validate a Qq / Qs before the loop touches any
    snapshot.  Errors raise with E-coded, positioned diagnostics and

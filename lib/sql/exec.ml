@@ -443,6 +443,7 @@ and stream_core env (c : Plan.core) : string array * ((R.row -> unit) -> unit) =
   in
   let emit =
     match c.Plan.c_from with
+    | _ when c.Plan.c_empty -> fun _f -> ()
     | Plan.From_none -> fun f -> f [||]
     | Plan.From_scan { first; joins; residual } ->
       let t0 = first.Plan.sc_src.Plan.s_tbl in

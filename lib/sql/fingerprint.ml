@@ -47,9 +47,87 @@ let collapse_ws s =
     s;
   Buffer.contents buf
 
+(* --- fold-aware collapse ----------------------------------------------- *)
+
+(* The optimizer replaces whole constant expressions by their folded
+   literal, so "WHERE a > 1 + 1" and "WHERE a > 2" compile to the same
+   plan — they should land on the same fingerprint too.  After literal
+   replacement, constant expressions *over* [?] are collapsed to a
+   single [?] as a fixpoint: parenthesized [?], binary combinations of
+   [?] (respecting operator precedence so "? + ? * a" keeps its shape),
+   unary minus / NOT on [?], and builtin calls with all-constant
+   arguments. *)
+
+(* Keywords never end a value, so "WHERE - ?" may collapse while
+   "a - ?" must not. *)
+let keywords =
+  [ "select"; "from"; "where"; "and"; "or"; "not"; "in"; "like"; "between"; "is";
+    "null"; "case"; "when"; "then"; "else"; "end"; "group"; "by"; "having"; "order";
+    "limit"; "offset"; "union"; "all"; "distinct"; "as"; "on"; "join"; "left";
+    "inner"; "cross"; "values"; "set"; "asc"; "desc"; "of" ]
+
+let ends_value t =
+  t = "?" || t = ")"
+  || (String.length t > 0
+      && (let c = t.[0] in (c >= 'a' && c <= 'z') || c = '_')
+      && not (List.mem t keywords))
+
+(* Binding strength; 0 = not a binary operator. *)
+let prec = function
+  | "*" | "/" | "%" -> 5
+  | "+" | "-" | "||" -> 4
+  | "=" | "<>" | "<" | "<=" | ">" | ">=" -> 3
+  | "and" -> 2
+  | "or" -> 1
+  | _ -> 0
+
+let collapse_folds (toks : string list) : string list =
+  let changed = ref true in
+  let cur = ref toks in
+  (* [name ( ?, ?, ... )] with every argument constant -> rest *)
+  let const_call rest =
+    let rec args = function
+      | "?" :: ")" :: tl -> Some tl
+      | "?" :: "," :: tl -> args tl
+      | _ -> None
+    in
+    match rest with
+    | "(" :: tl -> args tl
+    | _ -> None
+  in
+  while !changed do
+    changed := false;
+    let rec rw prev toks =
+      match toks with
+      | [] -> []
+      | (name :: rest) when Func.find name <> None && const_call rest <> None ->
+        changed := true;
+        rw prev ("?" :: Option.get (const_call rest))
+      | "(" :: "?" :: ")" :: rest when not (ends_value prev) ->
+        changed := true;
+        rw prev ("?" :: rest)
+      | "?" :: op :: "?" :: rest when prec op > 0 ->
+        (* Collapse only when this application really is one constant
+           subtree: a tighter operator on either side would have been
+           parsed inside it. *)
+        let nextp = match rest with nx :: _ -> prec nx | [] -> 0 in
+        if prec prev >= prec op || nextp > prec op then "?" :: rw "?" (op :: "?" :: rest)
+        else begin
+          changed := true;
+          rw prev ("?" :: rest)
+        end
+      | ("-" | "not") :: "?" :: rest when not (ends_value prev) && prec (List.nth_opt rest 0 |> Option.value ~default:"") = 0 ->
+        changed := true;
+        rw prev ("?" :: rest)
+      | t :: rest -> t :: rw t rest
+    in
+    cur := rw "" !cur
+  done;
+  !cur
+
 let normalize (sql : string) : string =
   match Lexer.tokenize sql with
-  | toks -> String.concat " " (List.filter_map token_norm toks)
+  | toks -> String.concat " " (collapse_folds (List.filter_map token_norm toks))
   | exception Lexer.Error _ -> collapse_ws sql
 
 (* 64-bit FNV-1a. *)

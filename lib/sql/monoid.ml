@@ -51,7 +51,7 @@ let add a b =
   | R.Null, v | v, R.Null -> v
   | R.Int x, R.Int y -> R.Int (x + y)
   | x, y -> (
-    match Sqldb.Expr.to_number x, Sqldb.Expr.to_number y with
+    match Expr.to_number x, Expr.to_number y with
     | Some fx, Some fy -> R.Real (fx +. fy)
     | _ -> R.Null)
 
@@ -94,7 +94,7 @@ type avg_state = { mutable sum : float; mutable count : int }
 let avg_create () = { sum = 0.; count = 0 }
 
 let avg_step st v =
-  match Sqldb.Expr.to_number v with
+  match Expr.to_number v with
   | Some f ->
     st.sum <- st.sum +. f;
     st.count <- st.count + 1

@@ -704,7 +704,26 @@ and parse_stmt st =
     expect_kw st "ARCHIVE";
     Analyze_archive
   end
-  else if accept_kw st "PRAGMA" then Pragma (ident st)
+  else if accept_kw st "PRAGMA" then begin
+    (* PRAGMA name [= value]; the engine receives "name" or "name=value"
+       as one string, so the statement type stays a plain Pragma. *)
+    let name = ident st in
+    if peek st = Lexer.Eq then begin
+      advance st;
+      let value =
+        match peek st with
+        | Lexer.Ident s ->
+          advance st;
+          s
+        | Lexer.Int_lit n ->
+          advance st;
+          string_of_int n
+        | t -> error st "expected pragma value but found %s" (Lexer.token_to_string t)
+      in
+      Pragma (name ^ "=" ^ value)
+    end
+    else Pragma name
+  end
   else error st "unexpected token %s at start of statement" (Lexer.token_to_string (peek st))
 
 let state_of (sql : string) : state =

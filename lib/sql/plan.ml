@@ -113,12 +113,29 @@ type core = {
   c_distinct : bool;
   c_limit : expr option;
   c_offset : expr option;
+  (* Set by the optimizer when a WHERE conjunct is proven always-false
+     (or NULL): the row producer yields nothing, but the rest of the
+     pipeline still runs so aggregates over zero rows stay correct. *)
+  c_empty : bool;
   (* Instrumentation slots for the non-FROM pipeline stages.  Always
      present; only the ones a core actually uses show up in actuals. *)
   c_filter_op : op; (* post-join residual filter *)
   c_agg_op : op;    (* grouping / aggregation (rows = groups out) *)
   c_sort_op : op;   (* sort / distinct buffer *)
   c_out_op : op;    (* final output (post limit/offset) *)
+}
+
+(* What the optimizer did to (and concluded about) a plan.  Attached by
+   [Opt.optimize]; [None] means the plan never went through the pass
+   (PRAGMA optimize=off, or a bare [Planner.plan] call). *)
+type opt_info = {
+  oi_folds : int;           (* expressions replaced by literals *)
+  oi_pruned : int;          (* always-true/false predicate conjuncts removed *)
+  oi_empty : bool;          (* an always-false conjunct emptied the plan *)
+  oi_invariant : bool;      (* snapshot-invariant: no params, no table data *)
+  oi_delta_safe : bool;     (* eligible for delta-driven incremental RQL *)
+  oi_delta_reason : string; (* "" when delta-safe, else why not *)
+  oi_notes : (int * string) list; (* op_id -> per-node annotation *)
 }
 
 type t = {
@@ -129,6 +146,7 @@ type t = {
   p_corder : (int * bool) list; (* compound ORDER BY: output position, desc *)
   p_climit : expr option;
   p_coffset : expr option;
+  p_opt : opt_info option;
 }
 
 (* A cache entry: the plan plus the catalog generation it was built
@@ -403,17 +421,45 @@ let actual_suffix (a : op_actual) =
     (if a.a_probes > 0 then Printf.sprintf " probes=%d" a.a_probes else "")
     (a.a_elapsed_s *. 1000.) a.a_pages
 
+(* Optimizer trailer lines: what the pass did, and the delta-safety
+   verdict ROADMAP item 4 consumes.  Empty when the plan never went
+   through the optimizer. *)
+let opt_trailer (p : t) : string list =
+  match p.p_opt with
+  | None -> []
+  | Some oi ->
+    (if oi.oi_folds = 0 && oi.oi_pruned = 0 && not oi.oi_invariant then []
+     else
+       [ Printf.sprintf "OPT (folded=%d pruned=%d%s)" oi.oi_folds oi.oi_pruned
+           (if oi.oi_invariant then " invariant" else "") ])
+    @ [ (if oi.oi_delta_safe then "DELTA-SAFE: yes"
+         else Printf.sprintf "DELTA-SAFE: no (%s)" oi.oi_delta_reason) ]
+
+(* Per-node optimizer annotation, keyed by the operator's stable id. *)
+let opt_note (p : t) (id : int) : string =
+  match p.p_opt with
+  | None -> ""
+  | Some oi ->
+    (match List.assoc_opt id oi.oi_notes with Some n -> " [" ^ n ^ "]" | None -> "")
+
 (* EXPLAIN ANALYZE rendering: each planner-choice line annotated with
    the actuals recorded during the instrumented execution. *)
 let render_analyzed (p : t) : string list =
-  List.map (fun a -> Printf.sprintf "%-44s %s" a.a_label (actual_suffix a)) (actuals p)
+  List.map
+    (fun a -> Printf.sprintf "%-44s %s%s" a.a_label (actual_suffix a) (opt_note p a.a_id))
+    (actuals p)
+  @ opt_trailer p
 
 (* Render the plan as EXPLAIN QUERY PLAN lines (SQLite-flavored). *)
 let render (p : t) : string list =
   let core_lines (c : core) =
-    match c.c_from with
-    | From_none -> []
-    | From_scan { first; joins; _ } -> scan_line first :: List.map join_line joins
+    if c.c_empty then [ "EMPTY SCAN (always-false WHERE)" ]
+    else
+      match c.c_from with
+      | From_none -> []
+      | From_scan { first; joins; _ } ->
+        (scan_line first ^ opt_note p first.sc_op.op_id)
+        :: List.map (fun js -> join_line js ^ opt_note p js.j_op.op_id) joins
   in
   let lines = core_lines p.p_core in
   let lines =
@@ -423,6 +469,6 @@ let render (p : t) : string list =
   lines
   @ (if p.p_core.c_group <> [] then [ "USE TEMP B-TREE FOR GROUP BY" ] else [])
   @ (if p.p_core.c_distinct then [ "USE TEMP B-TREE FOR DISTINCT" ] else [])
-  @
-  if p.p_core.c_order <> [] || p.p_corder <> [] then [ "USE TEMP B-TREE FOR ORDER BY" ]
-  else []
+  @ (if p.p_core.c_order <> [] || p.p_corder <> [] then [ "USE TEMP B-TREE FOR ORDER BY" ]
+     else [])
+  @ opt_trailer p

@@ -429,6 +429,7 @@ let plan_core ~cat ~fnctx (sel : select) : Plan.core =
     c_distinct = sel.distinct;
     c_limit = sel.limit;
     c_offset = sel.offset;
+    c_empty = false;
     c_filter_op = Plan.mk_op ();
     c_agg_op = Plan.mk_op ();
     c_sort_op = Plan.mk_op ();
@@ -442,7 +443,8 @@ let rec plan_select ~cat ~fnctx (sel : select) : Plan.t =
       p_members = [];
       p_corder = [];
       p_climit = None;
-      p_coffset = None }
+      p_coffset = None;
+      p_opt = None }
   else begin
     (* compound: the first member keeps the record's DISTINCT/GROUP BY;
        trailing ORDER BY / LIMIT belong to the whole compound and must
@@ -469,7 +471,8 @@ let rec plan_select ~cat ~fnctx (sel : select) : Plan.t =
       p_members = members;
       p_corder = List.map (fun o -> (out_index o, o.ord_desc)) sel.order_by;
       p_climit = sel.limit;
-      p_coffset = sel.offset }
+      p_coffset = sel.offset;
+      p_opt = None }
   end
 
 (* Public entry point: plan a SELECT against a catalog. *)

@@ -109,9 +109,19 @@ let table_rows db =
 (* Plan-cache statistics of this handle: one row.  [generation] is the
    schema-change counter cached plans are validated against. *)
 let plan_rows (db : Db.t) =
+  (* [delta_safe] counts cached plans the optimizer marked safe for
+     incremental (delta) evaluation. *)
+  let delta_safe =
+    Hashtbl.fold
+      (fun _ (c : Plan.cached) n ->
+        match c.Plan.cp_plan.Plan.p_opt with
+        | Some oi when oi.Plan.oi_delta_safe -> n + 1
+        | _ -> n)
+      db.Db.plan_cache 0
+  in
   [ [| R.Int (Hashtbl.length db.Db.plan_cache); R.Int db.Db.plan_hits;
        R.Int db.Db.plan_misses; R.Int db.Db.plan_invalidations;
-       R.Int (Db.generation db) |] ]
+       R.Int (Db.generation db); R.Int delta_safe |] ]
 
 (* Every live session over this handle's core, oldest first: its
    private plan cache and counters, its prepared-statement count and
@@ -260,7 +270,8 @@ let all : vtable list =
     { vname = "sys_plans";
       vcols =
         [| ("size", "INTEGER"); ("hits", "INTEGER"); ("misses", "INTEGER");
-           ("invalidations", "INTEGER"); ("generation", "INTEGER") |];
+           ("invalidations", "INTEGER"); ("generation", "INTEGER");
+           ("delta_safe", "INTEGER") |];
       vrows = plan_rows };
     { vname = "sys_sessions";
       vcols =

@@ -18,6 +18,9 @@ lint:
 # Seeded crash matrix: crash the durability workload at every WAL
 # injection point (clean + torn tails + sampled bit flips), recover,
 # and verify integrity / all-or-nothing commits / snapshot history.
+# A second lifecycle phase crashes CHECKPOINT and VACUUM SNAPSHOTS at
+# every point and verifies recovery lands on the old archive or the
+# new one — never a hybrid — with bounded post-checkpoint replay.
 crash:
 	dune exec bin/crash_matrix.exe -- --seed 42
 	dune exec bin/crash_matrix.exe -- --seed 42 --group-commit 3

@@ -84,8 +84,13 @@ let table_contents db ?as_of t : string list option =
 let snapshot_count db =
   match db.Sqldb.Db.retro with Some r -> Retro.snapshot_count r | None -> 0
 
+(* Remove the WAL and every lifecycle sidecar (checkpoint image, its
+   temp stages, the truncation swap file), so no state leaks between
+   matrix points. *)
 let fresh_path path =
-  if Sys.file_exists path then Sys.remove path;
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; path ^ ".swap"; path ^ ".ckpt"; path ^ ".ckpt.new"; path ^ ".ckpt.tmp" ];
   path
 
 let wal_of db =
@@ -95,7 +100,11 @@ let wal_of db =
 
 (* --- consistency checks on a recovered database -------------------------- *)
 
-let check_recovered ~label ~oracle db =
+(* [valid_first_live] is the set of acceptable oldest-retained snapshot
+   ids: [1] for the durability matrix, [1; keep_from] for the lifecycle
+   matrix — a vacuum either committed entirely (the WAL swap landed) or
+   not at all, so any other value is a hybrid archive. *)
+let check_recovered ~label ~oracle ?(valid_first_live = [ 1 ]) db =
   (match Sqldb.Integrity.check db with
   | [] -> ()
   | problems ->
@@ -130,19 +139,40 @@ let check_recovered ~label ~oracle db =
       label (List.length a)
   | None, None -> () (* crashed before the pair tables were committed *));
   (* every recovered snapshot must read back exactly as the oracle saw
-     it when it was declared *)
+     it when it was declared; a vacuumed prefix must refuse reads
+     cleanly (old-or-new, never a partially compacted archive) *)
   let snaps = snapshot_count db in
+  let fl =
+    match db.Sqldb.Db.retro with Some r -> Retro.first_live r | None -> 1
+  in
+  if not (List.mem fl valid_first_live) then
+    fail "%s: first live snapshot is %d, expected one of {%s} (hybrid vacuum?)" label
+      fl
+      (String.concat ", " (List.map string_of_int valid_first_live));
+  if fl > 1 && snaps <> Array.length oracle then
+    fail "%s: hybrid archive: vacuumed to %d but only %d of %d snapshots exist" label
+      fl snaps (Array.length oracle);
   Array.iteri
     (fun i oracle_snap ->
       let sid = i + 1 in
       if sid <= snaps then
-        List.iter
-          (fun t ->
-            let got = table_contents db ~as_of:sid t in
-            let want = List.assoc t oracle_snap in
-            if got <> want then
-              fail "%s: snapshot %d table %s diverges from oracle" label sid t)
-          tables)
+        if sid < fl then
+          List.iter
+            (fun t ->
+              match table_contents db ~as_of:sid t with
+              | None -> ()
+              | Some _ ->
+                fail "%s: vacuumed snapshot %d is still readable (table %s)" label sid
+                  t)
+            tables
+        else
+          List.iter
+            (fun t ->
+              let got = table_contents db ~as_of:sid t in
+              let want = List.assoc t oracle_snap in
+              if got <> want then
+                fail "%s: snapshot %d table %s diverges from oracle" label sid t)
+            tables)
     oracle;
   if snaps > Array.length oracle then
     fail "%s: recovered %d snapshots, oracle declared only %d" label snaps
@@ -227,12 +257,95 @@ let () =
     | exception Storage.Wal.Error m -> fail "%s: recovery rejected the log: %s" label m)
   done;
 
+  (* 4. archive-lifecycle matrix: the same workload, then CHECKPOINT,
+     two more rounds, and VACUUM SNAPSHOTS — crash at every write-path
+     injection point of that sequence (the checkpoint image stages, the
+     WAL swap, every compaction block copy) and require the recovered
+     archive to be entirely pre-vacuum or entirely post-vacuum.  No
+     bit-flip variants here: a flipped Checkpoint frame by design
+     degrades recovery to an empty-prefix replay, which would defeat
+     the strict old-or-new check this phase exists for. *)
+  let keep_last = 3 in
+  let lc_extra_rounds = 2 in
+  let lc_total = n_rounds + lc_extra_rounds in
+  let run_lifecycle db =
+    run_workload db;
+    ignore (E.exec db "CHECKPOINT");
+    for i = n_rounds + 1 to lc_total do
+      List.iter (fun sql -> ignore (E.exec db sql)) (round_sql i)
+    done;
+    ignore (E.exec db (Printf.sprintf "VACUUM SNAPSHOTS KEEPING LAST %d" keep_last))
+  in
+  (* lifecycle oracle: record every snapshot BEFORE the vacuum drops the
+     prefix, then vacuum and verify the survivors read back unchanged —
+     the no-crash byte-identity baseline *)
+  let lc_db, _ = Sqldb.Db.open_wal ~path:(fresh_path (path "lc_oracle.wal")) () in
+  run_workload lc_db;
+  ignore (E.exec lc_db "CHECKPOINT");
+  for i = n_rounds + 1 to lc_total do
+    List.iter (fun sql -> ignore (E.exec lc_db sql)) (round_sql i)
+  done;
+  let lc_oracle =
+    Array.init (snapshot_count lc_db) (fun i ->
+        List.map (fun t -> (t, table_contents lc_db ~as_of:(i + 1) t)) tables)
+  in
+  let keep_from = Array.length lc_oracle - keep_last + 1 in
+  ignore (E.exec lc_db (Printf.sprintf "VACUUM SNAPSHOTS KEEPING LAST %d" keep_last));
+  for sid = keep_from to Array.length lc_oracle do
+    List.iter
+      (fun t ->
+        if table_contents lc_db ~as_of:sid t <> List.assoc t lc_oracle.(sid - 1) then
+          fail "lc-oracle: snapshot %d table %s changed across the vacuum" sid t)
+      tables
+  done;
+  Sqldb.Db.close_wal lc_db;
+
+  let lc_count_db, _ =
+    Sqldb.Db.open_wal ~group_commit:!group_commit
+      ~path:(fresh_path (path "lc_count.wal"))
+      ()
+  in
+  let lc_counter = Storage.Fault.create ~seed:!seed () in
+  Storage.Wal.set_fault (wal_of lc_count_db) (Some lc_counter);
+  run_lifecycle lc_count_db;
+  let lc_ops = Storage.Fault.op_count lc_counter in
+  Sqldb.Db.close_wal lc_count_db;
+  Printf.printf "lifecycle workload has %d WAL injection points (seed %d, group_commit %d)\n%!"
+    lc_ops !seed !group_commit;
+
+  for k = 1 to lc_ops do
+    let wal_path = fresh_path (path "lc_crash.wal") in
+    let db, _ = Sqldb.Db.open_wal ~group_commit:!group_commit ~path:wal_path () in
+    let fault = Storage.Fault.create ~seed:(!seed + k) () in
+    Storage.Fault.arm_crash fault ~after_ops:k ~torn:(k mod 2 = 0);
+    Storage.Wal.set_fault (wal_of db) (Some fault);
+    (match run_lifecycle db with
+    | () -> fail "lc k=%d: workload survived an armed crash" k
+    | exception Storage.Fault.Crash -> ());
+    let label = Printf.sprintf "lc k=%d" k in
+    (match Sqldb.Db.open_wal ~path:wal_path () with
+    | db2, Some r ->
+      (* a checkpoint-framed log replays only post-checkpoint commits *)
+      (match r.Sqldb.Db.rec_report.Storage.Wal.rep_checkpoint with
+      | Some _ ->
+        if r.Sqldb.Db.rec_report.Storage.Wal.rep_commits > lc_extra_rounds then
+          fail "%s: checkpointed log still replayed %d commits (expected <= %d)" label
+            r.Sqldb.Db.rec_report.Storage.Wal.rep_commits lc_extra_rounds
+      | None -> ());
+      check_recovered ~label ~oracle:lc_oracle ~valid_first_live:[ 1; keep_from ] db2;
+      Sqldb.Db.close_wal db2
+    | _, None -> fail "%s: recovery reported a fresh database" label
+    | exception Storage.Wal.Error m -> fail "%s: recovery rejected the log: %s" label m)
+  done;
+
   (* clean up the scratch directory *)
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Unix.rmdir dir;
   if !failures = 0 then begin
-    Printf.printf "crash matrix passed: %d crash points (+%d bit-flip variants) all recovered\n"
-      n_ops (n_ops / 7);
+    Printf.printf
+      "crash matrix passed: %d durability points (+%d bit-flip variants) and %d \
+       lifecycle points all recovered\n"
+      n_ops (n_ops / 7) lc_ops;
     exit 0
   end
   else begin

@@ -217,19 +217,47 @@ let clients =
   let doc = "Number of concurrent clients for --self-test." in
   Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc)
 
-let main port max_conns selftest clients =
+let wal_path =
+  let doc =
+    "Open the served data database against a write-ahead log at $(docv), recovering \
+     it if the file exists."
+  in
+  Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"PATH" ~doc)
+
+let checkpoint_bytes =
+  let doc =
+    "With --wal, auto-checkpoint after the log grows past $(docv) bytes (0 = only \
+     explicit CHECKPOINT statements)."
+  in
+  Arg.(value & opt int 0 & info [ "checkpoint-bytes" ] ~docv:"BYTES" ~doc)
+
+let main port max_conns selftest clients wal checkpoint_bytes =
   if selftest then self_test ~clients
   else begin
-    let ctx = Rql.create () in
+    let ctx =
+      match wal with
+      | Some path ->
+        let db, recovery = Sqldb.Db.open_wal ~path () in
+        (match recovery with
+        | Some r ->
+          Printf.printf "rql_serve: recovered %s (%d snapshots)\n%!" path
+            r.Sqldb.Db.rec_snapshots
+        | None -> Printf.printf "rql_serve: created WAL-backed database at %s\n%!" path);
+        Rql.create ~data:db ()
+      | None -> Rql.create ()
+    in
+    if checkpoint_bytes > 0 then
+      Sqldb.Db.set_checkpoint_threshold ctx.Rql.data checkpoint_bytes;
     let sock = listen_socket port in
     Printf.printf "rql_serve: listening on 127.0.0.1:%d (one session per connection)\n%!"
       (bound_port sock);
-    accept_loop ctx sock ~max_conns
+    accept_loop ctx sock ~max_conns;
+    Sqldb.Db.close_wal ctx.Rql.data
   end
 
 let cmd =
   let doc = "Serve the RQL engine to concurrent clients over a line protocol" in
   Cmd.v (Cmd.info "rql_serve" ~doc)
-    Term.(const main $ port $ max_conns $ selftest $ clients)
+    Term.(const main $ port $ max_conns $ selftest $ clients $ wal_path $ checkpoint_bytes)
 
 let () = exit (Cmd.eval cmd)

@@ -274,10 +274,22 @@ let () =
               print_endline "synced"
             | "", Some s ->
               Printf.printf
-                "wal %s: group_commit=%d appends=%d bytes=%d fsyncs=%d pending=%d bytes\n"
+                "wal %s: group_commit=%d appends=%d bytes=%d fsyncs=%d pending=%d \
+                 since_checkpoint=%d bytes\n"
                 s.Storage.Wal.st_path s.Storage.Wal.st_group_commit s.Storage.Wal.st_appends
                 s.Storage.Wal.st_bytes s.Storage.Wal.st_fsyncs s.Storage.Wal.st_pending_bytes
+                s.Storage.Wal.st_since_checkpoint
             | _, Some _ -> print_endline "usage: .wal [sync]") };
+      { cname = ".checkpoint"; cargs = "";
+        chelp = "materialize the WAL into a durable image and truncate it";
+        crun =
+          (fun ~ctx_ref ~args:_ ->
+            let db = !ctx_ref.Rql.data in
+            match Sqldb.Db.wal db with
+            | None -> print_endline "no WAL attached (start the shell with --wal PATH)"
+            | Some _ ->
+              let seq, dropped = Sqldb.Db.checkpoint db in
+              Printf.printf "checkpoint %d: truncated %d WAL bytes\n" seq dropped) };
       { cname = ".statements"; cargs = "";
         chelp = "top statements by total time (per-fingerprint, sys_statements)";
         crun = (fun ~ctx_ref ~args:_ -> run_statements !ctx_ref.Rql.data) };
@@ -386,6 +398,14 @@ let group_commit =
   let doc = "With --wal, batch this many commits per modeled fsync (group commit)." in
   Arg.(value & opt int 1 & info [ "group-commit" ] ~docv:"N" ~doc)
 
+let checkpoint_bytes =
+  let doc =
+    "With --wal, auto-checkpoint after the log grows past $(docv) bytes (0 = only \
+     explicit .checkpoint / CHECKPOINT statements; same knob as PRAGMA \
+     checkpoint_threshold)."
+  in
+  Arg.(value & opt int 0 & info [ "checkpoint-bytes" ] ~docv:"BYTES" ~doc)
+
 (* Open (or recover) the WAL-backed data database and print the
    recovery report the durability contract promises on open. *)
 let open_wal_data ~group_commit path =
@@ -398,6 +418,9 @@ let open_wal_data ~group_commit path =
     Printf.printf "recovered %s: %d commits, %d snapshots replayed (%d of %d bytes valid)\n"
       path rep.Storage.Wal.rep_commits r.Sqldb.Db.rec_snapshots
       rep.Storage.Wal.rep_valid_bytes rep.Storage.Wal.rep_total_bytes;
+    (match rep.Storage.Wal.rep_checkpoint with
+    | Some seq -> Printf.printf "  restored checkpoint image %d, replayed the suffix\n" seq
+    | None -> ());
     if rep.Storage.Wal.rep_torn then
       print_endline "  torn tail discarded (incomplete final record)";
     if rep.Storage.Wal.rep_corrupt then
@@ -409,12 +432,14 @@ let open_wal_data ~group_commit path =
         (String.concat ", " (List.map string_of_int ds)));
     db
 
-let main tpch snapshots wal group_commit =
+let main tpch snapshots wal group_commit checkpoint_bytes =
   let ctx =
     match wal with
     | Some path -> Rql.create ~data:(open_wal_data ~group_commit path) ()
     | None -> Rql.create ()
   in
+  if checkpoint_bytes > 0 then
+    Sqldb.Db.set_checkpoint_threshold ctx.Rql.data checkpoint_bytes;
   (match tpch with
   | Some sf ->
     Printf.printf "generating TPC-H at SF %g...\n%!" sf;
@@ -430,6 +455,6 @@ let main tpch snapshots wal group_commit =
 let cmd =
   let doc = "interactive shell for the RQL retrospective query system" in
   Cmd.v (Cmd.info "rql_shell" ~doc)
-    Term.(const main $ tpch_sf $ snapshots $ wal_path $ group_commit)
+    Term.(const main $ tpch_sf $ snapshots $ wal_path $ group_commit $ checkpoint_bytes)
 
 let () = exit (Cmd.eval cmd)

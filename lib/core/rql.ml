@@ -682,12 +682,14 @@ let snapshot_weights (data : Sq.Db.t) sids =
   | None -> [||]
   | Some retro ->
     let snaps = (Retro.analyze retro).Retro.an_snapshots in
+    (* an_snapshots covers live snapshots only, so look up by id (after
+       a vacuum, index != id - 1). *)
     Array.of_list
       (List.map
          (fun sid ->
-           if sid >= 1 && sid <= Array.length snaps then
-             1. +. float_of_int snaps.(sid - 1).Retro.si_delta_pages
-           else 1.)
+           match Array.find_opt (fun si -> si.Retro.si_id = sid) snaps with
+           | Some si -> 1. +. float_of_int si.Retro.si_delta_pages
+           | None -> 1.)
          sids)
 
 (* Progress rows in the event log: one at every run-status transition,

@@ -19,6 +19,11 @@ type t = {
   mutable n_entries : int;
   mutable boundaries : boundary array; (* index = snapshot id - 1 *)
   mutable n_boundaries : int;
+  (* Lowest snapshot id still readable.  VACUUM drops a *prefix* of the
+     history: ids below this are gone (their boundary slots retain only
+     the declaration timestamp for introspection), ids at or above it
+     keep their identity — snapshot numbering never shifts. *)
+  mutable first_live : int;
   (* Skippy-style skip levels ([23]): memoized first-occurrence-per-page
      digests of fixed-size entry segments.  The log is append-only, so a
      full segment's digest never changes. *)
@@ -42,6 +47,7 @@ let create () =
     n_entries = 0;
     boundaries = Array.make 16 { pos = 0; db_pages = 0; ts = 0. };
     n_boundaries = 0;
+    first_live = 1;
     skippy = true;
     l1 = Hashtbl.create 64;
     l2 = Hashtbl.create 16;
@@ -73,9 +79,22 @@ let declare t ~db_pages ~ts =
 
 let snapshot_count t = t.n_boundaries
 
+let first_live t = t.first_live
+
 let boundary t snap_id =
   if snap_id < 1 || snap_id > t.n_boundaries then
     invalid_arg (Printf.sprintf "Maplog.boundary: unknown snapshot %d" snap_id);
+  if snap_id < t.first_live then
+    invalid_arg (Printf.sprintf "Maplog.boundary: snapshot %d has been vacuumed" snap_id);
+  t.boundaries.(snap_id - 1)
+
+(* Boundary slot without the vacuumed guard: positions of vacuumed
+   snapshots are stale (compaction shifts only live boundaries), but the
+   declaration timestamp stays valid — introspection (sys_snapshots)
+   reads it through this. *)
+let raw_boundary t snap_id =
+  if snap_id < 1 || snap_id > t.n_boundaries then
+    invalid_arg (Printf.sprintf "Maplog.raw_boundary: unknown snapshot %d" snap_id);
   t.boundaries.(snap_id - 1)
 
 (* First-occurrence-per-page digest of raw entries [lo, hi). *)
@@ -194,13 +213,48 @@ let skippy_stats t =
       let sum tbl = Hashtbl.fold (fun _ d acc -> acc + Array.length d) tbl 0 in
       (Hashtbl.length t.l1, Hashtbl.length t.l2, sum t.l1 + sum t.l2))
 
+(* Drop the history prefix before snapshot [keep_from] after a Pagelog
+   compaction: keep only the entry suffix from [keep_from]'s boundary,
+   rewriting each kept entry's Pagelog offset through [remap] (the
+   compaction's old-offset -> new-offset map), shift live boundaries to
+   the new origin, and reset the memoized skip digests (they index raw
+   entry positions, all of which just moved).  Vacuumed boundary slots
+   are left as they are — [boundary] refuses them, [raw_boundary] still
+   serves the declaration timestamp.  Returns the number of entries
+   dropped.  Caller holds the pager's writer lock (this moves the
+   ground under concurrent SPT scans). *)
+let compact t ~keep_from ~remap =
+  let keep_pos = (boundary t keep_from).pos in
+  let n = t.n_entries - keep_pos in
+  let entries = Array.make (max 256 n) { pid = 0; pl_off = 0 } in
+  for i = 0 to n - 1 do
+    let e = t.entries.(keep_pos + i) in
+    entries.(i) <- { e with pl_off = remap e.pl_off }
+  done;
+  t.entries <- entries;
+  t.n_entries <- n;
+  for s = keep_from to t.n_boundaries do
+    let b = t.boundaries.(s - 1) in
+    t.boundaries.(s - 1) <- { b with pos = b.pos - keep_pos }
+  done;
+  t.first_live <- keep_from;
+  locked_dg t (fun () ->
+      Hashtbl.reset t.l1;
+      Hashtbl.reset t.l2);
+  keep_pos
+
 (* Portable image (for backup/restore); skip digests are rebuilt on
    demand after restore. *)
-type image = { img_entries : entry array; img_boundaries : boundary array }
+type image = {
+  img_entries : entry array;
+  img_boundaries : boundary array;
+  img_first_live : int;
+}
 
 let dump t =
   { img_entries = Array.sub t.entries 0 t.n_entries;
-    img_boundaries = Array.sub t.boundaries 0 t.n_boundaries }
+    img_boundaries = Array.sub t.boundaries 0 t.n_boundaries;
+    img_first_live = t.first_live }
 
 let restore img =
   let t = create () in
@@ -223,4 +277,5 @@ let restore img =
       t.boundaries.(t.n_boundaries) <- b;
       t.n_boundaries <- t.n_boundaries + 1)
     img.img_boundaries;
+  t.first_live <- img.img_first_live;
   t

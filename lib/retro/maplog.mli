@@ -33,8 +33,27 @@ val declare : t -> db_pages:int -> ts:float -> int
 
 val snapshot_count : t -> int
 
-(** @raise Invalid_argument on an unknown snapshot id. *)
+(** Lowest snapshot id still readable (1 until a vacuum drops a
+    prefix).  Snapshot ids never renumber. *)
+val first_live : t -> int
+
+(** @raise Invalid_argument on an unknown or vacuumed snapshot id. *)
 val boundary : t -> int -> boundary
+
+(** Boundary slot without the vacuumed guard: a vacuumed snapshot's
+    position is stale, but its declaration timestamp stays valid
+    (introspection reads it).
+    @raise Invalid_argument on an unknown snapshot id. *)
+val raw_boundary : t -> int -> boundary
+
+(** Drop the history prefix before snapshot [keep_from] after a Pagelog
+    compaction: keep only the entry suffix from its boundary, rewriting
+    kept entries' Pagelog offsets through [remap], shift live boundaries
+    to the new origin, reset the skip digests and advance [first_live].
+    Returns the number of entries dropped.  Caller holds the pager's
+    writer lock.
+    @raise Invalid_argument on an unknown or vacuumed [keep_from]. *)
+val compact : t -> keep_from:int -> remap:(int -> int) -> int
 
 (** Scan the suffix for snapshot [snap_id], calling [f pid pl_off] for
     the first mapping of each page (pages beyond the declaration-time
@@ -57,7 +76,11 @@ val skippy_stats : t -> int * int * int
 
 (** {1 Backup} *)
 
-type image = { img_entries : entry array; img_boundaries : boundary array }
+type image = {
+  img_entries : entry array;
+  img_boundaries : boundary array;
+  img_first_live : int;
+}
 
 val dump : t -> image
 

@@ -30,3 +30,18 @@ let size_bytes t = Storage.Disk.size_bytes t.disk
 let dump t = Storage.Disk.dump t.disk
 
 let restore blocks = { disk = Storage.Disk.restore ~name:"pagelog" blocks }
+
+(* Raw (stored-CRC-preserving) access for compaction and checkpoint
+   images: a latent checksum mismatch must survive the copy as a
+   mismatch, never be re-blessed by a recomputed CRC. *)
+let raw_block t off = Storage.Disk.raw_block t.disk off
+
+let append_raw t b ~crc = Storage.Disk.append_raw t.disk b ~crc
+
+let dump_raw t = Storage.Disk.dump_raw t.disk
+
+let restore_raw pairs = { disk = Storage.Disk.restore_raw ~name:"pagelog" pairs }
+
+(* The attached fault injector (compaction hands it to the replacement
+   device so armed faults survive a vacuum). *)
+let fault t = Storage.Disk.fault t.disk

@@ -29,7 +29,22 @@ val corrupt_block : t -> int -> bit:int -> unit
 (** Arm fault-injected read errors on the archive device. *)
 val set_fault : t -> Storage.Fault.t option -> unit
 
+(** The attached fault injector, if any (compaction hands it to the
+    replacement device so armed faults survive a vacuum). *)
+val fault : t -> Storage.Fault.t option
+
 (** {1 Backup} *)
 
 val dump : t -> Bytes.t array
 val restore : Bytes.t array -> t
+
+(** {1 Raw (stored-CRC-preserving) access}
+
+    Compaction and checkpoint images copy blocks with these so a latent
+    checksum mismatch survives the copy as a mismatch (see
+    {!Storage.Disk.raw_block}). *)
+
+val raw_block : t -> int -> Bytes.t * int
+val append_raw : t -> Bytes.t -> crc:int -> int
+val dump_raw : t -> (Bytes.t * int) array
+val restore_raw : (Bytes.t * int) array -> t

@@ -17,7 +17,9 @@ module Maplog = Maplog
 module Spt = Spt
 
 type t = {
-  pagelog : Pagelog.t;
+  (* [pagelog] is mutable for exactly one writer: [vacuum] installs the
+     compacted replacement device under the pager's writer lock. *)
+  mutable pagelog : Pagelog.t;
   maplog : Maplog.t;
   pager : Storage.Pager.t;
   mutable saved_epoch : int array; (* per page: last epoch whose pre-state is archived *)
@@ -138,7 +140,22 @@ let locked_rt t f =
 
 let snapshot_count t = Maplog.snapshot_count t.maplog
 
+(* Lowest snapshot id still readable; ids below it were vacuumed.
+   Snapshot ids never renumber, so [first_live]..[snapshot_count] is
+   exactly the readable range. *)
+let first_live t = Maplog.first_live t.maplog
+
+let live_snapshot_count t = Maplog.snapshot_count t.maplog - Maplog.first_live t.maplog + 1
+
+let is_vacuumed t snap_id =
+  snap_id >= 1 && snap_id <= Maplog.snapshot_count t.maplog
+  && snap_id < Maplog.first_live t.maplog
+
 let snapshot_ts t snap_id = (Maplog.boundary t.maplog snap_id).Maplog.ts
+
+(* Declaration timestamp that also works for vacuumed snapshots (their
+   boundary slots keep it); sys_snapshots reads this. *)
+let snapshot_ts_raw t snap_id = (Maplog.raw_boundary t.maplog snap_id).Maplog.ts
 
 (* Wrapped in a trace span: SPT construction is one of the paper's
    attributed cost components, and the span lets EXPLAIN PROFILE and
@@ -285,7 +302,7 @@ type snapshot_info = {
 }
 
 type analysis = {
-  an_snapshots : snapshot_info array; (* index = snapshot id - 1 *)
+  an_snapshots : snapshot_info array; (* live (non-vacuumed) snapshots, oldest first *)
   an_maplog_entries : int;
   an_pagelog_pages : int;
   an_pagelog_bytes : int;
@@ -307,6 +324,7 @@ type analysis = {
 let analyze t =
   let n = Maplog.length t.maplog in
   let count = Maplog.snapshot_count t.maplog in
+  let fl = Maplog.first_live t.maplog in
   (* page version-chain lengths over the whole log *)
   let chains : (int, int) Hashtbl.t = Hashtbl.create 1024 in
   for i = 0 to n - 1 do
@@ -323,7 +341,7 @@ let analyze t =
   let pages_mapped = Array.make (count + 1) 0 in
   let seen : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
   let idx = ref (n - 1) in
-  for s = count downto 1 do
+  for s = count downto fl do
     let b = Maplog.boundary t.maplog s in
     while !idx >= b.Maplog.pos do
       Hashtbl.replace seen (Maplog.entry t.maplog !idx).Maplog.pid ();
@@ -333,8 +351,8 @@ let analyze t =
       Hashtbl.fold (fun pid () acc -> if pid < b.Maplog.db_pages then acc + 1 else acc) seen 0
   done;
   let snapshots =
-    Array.init count (fun i ->
-        let s = i + 1 in
+    Array.init (count - fl + 1) (fun i ->
+        let s = fl + i in
         let b = Maplog.boundary t.maplog s in
         let next = if s = count then n else (Maplog.boundary t.maplog (s + 1)).Maplog.pos in
         let delta : (int, unit) Hashtbl.t = Hashtbl.create 64 in
@@ -427,7 +445,7 @@ let scrub t =
       Hashtbl.replace last_occ e.Maplog.pid j
     done;
     let problems = ref [] in
-    for s = Maplog.snapshot_count t.maplog downto 1 do
+    for s = Maplog.snapshot_count t.maplog downto Maplog.first_live t.maplog do
       let b = Maplog.boundary t.maplog s in
       List.iter
         (fun (j, pid, off, prev) ->
@@ -438,6 +456,83 @@ let scrub t =
         !bad_entries
     done;
     List.sort_uniq compare !problems
+  end
+
+(* --- vacuum: drop a history prefix and compact the Pagelog --------------- *)
+
+type vacuum_result = {
+  vr_snapshots : int; (* snapshots dropped *)
+  vr_blocks : int;    (* pagelog blocks reclaimed *)
+  vr_bytes : int;     (* = vr_blocks * page size *)
+}
+
+(* Pagelog blocks that would be reclaimed by [vacuum ~keep_from]: the
+   entries before [keep_from]'s boundary, each of which owns exactly one
+   archived block (appends are 1:1 with mappings).  This is the dry-run
+   estimate, and the live run reclaims exactly this many blocks. *)
+let reclaimable_blocks t ~keep_from =
+  (Maplog.boundary t.maplog keep_from).Maplog.pos
+  - (Maplog.boundary t.maplog (Maplog.first_live t.maplog)).Maplog.pos
+
+(* Drop every snapshot below [keep_from] and compact the archive.
+   Retention is prefix-only (a snapshot's pages may be shared with every
+   older snapshot, so dropping from the middle cannot reclaim), and
+   surviving snapshots keep their ids and their exact page images.
+
+   The rewrite builds a fresh device on the side — raw block copies, so
+   a latent checksum mismatch in a *surviving* snapshot stays detectable
+   while mismatches confined to dropped snapshots are reclaimed — and
+   only then installs it together with the compacted Maplog: a crash
+   anywhere before the install point leaves the in-memory archive
+   untouched, and durability of the installed state comes from the
+   checkpoint the caller (Db.vacuum_snapshots) takes right after.
+
+   [tick] is called once per copied block and once before the install —
+   the crash matrix's mid-rewrite / pre-install injection points.
+
+   Caller must hold the pager's writer lock: readers never observe a
+   half-compacted archive. *)
+let vacuum ?(tick = fun () -> ()) t ~keep_from =
+  let count = Maplog.snapshot_count t.maplog in
+  let fl = Maplog.first_live t.maplog in
+  if keep_from < 1 || keep_from > count then
+    invalid_arg (Printf.sprintf "Retro.vacuum: unknown snapshot %d" keep_from);
+  if keep_from < fl then
+    invalid_arg (Printf.sprintf "Retro.vacuum: snapshot %d has been vacuumed" keep_from);
+  if keep_from = fl then { vr_snapshots = 0; vr_blocks = 0; vr_bytes = 0 }
+  else begin
+    let keep_pos = (Maplog.boundary t.maplog keep_from).Maplog.pos in
+    let fresh = Pagelog.restore_raw [||] in
+    Pagelog.set_fault fresh (Pagelog.fault t.pagelog);
+    let remap : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+    let n = Maplog.length t.maplog in
+    for i = keep_pos to n - 1 do
+      tick ();
+      let e = Maplog.entry t.maplog i in
+      if not (Hashtbl.mem remap e.Maplog.pl_off) then begin
+        let b, crc = Pagelog.raw_block t.pagelog e.Maplog.pl_off in
+        let off = Pagelog.append_raw fresh b ~crc in
+        Hashtbl.add remap e.Maplog.pl_off off
+      end
+    done;
+    let reclaimed = Pagelog.length t.pagelog - Pagelog.length fresh in
+    tick (); (* pre-install point: the old archive is still whole *)
+    ignore (Maplog.compact t.maplog ~keep_from ~remap:(fun off -> Hashtbl.find remap off));
+    t.pagelog <- fresh;
+    t.last_spt <- None;
+    locked_rt t (fun () ->
+        Storage.Lru.clear t.snap_cache;
+        Hashtbl.reset t.spt_cache;
+        let stale =
+          Hashtbl.fold (fun s () acc -> if s < keep_from then s :: acc else acc) t.damaged []
+        in
+        List.iter (fun s -> Hashtbl.remove t.damaged s) stale);
+    let dropped = keep_from - fl in
+    Obs.Scope.add Storage.Stats.c_snapshots_vacuumed dropped;
+    Obs.Scope.add Storage.Stats.c_blocks_reclaimed reclaimed;
+    { vr_snapshots = dropped;
+      vr_blocks = reclaimed;
+      vr_bytes = reclaimed * Storage.Page.size }
   end
 
 (* Test hooks on the archive device (Pagelog/Maplog are private to this
@@ -461,6 +556,39 @@ let export t =
   { img_pagelog = Pagelog.dump t.pagelog;
     img_maplog = Maplog.dump t.maplog;
     img_saved_epoch = Array.copy t.saved_epoch }
+
+(* Raw image for checkpoints: blocks carry their *stored* CRCs, so a
+   latent archive corruption survives a checkpoint/restore round trip as
+   a corruption (the post-recovery scrub re-finds it) instead of being
+   blessed by a recomputed checksum, as [export]'s bytes-only image
+   would do. *)
+type raw_image = {
+  ri_pagelog : (Bytes.t * int) array; (* (block bytes, stored CRC) *)
+  ri_maplog : Maplog.image;
+  ri_saved_epoch : int array;
+}
+
+let export_raw t =
+  { ri_pagelog = Pagelog.dump_raw t.pagelog;
+    ri_maplog = Maplog.dump t.maplog;
+    ri_saved_epoch = Array.copy t.saved_epoch }
+
+let import_raw ?(cache_pages = default_cache_pages) pager img =
+  let t =
+    { pagelog = Pagelog.restore_raw img.ri_pagelog;
+      maplog = Maplog.restore img.ri_maplog;
+      pager;
+      saved_epoch = Array.copy img.ri_saved_epoch;
+      snap_cache = Storage.Lru.create cache_pages;
+      clock = Unix.gettimeofday;
+      last_spt = None;
+      damaged = Hashtbl.create 4;
+      rt_mu = Mutex.create ();
+      spt_cache_on = false;
+      spt_cache = Hashtbl.create 16 }
+  in
+  pager.Storage.Pager.pre_commit_hook <- on_commit t;
+  t
 
 (* Attach a restored snapshot system to a (restored) pager. *)
 let import ?(cache_pages = default_cache_pages) pager img =

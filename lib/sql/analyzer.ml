@@ -25,6 +25,7 @@
      E007 aggregate not allowed here     E022 Qq must be a SELECT
      E008 subquery must be one column
      E009 INSERT arity mismatch
+     E030 VACUUM SNAPSHOTS retention must be a positive integer constant
 
      W101 subquery comparison defeats an index (filter, not a bound)
      W102 predicate is constant false/NULL
@@ -765,7 +766,21 @@ let rec check_stmt ctx (s : stmt) : unit =
   | Drop_index { index; if_exists } ->
     if (not if_exists) && Catalog.find_index ctx.cat index = None then
       errf ctx ~at:index "E001" "no such index: %s" index
-  | Begin_txn | Commit _ | Rollback | Analyze_archive | Pragma _ -> ()
+  | Vacuum_snapshots { older_than; keeping_last; dry_run = _ } ->
+    (* The retention operand is resolved before any page access, so it
+       must be statically evaluable: a positive integer literal (or a
+       parameter, checked at bind time). *)
+    let check_retention what e =
+      match e with
+      | Lit (R.Int n) when n >= 1 -> ()
+      | Param _ -> ()
+      | _ ->
+        errf ctx "E030" "VACUUM SNAPSHOTS %s must be a positive integer constant"
+          what
+    in
+    Option.iter (check_retention "OLDER THAN") older_than;
+    Option.iter (check_retention "KEEPING LAST") keeping_last
+  | Begin_txn | Commit _ | Rollback | Analyze_archive | Checkpoint | Pragma _ -> ()
 
 (* --- entry points ------------------------------------------------------ *)
 

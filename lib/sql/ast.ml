@@ -108,4 +108,10 @@ type stmt =
   | Commit of { with_snapshot : bool }
   | Rollback
   | Analyze_archive (* ANALYZE ARCHIVE: snapshot-archive health report *)
+  | Vacuum_snapshots of {
+      older_than : expr option;   (* OLDER THAN n: drop ids < n *)
+      keeping_last : expr option; (* KEEPING LAST n: retain the n newest *)
+      dry_run : bool;             (* report reclaimable space, change nothing *)
+    } (* VACUUM SNAPSHOTS: drop an archive prefix and compact the Pagelog *)
+  | Checkpoint (* CHECKPOINT: materialize the WAL into an image and truncate it *)
   | Pragma of string (* PRAGMA integrity_check etc. *)

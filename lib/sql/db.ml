@@ -39,6 +39,9 @@ type core = {
   mutable c_catalog_cache : (int * Catalog.t) option;
   mutable c_catalog_epoch : int;
   mutable c_generation : int;                 (* plan-cache schema generation *)
+  mutable c_ckpt_seq : int;                   (* last completed checkpoint seq *)
+  mutable c_ckpt_threshold : int;             (* auto-checkpoint WAL bytes; 0 = off *)
+  mutable c_maint : bool;                     (* a VACUUM/CHECKPOINT is running *)
   (* Guards the mutable core fields above plus the session registry;
      never held across page I/O or statement execution. *)
   c_lock : Mutex.t;
@@ -124,6 +127,9 @@ let of_parts ~pager ~retro =
       c_catalog_cache = None;
       c_catalog_epoch = 0;
       c_generation = 0;
+      c_ckpt_seq = 0;
+      c_ckpt_threshold = 0;
+      c_maint = false;
       c_lock = Mutex.create ();
       c_next_session = 1;
       c_sessions = [] }
@@ -185,18 +191,22 @@ type recovery = {
    zero and recovery is pure replay.
 
    Existing path: scan the log (truncating a torn/corrupt tail to the
-   last complete commit), rebuild the pager by replaying the commit
-   sequence — which re-drives Retro's COW archiver and reproduces the
-   Pagelog/Maplog byte-for-byte — then scrub the rebuilt archive so
-   damaged snapshots are known before the first AS OF read.  Returns
-   the recovery report; [None] when the database is fresh.
+   last complete commit).  If the log opens with a Checkpoint frame,
+   restore the matching durable image (pager + raw-CRC Retro archive,
+   see Ckpt) and replay only the frames after it; otherwise rebuild by
+   replaying the full commit sequence — which re-drives Retro's COW
+   archiver and reproduces the Pagelog/Maplog byte-for-byte.  Either
+   way, scrub the archive afterwards so damaged snapshots are known
+   before the first AS OF read.  Returns the recovery report; [None]
+   when the database is fresh.
 
-   @raise Storage.Wal.Error when [path] exists but is not a WAL. *)
+   @raise Storage.Wal.Error when [path] exists but is not a WAL, or
+   when its Checkpoint frame has no matching valid image. *)
 let open_wal ?(group_commit = 1) ~path () : t * recovery option =
   let exists = Sys.file_exists path && (Unix.stat path).Unix.st_size > 0 in
-  let pager = Storage.Pager.create () in
-  let retro = Retro.attach pager in
   if not exists then begin
+    let pager = Storage.Pager.create () in
+    let retro = Retro.attach pager in
     let wal = Storage.Wal.create ~group_commit ~path () in
     Storage.Wal.attach wal pager;
     let db = of_parts ~pager ~retro:(Some retro) in
@@ -206,16 +216,47 @@ let open_wal ?(group_commit = 1) ~path () : t * recovery option =
   end
   else begin
     let records, report = Storage.Wal.recover ~path in
+    let pager, retro, suffix =
+      match report.Storage.Wal.rep_checkpoint with
+      | None ->
+        let pager = Storage.Pager.create () in
+        (pager, Retro.attach pager, records)
+      | Some seq -> (
+        match Ckpt.load_for ~wal_path:path ~seq with
+        | None ->
+          raise
+            (Storage.Wal.Error
+               (Printf.sprintf
+                  "Wal %s: checkpoint %d has no matching image at %s" path seq
+                  (Ckpt.path_for path)))
+        | Some img ->
+          let pager = Storage.Pager.restore img.Ckpt.ck_pager in
+          let retro = Retro.import_raw pager img.Ckpt.ck_retro in
+          (* Replay only the frames after the last Checkpoint —
+             everything before it is already in the image. *)
+          let after =
+            List.fold_left
+              (fun acc r ->
+                match r with Storage.Wal.Checkpoint _ -> [] | r -> r :: acc)
+              [] records
+            |> List.rev
+          in
+          (pager, retro, after))
+    in
     (* pager.wal is still None here: replay must not re-log itself *)
     Storage.Wal.replay ~pager
       ~declare:(fun ~db_pages ~ts -> ignore (Retro.declare_at retro ~db_pages ~ts))
-      records;
+      suffix;
     Obs.Scope.incr Storage.Stats.c_recoveries;
+    (* Finish an interrupted image promote / drop stale temp files. *)
+    Ckpt.finish ~wal_path:path ~seq:report.Storage.Wal.rep_checkpoint;
     let damaged = List.sort_uniq compare (List.map fst (Retro.scrub retro)) in
     let wal = Storage.Wal.open_append ~group_commit ~path () in
     Storage.Wal.attach wal pager;
     let db = of_parts ~pager ~retro:(Some retro) in
     db.core.c_wal <- Some wal;
+    db.core.c_ckpt_seq <-
+      Option.value report.Storage.Wal.rep_checkpoint ~default:0;
     (* If no commit survived (the catalog-bootstrap commit itself was
        lost to an unflushed batch or a damaged tail), the valid prefix
        describes an empty database: bootstrap again, through the log. *)
@@ -237,6 +278,120 @@ let sync_wal t = Option.iter Storage.Wal.sync t.core.c_wal
 let close_wal t =
   Option.iter Storage.Wal.close t.core.c_wal;
   t.core.c_wal <- None
+
+let in_txn t =
+  match t.core.c_txn with Some txn -> Storage.Txn.is_active txn | None -> false
+
+(* --- archive lifecycle (CHECKPOINT / VACUUM SNAPSHOTS) ------------------- *)
+
+(* Auto-checkpoint trigger: WAL frame bytes since the last checkpoint
+   that cause a commit to checkpoint afterwards (0 = disabled;
+   PRAGMA checkpoint_threshold). *)
+let checkpoint_threshold t = t.core.c_ckpt_threshold
+
+let set_checkpoint_threshold t n =
+  if n < 0 then error "checkpoint_threshold must be >= 0";
+  t.core.c_ckpt_threshold <- n
+
+let checkpoint_seq t = t.core.c_ckpt_seq
+
+(* One maintenance operation (vacuum or checkpoint) at a time, database-
+   wide: the second errors instead of blocking, mirroring the explicit-
+   transaction discipline (detected, never deadlocked). *)
+let with_maintenance t name f =
+  let core = t.core in
+  locked_core core (fun () ->
+      if core.c_maint then
+        error "%s: another maintenance operation is in progress" name;
+      core.c_maint <- true);
+  Fun.protect
+    ~finally:(fun () -> locked_core core (fun () -> core.c_maint <- false))
+    f
+
+(* The checkpoint protocol (see Ckpt for the crash-safety argument):
+   sync the log, write the image beside it, swap in a truncated log —
+   the commit point — then promote the image.  Caller holds the pager's
+   writer lock and the maintenance flag.  Returns (seq, WAL bytes
+   dropped). *)
+let checkpoint_locked t wal =
+  let retro = retro_exn t in
+  let tick () = Storage.Wal.injection_point wal in
+  Storage.Wal.sync wal;
+  let seq = t.core.c_ckpt_seq + 1 in
+  let img =
+    { Ckpt.ck_seq = seq;
+      ck_pager = Storage.Pager.dump t.pager;
+      ck_retro = Retro.export_raw retro }
+  in
+  let path = Ckpt.path_for (Storage.Wal.path wal) in
+  Ckpt.write ~tick ~path img;
+  let dropped = Storage.Wal.truncate_to_checkpoint wal ~seq in
+  Ckpt.promote ~tick ~path;
+  t.core.c_ckpt_seq <- seq;
+  Obs.Scope.incr Storage.Stats.c_checkpoints;
+  (seq, dropped)
+
+(* CHECKPOINT: materialize every logged commit into a durable image and
+   truncate the WAL behind it.  Errors without a WAL (nothing to
+   truncate) and inside an explicit transaction (the image must hold
+   committed state only). *)
+let checkpoint t =
+  match t.core.c_wal with
+  | None -> error "CHECKPOINT: this database has no write-ahead log"
+  | Some wal ->
+    if in_txn t then error "CHECKPOINT: cannot run inside a transaction";
+    with_maintenance t "CHECKPOINT" (fun () ->
+        Storage.Pager.with_write_lock t.pager (fun () ->
+            checkpoint_locked t wal))
+
+(* VACUUM SNAPSHOTS: drop every snapshot before [keep_from], rewrite the
+   Pagelog down to the live blocks (Retro.vacuum), and — when WAL-backed
+   — commit the compacted archive through a checkpoint, whose WAL swap
+   is the durable commit point: a crash recovers the old archive or the
+   new one, never a hybrid.  Runs as a pager writer, so it waits for
+   in-flight AS OF readers and blocks new ones until installed. *)
+let vacuum_snapshots t ~keep_from =
+  let retro = retro_exn t in
+  if in_txn t then error "VACUUM SNAPSHOTS: cannot run inside a transaction";
+  with_maintenance t "VACUUM SNAPSHOTS" (fun () ->
+      Storage.Pager.with_write_lock t.pager (fun () ->
+          let tick =
+            match t.core.c_wal with
+            | Some wal -> fun () -> Storage.Wal.injection_point wal
+            | None -> fun () -> ()
+          in
+          let res = Retro.vacuum ~tick retro ~keep_from in
+          (match t.core.c_wal with
+          | Some wal when res.Retro.vr_snapshots > 0 ->
+            ignore (checkpoint_locked t wal)
+          | _ -> ());
+          res))
+
+(* Post-commit hook: checkpoint when the log has outgrown the threshold.
+   Skips silently when an explicit maintenance operation already owns
+   the flag. *)
+let maybe_auto_checkpoint t =
+  match t.core.c_wal with
+  | Some wal
+    when t.core.c_ckpt_threshold > 0
+         && (not (in_txn t))
+         && Storage.Wal.bytes_since_checkpoint wal >= t.core.c_ckpt_threshold ->
+    let claimed =
+      locked_core t.core (fun () ->
+          if t.core.c_maint then false
+          else begin
+            t.core.c_maint <- true;
+            true
+          end)
+    in
+    if claimed then
+      Fun.protect
+        ~finally:(fun () ->
+          locked_core t.core (fun () -> t.core.c_maint <- false))
+        (fun () ->
+          Storage.Pager.with_write_lock t.pager (fun () ->
+              ignore (checkpoint_locked t wal)))
+  | _ -> ()
 
 (* Install the scope statements through this handle charge (root by
    default); the engine wraps every execution in it. *)
@@ -350,6 +505,7 @@ let commit t ~snapshot =
       else error "no transaction is open"
   in
   invalidate_catalog t;
+  maybe_auto_checkpoint t;
   sid
 
 let rollback t =
@@ -359,6 +515,3 @@ let rollback t =
     t.core.c_txn <- None
   | _ -> error "no transaction is open");
   schema_changed t
-
-let in_txn t =
-  match t.core.c_txn with Some txn -> Storage.Txn.is_active txn | None -> false

@@ -281,8 +281,12 @@ let select_calls_udf db (sel : select) =
 let stmt_takes_read_lock db = function
   | Select s | Explain_profile s | Explain_analyze s -> not (select_calls_udf db s)
   | Explain _ | Explain_lint _ | Analyze_archive | Pragma _ -> true
+  (* A dry-run vacuum only reads the archive; a live one (and a
+     checkpoint) takes the write lock itself inside Db. *)
+  | Vacuum_snapshots { dry_run; _ } -> dry_run
   | Insert _ | Delete _ | Update _ | Create_table _ | Create_index _
-  | Drop_table _ | Drop_index _ | Begin_txn | Commit _ | Rollback -> false
+  | Drop_table _ | Drop_index _ | Begin_txn | Commit _ | Rollback
+  | Checkpoint -> false
 
 let stmt_kind = function
   | Select _ -> "select"
@@ -301,6 +305,8 @@ let stmt_kind = function
   | Commit _ -> "commit"
   | Rollback -> "rollback"
   | Analyze_archive -> "analyze_archive"
+  | Vacuum_snapshots _ -> "vacuum_snapshots"
+  | Checkpoint -> "checkpoint"
   | Pragma _ -> "pragma"
 
 let parse_one sql =
@@ -532,6 +538,66 @@ let run_stmt_core db ?key (s : stmt) : result =
     { empty_result with
       columns = [| "analyze" |];
       rows = List.map (fun l -> [| R.Text l |]) (Retro.render_analysis a) }
+  | Vacuum_snapshots { older_than; keeping_last; dry_run } ->
+    let retro = Db.retro_exn db in
+    let count = Retro.snapshot_count retro in
+    if count = 0 then error "VACUUM SNAPSHOTS: no snapshots have been declared";
+    let fl = Retro.first_live retro in
+    let retention what e =
+      match Expr.eval_const (Db.fn_ctx db) e with
+      | R.Int n when n >= 1 -> n
+      | _ -> error "VACUUM SNAPSHOTS %s must be a positive integer" what
+    in
+    (* Resolve retention to [keep_from], the oldest snapshot id kept.
+       OLDER THAN n drops ids below n; KEEPING LAST n retains the n
+       newest; bare VACUUM SNAPSHOTS keeps only the newest.  Already-
+       vacuumed prefixes clamp to a no-op rather than erroring, so the
+       statement is idempotent. *)
+    let keep_from =
+      match (older_than, keeping_last) with
+      | Some e, _ ->
+        let n = retention "OLDER THAN" e in
+        if n > count then
+          error "VACUUM SNAPSHOTS OLDER THAN %d: no such snapshot (newest is %d)"
+            n count;
+        max n fl
+      | None, Some e ->
+        let n = retention "KEEPING LAST" e in
+        max (count - n + 1) fl
+      | None, None -> count
+    in
+    if dry_run then begin
+      (* Report only; per-candidate reclaimable space.  The estimate is
+         exact: Pagelog blocks and Maplog entries are appended 1:1, so a
+         snapshot's delta-entry count is precisely the blocks a live run
+         reclaims for it. *)
+      let a = Retro.analyze retro in
+      let rows =
+        Array.to_list a.Retro.an_snapshots
+        |> List.filter (fun si -> si.Retro.si_id < keep_from)
+        |> List.map (fun si ->
+               [| R.Int si.Retro.si_id;
+                  R.Int si.Retro.si_delta_entries;
+                  R.Int si.Retro.si_delta_bytes |])
+      in
+      { empty_result with
+        columns = [| "snapshot"; "blocks_reclaimable"; "bytes_reclaimable" |];
+        rows }
+    end
+    else begin
+      let res = Db.vacuum_snapshots db ~keep_from in
+      { empty_result with
+        columns = [| "snapshots_vacuumed"; "blocks_reclaimed"; "bytes_reclaimed" |];
+        rows =
+          [ [| R.Int res.Retro.vr_snapshots;
+               R.Int res.Retro.vr_blocks;
+               R.Int res.Retro.vr_bytes |] ] }
+    end
+  | Checkpoint ->
+    let seq, dropped = Db.checkpoint db in
+    { empty_result with
+      columns = [| "checkpoint_seq"; "wal_truncated_bytes" |];
+      rows = [ [| R.Int seq; R.Int dropped |] ] }
   | Pragma name -> (
     match String.lowercase_ascii name with
     | "integrity_check" ->
@@ -561,6 +627,22 @@ let run_stmt_core db ?key (s : stmt) : result =
       { empty_result with
         columns = [| "optimize" |];
         rows = [ [| R.Text (if on then "on" else "off") |] ] }
+    | "checkpoint_threshold" ->
+      { empty_result with
+        columns = [| "checkpoint_threshold" |];
+        rows = [ [| R.Int (Db.checkpoint_threshold db) |] ] }
+    | s
+      when String.length s > 21 && String.sub s 0 21 = "checkpoint_threshold=" -> (
+      (* WAL bytes after which a commit triggers an auto-checkpoint;
+         0 disables the trigger (the default). *)
+      let v = String.sub s 21 (String.length s - 21) in
+      match int_of_string_opt v with
+      | Some n when n >= 0 ->
+        Db.set_checkpoint_threshold db n;
+        { empty_result with
+          columns = [| "checkpoint_threshold" |];
+          rows = [ [| R.Int n |] ] }
+      | _ -> error "checkpoint_threshold must be a non-negative integer: %s" v)
     | other -> error "unknown pragma: %s" other)
 
 (* --- per-statement observability -------------------------------------- *)

@@ -39,6 +39,9 @@ let snapshot_env db sid =
   let retro = Db.retro_exn db in
   if sid < 1 || sid > Retro.snapshot_count retro then
     error "AS OF %d: no such snapshot" sid;
+  if Retro.is_vacuumed retro sid then
+    error "AS OF %d: snapshot has been vacuumed (oldest retained is %d)" sid
+      (Retro.first_live retro);
   (* the SPT build's page reads (maplog scan) are charged to the snapshot *)
   let spt =
     Obs.Scope.with_snapshot sid (fun () ->

@@ -704,6 +704,34 @@ and parse_stmt st =
     expect_kw st "ARCHIVE";
     Analyze_archive
   end
+  else if accept_kw st "VACUUM" then begin
+    (* VACUUM SNAPSHOTS [OLDER THAN n | KEEPING LAST n] [DRY RUN];
+       bare VACUUM SNAPSHOTS drops everything but the newest. *)
+    expect_kw st "SNAPSHOTS";
+    let older_than, keeping_last =
+      if is_kw st "OLDER" then begin
+        advance st;
+        expect_kw st "THAN";
+        (Some (parse_expr st), None)
+      end
+      else if is_kw st "KEEPING" then begin
+        advance st;
+        expect_kw st "LAST";
+        (None, Some (parse_expr st))
+      end
+      else (None, None)
+    in
+    let dry_run =
+      if is_kw st "DRY" then begin
+        advance st;
+        expect_kw st "RUN";
+        true
+      end
+      else false
+    in
+    Vacuum_snapshots { older_than; keeping_last; dry_run }
+  end
+  else if accept_kw st "CHECKPOINT" then Checkpoint
   else if accept_kw st "PRAGMA" then begin
     (* PRAGMA name [= value]; the engine receives "name" or "name=value"
        as one string, so the statement type stays a plain Pragma. *)

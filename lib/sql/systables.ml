@@ -67,15 +67,55 @@ let snapshot_rows db =
   match db.Db.retro with
   | None -> []
   | Some retro ->
+    (* Vacuumed ids first (they never renumber, so the id column stays a
+       stable key): archive columns zeroed, declaration time preserved.
+       [reclaimable_bytes] on a retained row is the cumulative space a
+       VACUUM SNAPSHOTS OLDER THAN (snap_id + 1) would free. *)
+    let fl = Retro.first_live retro in
+    let vacuumed =
+      List.init (fl - 1) (fun i ->
+          let s = i + 1 in
+          [| R.Int s; R.Real (Retro.snapshot_ts_raw retro s); R.Int 0; R.Int 0;
+             R.Int 0; R.Int 0; R.Int 0; R.Int 0; R.Int 0; R.Int 0;
+             R.Text "vacuumed"; R.Int 0 |])
+    in
     let a = Retro.analyze retro in
-    Array.to_list a.Retro.an_snapshots
-    |> List.map (fun (si : Retro.snapshot_info) ->
-           [| R.Int si.Retro.si_id; R.Real si.Retro.si_ts; R.Int si.Retro.si_boundary;
-              R.Int si.Retro.si_db_pages; R.Int si.Retro.si_pages_mapped;
-              R.Int si.Retro.si_delta_entries; R.Int si.Retro.si_delta_pages;
-              R.Int si.Retro.si_delta_bytes;
-              R.Int (if Retro.spt_cached retro si.Retro.si_id then 1 else 0);
-              R.Int (if Retro.is_damaged retro si.Retro.si_id then 1 else 0) |])
+    let cum = ref 0 in
+    let live =
+      Array.to_list a.Retro.an_snapshots
+      |> List.map (fun (si : Retro.snapshot_info) ->
+             cum := !cum + si.Retro.si_delta_bytes;
+             [| R.Int si.Retro.si_id; R.Real si.Retro.si_ts; R.Int si.Retro.si_boundary;
+                R.Int si.Retro.si_db_pages; R.Int si.Retro.si_pages_mapped;
+                R.Int si.Retro.si_delta_entries; R.Int si.Retro.si_delta_pages;
+                R.Int si.Retro.si_delta_bytes;
+                R.Int (if Retro.spt_cached retro si.Retro.si_id then 1 else 0);
+                R.Int (if Retro.is_damaged retro si.Retro.si_id then 1 else 0);
+                R.Text "retained"; R.Int !cum |])
+    in
+    vacuumed @ live
+
+(* One row of archive-lifecycle state: live/vacuumed extent, physical
+   footprint, checkpoint position and the WAL growth that feeds the
+   auto-checkpoint trigger. *)
+let archive_rows (db : Db.t) =
+  match db.Db.retro with
+  | None -> []
+  | Some retro ->
+    let wal_since =
+      match Db.wal db with
+      | Some w -> Storage.Wal.bytes_since_checkpoint w
+      | None -> 0
+    in
+    [ [| R.Int (Retro.snapshot_count retro);
+         R.Int (Retro.live_snapshot_count retro);
+         R.Int (Retro.first_live retro);
+         R.Int (Retro.Pagelog.length retro.Retro.pagelog);
+         R.Int (Retro.Pagelog.size_bytes retro.Retro.pagelog);
+         R.Int (Retro.maplog_length retro);
+         R.Int (Db.checkpoint_seq db);
+         R.Int (Db.checkpoint_threshold db);
+         R.Int wal_since |] ]
 
 let cache_rows db =
   match db.Db.retro with
@@ -255,8 +295,17 @@ let all : vtable list =
            ("db_pages", "INTEGER"); ("pages_mapped", "INTEGER");
            ("delta_entries", "INTEGER"); ("delta_pages", "INTEGER");
            ("delta_bytes", "INTEGER"); ("spt_cached", "INTEGER");
-           ("damaged", "INTEGER") |];
+           ("damaged", "INTEGER"); ("status", "TEXT");
+           ("reclaimable_bytes", "INTEGER") |];
       vrows = snapshot_rows };
+    { vname = "sys_archive";
+      vcols =
+        [| ("snapshots_declared", "INTEGER"); ("snapshots_live", "INTEGER");
+           ("first_live", "INTEGER"); ("pagelog_blocks", "INTEGER");
+           ("pagelog_bytes", "INTEGER"); ("maplog_entries", "INTEGER");
+           ("checkpoint_seq", "INTEGER"); ("checkpoint_threshold", "INTEGER");
+           ("wal_since_checkpoint", "INTEGER") |];
+      vrows = archive_rows };
     { vname = "sys_cache";
       vcols =
         [| ("name", "TEXT"); ("capacity", "INTEGER"); ("occupancy", "INTEGER");

@@ -19,20 +19,30 @@ type t = {
   mutable n_blocks : int;
   name : string;
   mutable fault : Fault.t option;
+  mutable read_retries : int; (* bounded retries before Read_error surfaces *)
 }
+
+(* Transient media errors (an armed-once fault) are retried this many
+   times before {!Read_error} reaches the caller. *)
+let default_read_retries = 3
 
 let create ?(name = "disk") () =
   { blocks = Array.make 64 Bytes.empty;
     crcs = Array.make 64 0;
     n_blocks = 0;
     name;
-    fault = None }
+    fault = None;
+    read_retries = default_read_retries }
 
 let length t = t.n_blocks
 
 let name t = t.name
 
 let set_fault t f = t.fault <- f
+let fault t = t.fault
+
+let set_read_retries t n = t.read_retries <- max 0 n
+let read_retries t = t.read_retries
 
 let grow t =
   let cap = Array.length t.blocks in
@@ -58,10 +68,24 @@ let append t (b : Bytes.t) =
 let read t i =
   if i < 0 || i >= t.n_blocks then
     invalid_arg (Printf.sprintf "Disk.read %s: block %d/%d" t.name i t.n_blocks);
+  (* Transient media errors get a bounded retry with (modeled)
+     exponential backoff: an armed-once fault is consumed by the first
+     probe and the retry succeeds; a persistent fault exhausts the
+     budget and surfaces as {!Read_error}. *)
   (match t.fault with
-   | Some f when Fault.should_fail_read f ~device:t.name ~index:i ->
-     raise (Read_error { device = t.name; block = i })
-   | _ -> ());
+   | Some f ->
+     let rec probe attempt =
+       if Fault.should_fail_read f ~device:t.name ~index:i then begin
+         if attempt >= t.read_retries then
+           raise (Read_error { device = t.name; block = i });
+         Obs.Scope.incr Stats.c_read_retries;
+         if !Stats.Cost_model.real_read_latency then
+           Unix.sleepf (!Stats.Cost_model.ssd_read_s *. float_of_int (1 lsl attempt));
+         probe (attempt + 1)
+       end
+     in
+     probe 0
+   | None -> ());
   Stats.record_pagelog_read ();
   (* Opt-in real device latency: spend the modeled per-read time as an
      actual sleep so concurrent reader domains overlap their waits.
@@ -105,11 +129,53 @@ let restore ?(name = "disk") blocks =
       crcs = Array.make (max 64 n) 0;
       n_blocks = n;
       name;
-      fault = None }
+      fault = None;
+      read_retries = default_read_retries }
   in
   Array.iteri
     (fun i b ->
       t.blocks.(i) <- Bytes.copy b;
       t.crcs.(i) <- Crc32.bytes b)
     blocks;
+  t
+
+(* --- raw (CRC-preserving) block access ----------------------------------- *)
+
+(* Stored bytes + stored CRC of block [i], with no verification, no
+   counters and no fault injection.  Compaction (Retro.vacuum) and the
+   checkpoint image use these so a latent checksum mismatch survives a
+   copy *as a mismatch* — [restore]/[append] would recompute the CRC and
+   silently bless the corruption. *)
+let raw_block t i =
+  if i < 0 || i >= t.n_blocks then
+    invalid_arg (Printf.sprintf "Disk.raw_block %s: block %d/%d" t.name i t.n_blocks);
+  (Bytes.copy t.blocks.(i), t.crcs.(i))
+
+(* Append a block with a caller-supplied stored CRC (counted as a write:
+   compaction really does write the simulated device). *)
+let append_raw t (b : Bytes.t) ~crc =
+  grow t;
+  t.blocks.(t.n_blocks) <- Bytes.copy b;
+  t.crcs.(t.n_blocks) <- crc;
+  t.n_blocks <- t.n_blocks + 1;
+  Obs.Scope.incr Stats.c_pagelog_writes;
+  t.n_blocks - 1
+
+let dump_raw t = Array.init t.n_blocks (fun i -> (Bytes.copy t.blocks.(i), t.crcs.(i)))
+
+let restore_raw ?(name = "disk") pairs =
+  let n = Array.length pairs in
+  let t =
+    { blocks = Array.make (max 64 n) Bytes.empty;
+      crcs = Array.make (max 64 n) 0;
+      n_blocks = n;
+      name;
+      fault = None;
+      read_retries = default_read_retries }
+  in
+  Array.iteri
+    (fun i (b, crc) ->
+      t.blocks.(i) <- Bytes.copy b;
+      t.crcs.(i) <- crc)
+    pairs;
   t

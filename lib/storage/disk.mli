@@ -27,6 +27,17 @@ val name : t -> string
 (** Attach (or clear) a fault injector for armed read errors. *)
 val set_fault : t -> Fault.t option -> unit
 
+(** The attached fault injector, if any. *)
+val fault : t -> Fault.t option
+
+(** Bounded retry budget for transient read faults (default 3): an
+    armed-once fault is consumed by a probe and the retry succeeds; a
+    persistent fault exhausts the budget and raises {!Read_error}.
+    Each retry counts into [storage.read_retries]. *)
+val set_read_retries : t -> int -> unit
+
+val read_retries : t -> int
+
 (** Append a copy of the block; returns its index. *)
 val append : t -> Bytes.t -> int
 
@@ -52,3 +63,22 @@ val size_bytes : t -> int
 val dump : t -> Bytes.t array
 
 val restore : ?name:string -> Bytes.t array -> t
+
+(** {1 Raw (stored-CRC-preserving) access}
+
+    [restore]/[append] recompute checksums, which would silently bless a
+    latent corruption.  Compaction and checkpoint images copy blocks
+    with these instead, so a stored mismatch survives the copy as a
+    mismatch. *)
+
+(** Stored bytes + stored CRC of a block — no verification, no read
+    counters, no fault injection.
+    @raise Invalid_argument on an out-of-range index. *)
+val raw_block : t -> int -> Bytes.t * int
+
+(** Append a block with a caller-supplied stored CRC (counted as a
+    device write); returns its index. *)
+val append_raw : t -> Bytes.t -> crc:int -> int
+
+val dump_raw : t -> (Bytes.t * int) array
+val restore_raw : ?name:string -> (Bytes.t * int) array -> t

@@ -14,7 +14,9 @@
      seeded-random bit, which per-record (WAL) or per-block (Pagelog)
      CRCs must catch;
    - read errors: [arm_read_error] makes one specific device block fail
-     on read, modeling a latent media error.
+     on read, modeling a latent media error.  By default the fault is
+     persistent (every read of the block fails); with [~once:true] it is
+     transient — the first read consumes it, so a bounded retry heals.
 
    The crash-matrix harness (bin/crash_matrix.ml) runs a workload once
    with a counting injector to learn how many injection points it has,
@@ -33,7 +35,9 @@ type t = {
   mutable ops : int; (* write-path operations observed so far *)
   mutable plan : crash_plan option;
   mutable crashed : bool;
-  read_errors : (string * int, unit) Hashtbl.t; (* (device, block) armed to fail *)
+  read_errors : (string * int, bool) Hashtbl.t;
+      (* (device, block) armed to fail; the value is [persistent] —
+         [false] means the first failing read consumes the fault *)
   mutable bit_flips : int;
 }
 
@@ -73,9 +77,23 @@ let torn_length t ~len = if len <= 1 then 0 else Random.State.int t.rng len
 
 (* --- read errors -------------------------------------------------------- *)
 
-let arm_read_error t ~device ~index = Hashtbl.replace t.read_errors (device, index) ()
+(* Arm a read error on one device block.  Persistent by default: every
+   read of the block fails until disarmed.  With [~once:true] the fault
+   is transient — the first failing read consumes it, modeling the
+   flaky-medium errors a bounded retry (Disk.read) recovers from. *)
+let arm_read_error ?(once = false) t ~device ~index =
+  Hashtbl.replace t.read_errors (device, index) (not once)
 
-let should_fail_read t ~device ~index = Hashtbl.mem t.read_errors (device, index)
+let disarm_read_error t ~device ~index = Hashtbl.remove t.read_errors (device, index)
+
+(* Whether a read of (device, block) fails now.  A transient fault is
+   consumed by the probe that observes it. *)
+let should_fail_read t ~device ~index =
+  match Hashtbl.find_opt t.read_errors (device, index) with
+  | None -> false
+  | Some persistent ->
+    if not persistent then Hashtbl.remove t.read_errors (device, index);
+    true
 
 (* --- bit flips ---------------------------------------------------------- *)
 

@@ -41,6 +41,16 @@ let c_recoveries = C.counter "storage.recoveries"
 let c_torn_tail_discards = C.counter "storage.torn_tail_discards"
 let c_checksum_failures = C.counter "retro.checksum_failures"
 
+(* Archive-lifecycle events (VACUUM SNAPSHOTS / CHECKPOINT) and the
+   transient-read-retry path.  Registry-only, like the durability
+   events above: they are rare maintenance operations, not steady-state
+   costs, so the legacy record API does not carry them. *)
+let c_checkpoints = C.counter "storage.checkpoints"
+let c_wal_truncated_bytes = C.counter "storage.wal_truncated_bytes"
+let c_snapshots_vacuumed = C.counter "retro.snapshots_vacuumed"
+let c_blocks_reclaimed = C.counter "retro.blocks_reclaimed"
+let c_read_retries = C.counter "storage.read_retries"
+
 (* The two page-read instrumentation points (pager.ml and disk.ml call
    these): one code path charges the per-device counter, the combined
    storage.page_reads total, and the (table, snapshot) heat cell of

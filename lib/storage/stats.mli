@@ -31,6 +31,14 @@ val c_recoveries : Obs.Scope.counter
 val c_torn_tail_discards : Obs.Scope.counter
 val c_checksum_failures : Obs.Scope.counter
 
+(** Archive-lifecycle events (VACUUM SNAPSHOTS / CHECKPOINT) and the
+    transient-read-retry path. *)
+val c_checkpoints : Obs.Scope.counter
+val c_wal_truncated_bytes : Obs.Scope.counter
+val c_snapshots_vacuumed : Obs.Scope.counter
+val c_blocks_reclaimed : Obs.Scope.counter
+val c_read_retries : Obs.Scope.counter
+
 (** Record one current-state (resp. archive) page read: charges the
     per-device counter, the combined [storage.page_reads] total, and
     the (table, snapshot) heat cell of every active scope in one code

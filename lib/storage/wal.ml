@@ -8,6 +8,10 @@
      kind 1   = Commit  : u32 nwrites, then per write (u32 pid, u32 len,
                 bytes), u32 nfreed, then u32 per freed pid
      kind 2   = Declare : u32 db_pages, u64 LE (IEEE-754 bits of ts)
+     kind 3   = Checkpoint : u32 seq — everything before this frame is
+                durably materialized in the checkpoint image of the same
+                sequence number (see Sqldb.Ckpt); recovery restores that
+                image and replays only the frames after it
 
    Only commits (page after-images + freed ids) and snapshot
    declarations are logged — never Pagelog/Maplog appends.  Recovery
@@ -36,6 +40,7 @@ exception Error of string
 type record =
   | Commit of { writes : (int * Bytes.t) list; freed : int list }
   | Declare of { db_pages : int; ts : float }
+  | Checkpoint of { seq : int }
 
 type t = {
   path : string;
@@ -47,6 +52,7 @@ type t = {
   mutable appends : int; (* per-instance mirrors of the global counters *)
   mutable bytes_logged : int;
   mutable fsyncs : int;
+  mutable since_ckpt : int; (* frame bytes appended since the last checkpoint *)
 }
 
 type status = {
@@ -56,6 +62,7 @@ type status = {
   st_bytes : int;
   st_fsyncs : int;
   st_pending_bytes : int;
+  st_since_checkpoint : int; (* frame bytes logged since the last checkpoint *)
 }
 
 type report = {
@@ -65,6 +72,7 @@ type report = {
   rep_total_bytes : int;
   rep_torn : bool;    (* incomplete final frame (crash mid-write) *)
   rep_corrupt : bool; (* checksum/decode failure in the tail *)
+  rep_checkpoint : int option; (* seq of the last checkpoint frame, if any *)
 }
 
 (* --- binary helpers ----------------------------------------------------- *)
@@ -91,7 +99,8 @@ let make path oc group_commit =
     fault = None;
     appends = 0;
     bytes_logged = 0;
-    fsyncs = 0 }
+    fsyncs = 0;
+    since_ckpt = 0 }
 
 (* Create a fresh WAL at [path], truncating anything there. *)
 let create ?(group_commit = 1) ~path () =
@@ -105,7 +114,10 @@ let open_append ?(group_commit = 1) ~path () =
   make path oc group_commit
 
 let set_fault t f = t.fault <- f
+let fault t = t.fault
 let set_group_commit t n = t.group_commit <- max 1 n
+let path t = t.path
+let bytes_since_checkpoint t = t.since_ckpt
 
 let status t =
   { st_path = t.path;
@@ -113,7 +125,8 @@ let status t =
     st_appends = t.appends;
     st_bytes = t.bytes_logged;
     st_fsyncs = t.fsyncs;
-    st_pending_bytes = Buffer.length t.pending }
+    st_pending_bytes = Buffer.length t.pending;
+    st_since_checkpoint = t.since_ckpt }
 
 (* --- the write path (every step is a fault-injection point) ------------- *)
 
@@ -161,8 +174,9 @@ let encode_record r =
      List.iter (fun pid -> add_u32 buf pid) freed
    | Declare { db_pages; ts } ->
      add_u32 buf db_pages;
-     Buffer.add_int64_le buf (Int64.bits_of_float ts));
-  let kind = match r with Commit _ -> 1 | Declare _ -> 2 in
+     Buffer.add_int64_le buf (Int64.bits_of_float ts)
+   | Checkpoint { seq } -> add_u32 buf seq);
+  let kind = match r with Commit _ -> 1 | Declare _ -> 2 | Checkpoint _ -> 3 in
   (kind, Buffer.to_bytes buf)
 
 let append t r =
@@ -176,6 +190,7 @@ let append t r =
   let frame_bytes = 9 + Bytes.length payload in
   t.appends <- t.appends + 1;
   t.bytes_logged <- t.bytes_logged + frame_bytes;
+  t.since_ckpt <- t.since_ckpt + frame_bytes;
   Obs.Scope.incr Stats.c_wal_appends;
   Obs.Scope.add Stats.c_wal_bytes frame_bytes
 
@@ -215,6 +230,55 @@ let sync t =
     modeled_fsync t
   end;
   t.pending_barriers <- 0
+
+(* --- checkpoint truncation ----------------------------------------------- *)
+
+(* An explicit injection point for the lifecycle protocols (checkpoint
+   image write, Pagelog compaction): each call is one observed
+   write-path operation of the attached injector, so the crash matrix
+   can kill the process at every step of a vacuum or checkpoint. *)
+let injection_point t = tick t
+
+(* Truncate the log behind a durably materialized checkpoint: write a
+   fresh log (header + Checkpoint frame) to a temp file and rename it
+   over [path].  The rename is the commit point — before it the old log
+   (complete record of every commit) is in force, after it recovery
+   starts from the checkpoint image of [seq].  Callers must have made
+   the matching image durable *before* calling (see Sqldb.Ckpt for the
+   whole protocol).  Returns the frame bytes dropped from the log. *)
+let truncate_to_checkpoint t ~seq =
+  sync t;
+  let old_size = (Unix.stat t.path).Unix.st_size in
+  tick t;
+  let tmp = t.path ^ ".swap" in
+  let oc = open_out_bin tmp in
+  write_header oc;
+  let kind, payload = encode_record (Checkpoint { seq }) in
+  output_char oc (Char.chr kind);
+  let hdr = Buffer.create 8 in
+  add_u32 hdr (Bytes.length payload);
+  add_u32 hdr (Crc32.bytes payload);
+  Buffer.output_buffer oc hdr;
+  output_bytes oc payload;
+  flush oc;
+  close_out oc;
+  tick t;
+  (* swap the live channel to the new log *)
+  (match t.oc with
+   | Some oc ->
+     close_out_noerr oc;
+     t.oc <- None
+   | None -> ());
+  Sys.rename tmp t.path; (* commit point *)
+  t.oc <- Some (open_out_gen [ Open_append; Open_binary ] 0o644 t.path);
+  modeled_fsync t;
+  let new_size = (Unix.stat t.path).Unix.st_size in
+  let dropped = max 0 (old_size - new_size) in
+  t.since_ckpt <- 0;
+  t.appends <- t.appends + 1;
+  t.bytes_logged <- t.bytes_logged + 9 + Bytes.length payload;
+  Obs.Scope.add Stats.c_wal_truncated_bytes dropped;
+  dropped
 
 let close t =
   match t.oc with
@@ -274,6 +338,9 @@ let decode_record kind (payload : Bytes.t) =
       let ts = Int64.float_of_bits (Bytes.get_int64_le payload !pos) in
       pos := !pos + 8;
       Declare { db_pages; ts }
+    | 3 ->
+      let seq = u32 () in
+      Checkpoint { seq }
     | _ -> raise Bad_record
   in
   if !pos <> len then raise Bad_record;
@@ -294,6 +361,7 @@ let recover ~path =
   let records = ref [] in
   let commits = ref 0 in
   let declares = ref 0 in
+  let checkpoint = ref None in
   let valid = ref header_size in
   let torn = ref false in
   let corrupt = ref false in
@@ -337,7 +405,8 @@ let recover ~path =
                records := r :: !records;
                (match r with
                 | Commit _ -> incr commits
-                | Declare _ -> incr declares);
+                | Declare _ -> incr declares
+                | Checkpoint { seq } -> checkpoint := Some seq);
                valid := !valid + 9 + plen
            end)
     done);
@@ -351,7 +420,8 @@ let recover ~path =
       rep_valid_bytes = !valid;
       rep_total_bytes = total;
       rep_torn = !torn;
-      rep_corrupt = !corrupt } )
+      rep_corrupt = !corrupt;
+      rep_checkpoint = !checkpoint } )
 
 (* Re-drive the recovered commit/declare sequence against a fresh pager.
 
@@ -370,7 +440,10 @@ let recover ~path =
    the replayed pager's n_pages, which can legitimately differ (aborted
    reservations grow n_pages without ever being logged). *)
 let replay ~(pager : Pager.t) ~declare records =
-  let free = ref [] in
+  (* Seed from the pager's current free list: when replay starts from a
+     restored checkpoint image (rather than an empty pager), the image's
+     free list must survive into the replayed suffix. *)
+  let free = ref pager.Pager.free_list in
   List.iter
     (fun r ->
       match r with
@@ -385,6 +458,7 @@ let replay ~(pager : Pager.t) ~declare records =
         let written = List.map fst writes in
         free := List.filter (fun p -> not (List.mem p written)) !free;
         free := freed @ !free
-      | Declare { db_pages; ts } -> declare ~db_pages ~ts)
+      | Declare { db_pages; ts } -> declare ~db_pages ~ts
+      | Checkpoint _ -> () (* a boundary marker; the image was restored by the caller *))
     records;
   pager.Pager.free_list <- !free

@@ -22,6 +22,10 @@ exception Error of string
 type record =
   | Commit of { writes : (int * Bytes.t) list; freed : int list }
   | Declare of { db_pages : int; ts : float }
+  | Checkpoint of { seq : int }
+      (** Everything before this frame is durably materialized in the
+          checkpoint image of the same sequence number; recovery
+          restores that image and replays only the frames after it. *)
 
 type t
 
@@ -32,6 +36,7 @@ type status = {
   st_bytes : int;
   st_fsyncs : int;
   st_pending_bytes : int; (** frames buffered but not yet flushed *)
+  st_since_checkpoint : int; (** frame bytes logged since the last checkpoint *)
 }
 
 type report = {
@@ -41,6 +46,7 @@ type report = {
   rep_total_bytes : int;
   rep_torn : bool;    (** incomplete final frame (crash mid-write) *)
   rep_corrupt : bool; (** checksum/decode failure in the tail *)
+  rep_checkpoint : int option; (** seq of the last checkpoint frame, if any *)
 }
 
 (** Create a fresh WAL at [path] (truncates).  [group_commit] is the
@@ -55,8 +61,32 @@ val open_append : ?group_commit:int -> path:string -> unit -> t
     fsyncs become crash points). *)
 val set_fault : t -> Fault.t option -> unit
 
+(** The attached fault injector, if any (the lifecycle protocols route
+    their injection points through it). *)
+val fault : t -> Fault.t option
+
 val set_group_commit : t -> int -> unit
 val status : t -> status
+
+(** The log's file path (checkpoint images live beside it). *)
+val path : t -> string
+
+(** Frame bytes appended since the last checkpoint truncation — the
+    auto-checkpoint trigger input and the recovery-replay bound. *)
+val bytes_since_checkpoint : t -> int
+
+(** One explicit fault-injection point: observed as a write-path
+    operation by the attached injector, so the crash matrix can kill
+    the process at every step of a vacuum or checkpoint. *)
+val injection_point : t -> unit
+
+(** Truncate the log behind a durably materialized checkpoint: write a
+    fresh log (header + [Checkpoint] frame for [seq]) to a temp file
+    and atomically rename it over the log — the commit point of the
+    checkpoint protocol.  The caller must have made the matching image
+    durable first (see Sqldb.Ckpt).  Returns the frame bytes dropped
+    (counted into [storage.wal_truncated_bytes]). *)
+val truncate_to_checkpoint : t -> seq:int -> int
 
 (** Append a record to the pending buffer (not yet durable). *)
 val append : t -> record -> unit
